@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared plumbing for the bench binaries.
+ *
+ * Every bench prints its paper-artifact table(s) first, then runs its
+ * registered google-benchmark timings (which carry simulated-cycle
+ * counters). Options of the form key=value are consumed before
+ * google-benchmark sees argv.
+ */
+
+#ifndef SASOS_BENCH_BENCH_COMMON_HH
+#define SASOS_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sasos.hh"
+
+namespace sasos::bench
+{
+
+/** A labeled machine configuration to compare. */
+struct ModelUnderTest
+{
+    std::string label;
+    core::SystemConfig config;
+};
+
+/** The paper's primary comparison set. */
+inline std::vector<ModelUnderTest>
+standardModels(const Options &options)
+{
+    return {
+        {"plb", core::SystemConfig::fromOptions(
+                    options, core::SystemConfig::plbSystem())},
+        {"page-group", core::SystemConfig::fromOptions(
+                           options, core::SystemConfig::pageGroupSystem())},
+        {"conventional", core::SystemConfig::fromOptions(
+                             options,
+                             core::SystemConfig::conventionalSystem())},
+    };
+}
+
+/** The comparison set extended with the purge-on-switch baseline and
+ * the four-PID-register PA-RISC variant. */
+inline std::vector<ModelUnderTest>
+extendedModels(const Options &options)
+{
+    std::vector<ModelUnderTest> models = standardModels(options);
+    models.push_back(
+        {"conv-purge", core::SystemConfig::fromOptions(
+                           options,
+                           core::SystemConfig::purgingConventionalSystem())});
+    models.push_back(
+        {"pg-4regs", core::SystemConfig::fromOptions(
+                         options, core::SystemConfig::pidRegisterSystem())});
+    return models;
+}
+
+/** Print a section header for one artifact. */
+inline void
+printHeader(const std::string &artifact, const std::string &claim)
+{
+    std::cout << "\n==== " << artifact << " ====\n";
+    if (!claim.empty())
+        std::cout << claim << "\n";
+    std::cout << "\n";
+}
+
+/** Per-mille-accurate ratio string ("1.00x" baseline). */
+inline std::string
+normalized(double value, double baseline)
+{
+    if (baseline == 0.0)
+        return "-";
+    return TextTable::ratio(value / baseline, 2);
+}
+
+} // namespace sasos::bench
+
+#endif // SASOS_BENCH_BENCH_COMMON_HH

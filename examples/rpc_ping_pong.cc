@@ -1,0 +1,93 @@
+/**
+ * @file
+ * RPC ping-pong between a client and a server domain, the scenario
+ * behind the paper's domain-switch cost argument (Section 4.1.4).
+ * Runs the same calls on all three protection architectures and
+ * prints a per-call cost comparison.
+ *
+ * Run: ./rpc_ping_pong [calls=N] [argBytes=N] [eagerPg=0|1] ...
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "sasos.hh"
+#include "workload/rpc.hh"
+
+using namespace sasos;
+
+namespace
+{
+
+wl::RpcResult
+runOn(const core::SystemConfig &config, const wl::RpcConfig &rpc)
+{
+    core::System sys(config);
+    wl::RpcWorkload workload(rpc);
+    return workload.run(sys);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.parseArgs(argc, argv);
+
+    wl::RpcConfig rpc;
+    rpc.calls = options.getU64("calls", rpc.calls);
+    rpc.argBytes = options.getU64("argBytes", rpc.argBytes);
+    rpc.statePagesTouched =
+        options.getU64("statePagesTouched", rpc.statePagesTouched);
+    rpc.seed = options.getU64("seed", rpc.seed);
+
+    TextTable table({"system", "cycles/call", "switch cycles/call",
+                     "refill cycles/call"});
+
+    struct Row
+    {
+        const char *label;
+        core::SystemConfig config;
+    };
+    const Row rows[] = {
+        {"plb", core::SystemConfig::fromOptions(
+                    options, core::SystemConfig::plbSystem())},
+        {"page-group (lazy)",
+         core::SystemConfig::fromOptions(
+             options, core::SystemConfig::pageGroupSystem())},
+        {"conventional (asid)",
+         core::SystemConfig::fromOptions(
+             options, core::SystemConfig::conventionalSystem())},
+        {"conventional (purge)",
+         core::SystemConfig::fromOptions(
+             options, core::SystemConfig::purgingConventionalSystem())},
+    };
+
+    for (const Row &row : rows) {
+        const wl::RpcResult result = runOn(row.config, rpc);
+        table.addRow({row.label,
+                      TextTable::num(result.cyclesPerCall(), 1),
+                      TextTable::num(
+                          static_cast<double>(
+                              result.cycles
+                                  .byCategory(CostCategory::DomainSwitch)
+                                  .count()) /
+                              result.calls,
+                          1),
+                      TextTable::num(
+                          static_cast<double>(
+                              result.cycles.byCategory(CostCategory::Refill)
+                                  .count()) /
+                              result.calls,
+                          1)});
+    }
+
+    std::printf("RPC ping-pong: %lu calls, %lu argument bytes\n\n",
+                static_cast<unsigned long>(rpc.calls),
+                static_cast<unsigned long>(rpc.argBytes));
+    table.print(std::cout);
+    std::printf("\nA PLB domain switch writes one register; the other "
+                "systems pay in purges or replicated refills.\n");
+    return 0;
+}

@@ -1,0 +1,241 @@
+#include "core/conventional_system.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::core
+{
+
+ConventionalSystem::ConventionalSystem(const SystemConfig &config,
+                                       os::VmState &state,
+                                       CycleAccount &account,
+                                       stats::Group *parent)
+    : statsGroup(parent, "convSystem"),
+      protectionDenies(&statsGroup, "protectionDenies",
+                       "references denied by TLB rights"),
+      translationFaultsSeen(&statsGroup, "translationFaults",
+                            "references that found no translation"),
+      switchPurges(&statsGroup, "switchPurges",
+                   "full TLB purges on domain switches"),
+      switchCacheFlushes(&statsGroup, "switchCacheFlushes",
+                         "full data-cache flushes on domain switches"),
+      config_(config), state_(state), account_(account),
+      tlb_(config.tlb, &statsGroup, "tlb"),
+      mem_(config_, &statsGroup, account)
+{
+    SASOS_ASSERT(config.tlb.kind == hw::TlbKind::Conventional,
+                 "the conventional system uses an ASID-tagged TLB");
+}
+
+void
+ConventionalSystem::charge(CostCategory category, Cycles cycles)
+{
+    account_.charge(category, cycles);
+}
+
+hw::DomainId
+ConventionalSystem::tagOf(os::DomainId domain) const
+{
+    return config_.purgeTlbOnSwitch ? 0 : domain;
+}
+
+os::AccessResult
+ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
+                           vm::AccessType type)
+{
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+    const hw::DomainId asid = tagOf(domain);
+
+    charge(CostCategory::Reference, config_.costs.l1Hit);
+    charge(CostCategory::Reference, config_.costs.tlbLookup);
+
+    hw::TlbEntry *entry = tlb_.lookup(vpn, asid);
+    if (entry == nullptr) {
+        charge(CostCategory::Refill, config_.costs.tlbRefill);
+        const vm::Translation *translation = state_.pageTable.lookup(vpn);
+        if (translation == nullptr) {
+            ++translationFaultsSeen;
+            return {false, os::FaultKind::Translation};
+        }
+        hw::TlbEntry fresh;
+        fresh.pfn = translation->pfn;
+        fresh.asid = asid;
+        fresh.rights = state_.effectiveRights(domain, vpn);
+        tlb_.insert(vpn, fresh);
+        entry = tlb_.find(vpn, asid);
+        SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+    }
+
+    if (!vm::includes(entry->rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    const vm::PAddr pa = vm::translate(va, entry->pfn);
+    if (!mem_.l1Access(va, pa, store)) {
+        if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            if (victim->dirty)
+                charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    entry->referenced = true;
+    if (store)
+        entry->dirty = true;
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+void
+ConventionalSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
+                             vm::Access rights)
+{
+    // Entries fault in lazily, one per (domain, page).
+    (void)domain;
+    (void)seg;
+    (void)rights;
+}
+
+void
+ConventionalSystem::onDetach(os::DomainId domain, const vm::Segment &seg)
+{
+    const auto result =
+        tlb_.purgeRange(tagOf(domain), seg.firstPage, seg.pages);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+ConventionalSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
+                                    vm::Access rights)
+{
+    if (config_.purgeTlbOnSwitch) {
+        // Untagged entries belong to whichever domain runs; the only
+        // safe update is a purge-and-refill.
+        if (tlb_.purgePageAsid(vpn, 0))
+            charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+        return;
+    }
+    // One replica belongs to this domain; update it in place. The
+    // hardware carries the *effective* rights (a global mask may
+    // narrow the new grant).
+    (void)rights;
+    if (tlb_.setRights(vpn, state_.effectiveRights(domain, vpn),
+                       tagOf(domain))) {
+        charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    }
+}
+
+void
+ConventionalSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
+{
+    (void)rights;
+    // Every domain's replica must go; refills apply the mask.
+    const u64 dropped = tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork,
+           dropped * config_.costs.invalidateEntry +
+               config_.costs.purgeScanEntry * config_.tlb.ways);
+}
+
+void
+ConventionalSystem::onClearPageRightsAllDomains(vm::Vpn vpn)
+{
+    const u64 dropped = tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork,
+           dropped * config_.costs.invalidateEntry +
+               config_.costs.purgeScanEntry * config_.tlb.ways);
+}
+
+void
+ConventionalSystem::onSetSegmentRights(os::DomainId domain,
+                                       const vm::Segment &seg,
+                                       vm::Access rights)
+{
+    (void)rights;
+    const auto result =
+        tlb_.purgeRange(tagOf(domain), seg.firstPage, seg.pages);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+ConventionalSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
+{
+    (void)from;
+    (void)to;
+    if (config_.purgeTlbOnSwitch) {
+        // Protection *and* translation state discarded together --
+        // the translations were the same for every domain.
+        ++switchPurges;
+        tlb_.purgeAll();
+        charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
+    } else {
+        charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
+    }
+    if (config_.flushCacheOnSwitch) {
+        // A virtually indexed cache on a multiple-address-space
+        // system must be flushed to avoid homonyms (Section 2.2, as
+        // the i860 requires). The single address space systems never
+        // pay this.
+        ++switchCacheFlushes;
+        mem_.flushAllL1();
+    }
+}
+
+void
+ConventionalSystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
+{
+    (void)vpn;
+    (void)pfn;
+}
+
+void
+ConventionalSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
+{
+    const u64 dropped = tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork,
+           dropped * config_.costs.invalidateEntry);
+    mem_.flushPage(vpn, pfn);
+}
+
+void
+ConventionalSystem::onDomainDestroyed(os::DomainId domain)
+{
+    if (config_.purgeTlbOnSwitch)
+        return; // no per-domain tags to clean
+    const auto result = tlb_.purgeAsid(tagOf(domain));
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+ConventionalSystem::onSegmentDestroyed(const vm::Segment &seg)
+{
+    const auto result =
+        tlb_.purgeRange(std::nullopt, seg.firstPage, seg.pages);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+bool
+ConventionalSystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
+{
+    // Stale per-domain entry; drop it so the refill reads the tables.
+    tlb_.purgePageAsid(vpn, tagOf(domain));
+    charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    return true;
+}
+
+vm::Access
+ConventionalSystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
+{
+    return state_.effectiveRights(domain, vpn);
+}
+
+} // namespace sasos::core

@@ -1,0 +1,69 @@
+#include "core/mem_path.hh"
+
+namespace sasos::core
+{
+
+MemoryPath::MemoryPath(const SystemConfig &config, stats::Group *parent,
+                       CycleAccount &account)
+    : config_(config), account_(account), l1_(config.cache, parent)
+{
+    if (config.l2Enabled) {
+        hw::DataCacheConfig l2_config = config.l2;
+        l2_config.org = hw::CacheOrg::Pipt;
+        l2_ = std::make_unique<hw::DataCache>(l2_config, parent, "l2");
+    }
+}
+
+void
+MemoryPath::charge(CostCategory category, Cycles cycles)
+{
+    account_.charge(category, cycles);
+}
+
+std::optional<hw::CacheVictim>
+MemoryPath::fillFromBeyond(vm::VAddr va, vm::PAddr pa, bool store)
+{
+    if (l2_ != nullptr) {
+        if (l2_->access(va, pa, false)) {
+            charge(CostCategory::Reference, config_.costs.l2Hit);
+        } else {
+            charge(CostCategory::Reference, config_.costs.l2Hit);
+            charge(CostCategory::Reference, config_.costs.memory);
+            if (auto victim = l2_->fill(va, pa, false)) {
+                if (victim->dirty)
+                    charge(CostCategory::Reference,
+                           config_.costs.writeback);
+            }
+        }
+    } else {
+        charge(CostCategory::Reference, config_.costs.memory);
+    }
+    return l1_.fill(va, pa, store);
+}
+
+void
+MemoryPath::flushPage(vm::Vpn vpn, std::optional<vm::Pfn> pfn)
+{
+    const auto l1_flush = l1_.flushPage(vpn, pfn);
+    charge(CostCategory::Flush,
+           l1_flush.lineAccesses * config_.costs.cacheFlushLine +
+               l1_flush.writebacks * config_.costs.writeback);
+    if (l2_ != nullptr && pfn.has_value()) {
+        const auto l2_flush = l2_->flushPage(vpn, pfn);
+        charge(CostCategory::Flush,
+               l2_flush.lineAccesses * config_.costs.cacheFlushLine +
+                   l2_flush.writebacks * config_.costs.writeback);
+    }
+}
+
+u64
+MemoryPath::flushAllL1()
+{
+    const auto flush = l1_.flushAll();
+    charge(CostCategory::Flush,
+           flush.lineAccesses * config_.costs.cacheFlushLine +
+               flush.writebacks * config_.costs.writeback);
+    return flush.invalidated;
+}
+
+} // namespace sasos::core

@@ -1,0 +1,293 @@
+#include "core/plb_system.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace sasos::core
+{
+
+PlbSystem::PlbSystem(const SystemConfig &config, os::VmState &state,
+                     CycleAccount &account, stats::Group *parent)
+    : statsGroup(parent, "plbSystem"),
+      protectionDenies(&statsGroup, "protectionDenies",
+                       "references denied by the PLB"),
+      translationFaultsSeen(&statsGroup, "translationFaults",
+                            "references that found no translation"),
+      superPageFills(&statsGroup, "superPageFills",
+                     "PLB refills using a super-page entry"),
+      pageFills(&statsGroup, "pageFills",
+                "PLB refills using a page-size entry"),
+      writebackTranslations(&statsGroup, "writebackTranslations",
+                            "victim translations for VIVT writebacks"),
+      config_(config), state_(state), account_(account),
+      plb_(config.plb, &statsGroup),
+      tlb_(config.tlb, &statsGroup, "tlb2"),
+      mem_(config_, &statsGroup, account)
+{
+    SASOS_ASSERT(config.tlb.kind == hw::TlbKind::TranslationOnly,
+                 "the PLB system uses a translation-only TLB");
+}
+
+void
+PlbSystem::charge(CostCategory category, Cycles cycles)
+{
+    account_.charge(category, cycles);
+}
+
+int
+PlbSystem::refillShift(os::DomainId domain, vm::Vpn vpn,
+                       const vm::Segment *seg) const
+{
+    (void)domain;
+    if (!config_.superPagePlb || seg == nullptr ||
+        !seg->isPowerOfTwoAligned()) {
+        return vm::kPageShift;
+    }
+    const int shift =
+        vm::kPageShift + std::countr_zero(seg->pages);
+    const auto &shifts = config_.plb.sizeShifts;
+    if (std::find(shifts.begin(), shifts.end(), shift) == shifts.end())
+        return vm::kPageShift;
+    // A super-page entry carries one rights value for the whole
+    // segment, so it is only usable while no page in the segment has
+    // per-page state (overrides or masks) for any domain.
+    if (!state_.pagesWithStateIn(seg->firstPage, seg->pages).empty())
+        return vm::kPageShift;
+    // And the domain's own rights must be uniform: the segment grant
+    // with no page override (checked above globally).
+    (void)vpn;
+    return shift;
+}
+
+os::AccessResult
+PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
+{
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+
+    // One base cycle covers the parallel PLB + VIVT cache probe.
+    charge(CostCategory::Reference, config_.costs.l1Hit);
+
+    // --- Protection side: PLB, refilled from the protection tables.
+    vm::Access rights;
+    if (auto match = plb_.lookup(domain, va)) {
+        rights = match->rights;
+    } else {
+        charge(CostCategory::Refill, config_.costs.plbRefill);
+        rights = state_.effectiveRights(domain, vpn);
+        const vm::Segment *seg = state_.segments.findByPage(vpn);
+        const int shift = refillShift(domain, vpn, seg);
+        if (shift > vm::kPageShift)
+            ++superPageFills;
+        else
+            ++pageFills;
+        plb_.insert(domain, va, shift, rights);
+    }
+
+    // --- Data side: the cache is probed in parallel.
+    const bool cache_hit = mem_.l1Access(va, std::nullopt, store);
+
+    if (!vm::includes(rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    if (cache_hit) {
+        state_.pageTable.markReferenced(vpn);
+        if (store)
+            state_.pageTable.markDirty(vpn);
+        return {true, os::FaultKind::None};
+    }
+
+    // Cache miss: translation is needed, from the off-chip TLB.
+    const auto pfn = translateOffChip(vpn);
+    if (!pfn) {
+        ++translationFaultsSeen;
+        return {false, os::FaultKind::Translation};
+    }
+
+    const vm::PAddr pa = vm::translate(va, *pfn);
+    if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+        if (victim->dirty) {
+            // A VIVT writeback needs the victim's translation.
+            ++writebackTranslations;
+            const vm::Vpn victim_vpn(victim->vline * config_.cache.lineBytes
+                                     >> vm::kPageShift);
+            (void)translateOffChip(victim_vpn);
+            charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+std::optional<vm::Pfn>
+PlbSystem::translateOffChip(vm::Vpn vpn)
+{
+    charge(CostCategory::Reference, config_.costs.offChipTlb);
+    if (hw::TlbEntry *entry = tlb_.lookup(vpn))
+        return entry->pfn;
+    charge(CostCategory::Refill, config_.costs.tlbRefill);
+    const vm::Translation *translation = state_.pageTable.lookup(vpn);
+    if (translation == nullptr)
+        return std::nullopt;
+    hw::TlbEntry entry;
+    entry.pfn = translation->pfn;
+    tlb_.insert(vpn, entry);
+    return translation->pfn;
+}
+
+void
+PlbSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
+                    vm::Access rights)
+{
+    // Nothing: rights are faulted into the PLB lazily, page (or
+    // segment) at a time. This is the Table 1 "Attach Segment" row.
+    (void)domain;
+    (void)seg;
+    (void)rights;
+}
+
+void
+PlbSystem::onDetach(os::DomainId domain, const vm::Segment &seg)
+{
+    // Worst case from the paper: inspect every PLB entry and drop
+    // those for the (segment, domain) pair.
+    const auto result = plb_.purgeRange(domain, seg.firstPage, seg.pages);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+PlbSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
+                           vm::Access rights)
+{
+    // "Changing a domain's access rights to a page simply requires
+    // updating a PLB entry." A covering super-page entry no longer
+    // has uniform rights and must be shattered first. The hardware
+    // carries the *effective* rights (a global mask may narrow the
+    // new grant).
+    (void)rights;
+    const vm::VAddr va = vm::baseOf(vpn);
+    const vm::Access effective = state_.effectiveRights(domain, vpn);
+    if (auto match = plb_.peek(domain, va)) {
+        if (match->sizeShift != vm::kPageShift) {
+            plb_.invalidateCovering(domain, va);
+            plb_.insert(domain, va, vm::kPageShift, effective);
+        } else {
+            plb_.updateRights(domain, va, effective);
+        }
+        charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    }
+}
+
+void
+PlbSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
+{
+    // Restricting every domain: intersect any cached entry for the
+    // page, whatever domain it belongs to. The cost scales with the
+    // PLB size (a scan), as the paper notes for such operations.
+    const auto result = plb_.intersectRightsRange(vpn, 1, rights);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry);
+}
+
+void
+PlbSystem::onClearPageRightsAllDomains(vm::Vpn vpn)
+{
+    // Per-domain rights apply again; entries were narrowed, so purge
+    // and let refills read the canonical tables.
+    const auto result = plb_.purgeRange(std::nullopt, vpn, 1);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+PlbSystem::onSetSegmentRights(os::DomainId domain, const vm::Segment &seg,
+                              vm::Access rights)
+{
+    // Inspect each entry, dropping this domain's entries for the
+    // segment; refills pick up the new grant (and respect any page
+    // overrides, which an in-place blanket update could not).
+    (void)rights;
+    const auto result = plb_.purgeRange(domain, seg.firstPage, seg.pages);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+PlbSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
+{
+    // The whole point: a switch writes the PD-ID register, nothing
+    // else. Neither the PLB nor the TLB is purged.
+    (void)from;
+    (void)to;
+    charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
+}
+
+void
+PlbSystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
+{
+    // Translations are loaded lazily by the off-chip TLB.
+    (void)vpn;
+    (void)pfn;
+}
+
+void
+PlbSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
+{
+    // Purge the translation and flush the page's lines. The PLB is
+    // deliberately left alone: a stale entry may still allow the
+    // access, but the missing translation faults it (Section 4.1.3).
+    tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    mem_.flushPage(vpn, pfn);
+}
+
+void
+PlbSystem::onDomainDestroyed(os::DomainId domain)
+{
+    const auto result = plb_.purgeDomain(domain);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+PlbSystem::onSegmentDestroyed(const vm::Segment &seg)
+{
+    const auto result =
+        plb_.purgeRange(std::nullopt, seg.firstPage, seg.pages);
+    charge(CostCategory::KernelWork,
+           result.scanned * config_.costs.purgeScanEntry +
+               result.invalidated * config_.costs.invalidateEntry);
+}
+
+bool
+PlbSystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
+{
+    // The canonical tables allow the access, so the PLB holds a stale
+    // deny; replace it with a fresh page-grain entry.
+    const vm::VAddr va = vm::baseOf(vpn);
+    plb_.invalidateCovering(domain, va);
+    plb_.insert(domain, va, vm::kPageShift,
+                state_.effectiveRights(domain, vpn));
+    charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    return true;
+}
+
+vm::Access
+PlbSystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
+{
+    // The domain-page model expresses the canonical state exactly.
+    return state_.effectiveRights(domain, vpn);
+}
+
+} // namespace sasos::core

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The domain-page model machine: PLB + VIVT cache + off-chip TLB.
+ *
+ * This is the paper's proposed organization (Section 3.2.1, Figure 1):
+ * on every reference the PLB and the virtually indexed, virtually
+ * tagged data cache are probed in parallel; the PLB supplies the
+ * current domain's rights to the page, the cache supplies the data.
+ * Translation is needed only on cache misses and dirty writebacks and
+ * is served by a translation-only TLB at the second level, off the
+ * critical path.
+ *
+ * Consequences modeled here, each measured by a bench:
+ *  - domain switch = one register write (the PD-ID register);
+ *  - rights changes for one (domain, page) = one indexed PLB update;
+ *  - rights changes spanning domains or ranges = a PLB scan;
+ *  - segment detach = a PLB scan;
+ *  - unmap leaves the PLB alone (stale entries are safe: the flushed
+ *    cache and purged TLB force a translation fault);
+ *  - sharing replicates PLB entries per domain;
+ *  - super-page entries can cover an aligned segment.
+ */
+
+#ifndef SASOS_CORE_PLB_SYSTEM_HH
+#define SASOS_CORE_PLB_SYSTEM_HH
+
+#include "core/mem_path.hh"
+#include "core/system_config.hh"
+#include "hw/data_cache.hh"
+#include "hw/plb.hh"
+#include "hw/tlb.hh"
+#include "os/protection_model.hh"
+#include "os/vm_state.hh"
+#include "sim/cycle_account.hh"
+#include "sim/stats.hh"
+
+namespace sasos::core
+{
+
+/** The PLB-based protection system. */
+class PlbSystem : public os::ProtectionModel
+{
+  public:
+    PlbSystem(const SystemConfig &config, os::VmState &state,
+              CycleAccount &account, stats::Group *parent);
+
+    const char *name() const override { return "plb"; }
+
+    os::AccessResult access(os::DomainId domain, vm::VAddr va,
+                            vm::AccessType type) override;
+
+    void onAttach(os::DomainId domain, const vm::Segment &seg,
+                  vm::Access rights) override;
+    void onDetach(os::DomainId domain, const vm::Segment &seg) override;
+    void onSetPageRights(os::DomainId domain, vm::Vpn vpn,
+                         vm::Access rights) override;
+    void onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights) override;
+    void onClearPageRightsAllDomains(vm::Vpn vpn) override;
+    void onSetSegmentRights(os::DomainId domain, const vm::Segment &seg,
+                            vm::Access rights) override;
+    void onDomainSwitch(os::DomainId from, os::DomainId to) override;
+    void onPageMapped(vm::Vpn vpn, vm::Pfn pfn) override;
+    void onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn) override;
+    void onDomainDestroyed(os::DomainId domain) override;
+    void onSegmentDestroyed(const vm::Segment &seg) override;
+    bool refreshAfterFault(os::DomainId domain, vm::Vpn vpn) override;
+    vm::Access effectiveRights(os::DomainId domain, vm::Vpn vpn) override;
+
+    /** @name Structure access for tests and benches */
+    /// @{
+    hw::Plb &plb() { return plb_; }
+    hw::Tlb &translationTlb() { return tlb_; }
+    hw::DataCache &cache() { return mem_.l1(); }
+    MemoryPath &memory() { return mem_; }
+    /// @}
+
+    /** @name Statistics */
+    /// @{
+    stats::Group statsGroup;
+    stats::Scalar protectionDenies;
+    stats::Scalar translationFaultsSeen;
+    stats::Scalar superPageFills;
+    stats::Scalar pageFills;
+    stats::Scalar writebackTranslations;
+    /// @}
+
+  private:
+    void charge(CostCategory category, Cycles cycles);
+
+    /** Resolve a virtual address through the off-chip TLB; nullopt if
+     * the page is unmapped. Charges lookup + refill costs. */
+    std::optional<vm::Pfn> translateOffChip(vm::Vpn vpn);
+
+    /** Choose the protection block size for a PLB refill. */
+    int refillShift(os::DomainId domain, vm::Vpn vpn,
+                    const vm::Segment *seg) const;
+
+    SystemConfig config_;
+    os::VmState &state_;
+    CycleAccount &account_;
+    hw::Plb plb_;
+    hw::Tlb tlb_;
+    MemoryPath mem_;
+};
+
+} // namespace sasos::core
+
+#endif // SASOS_CORE_PLB_SYSTEM_HH

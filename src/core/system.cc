@@ -1,0 +1,101 @@
+#include "core/system.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::core
+{
+
+System::System(const SystemConfig &config)
+    : config_(config), statsRoot_("system"),
+      references(&statsRoot_, "references", "references issued"),
+      failedReferences(&statsRoot_, "failedReferences",
+                       "references ending in an exception"),
+      state_(config.frames)
+{
+    switch (config_.model) {
+      case ModelKind::Plb: {
+        auto model = std::make_unique<PlbSystem>(config_, state_, account_,
+                                                 &statsRoot_);
+        plb_ = model.get();
+        model_ = std::move(model);
+        break;
+      }
+      case ModelKind::PageGroup: {
+        auto model = std::make_unique<PageGroupSystem>(config_, state_,
+                                                       account_,
+                                                       &statsRoot_);
+        pageGroup_ = model.get();
+        model_ = std::move(model);
+        break;
+      }
+      case ModelKind::Conventional: {
+        auto model = std::make_unique<ConventionalSystem>(config_, state_,
+                                                          account_,
+                                                          &statsRoot_);
+        conventional_ = model.get();
+        model_ = std::move(model);
+        break;
+      }
+    }
+    kernel_ = std::make_unique<os::Kernel>(state_, *model_, config_.costs,
+                                           account_, &statsRoot_);
+}
+
+bool
+System::access(vm::VAddr va, vm::AccessType type)
+{
+    ++references;
+    const os::DomainId domain = kernel_->currentDomain();
+    SASOS_ASSERT(domain != 0, "no current domain; create one first");
+    // A bounded retry loop: each fault either resolves (retry) or
+    // becomes an exception. A single reference can legitimately fault
+    // a handful of times (protection upcall, then page-in, then a
+    // structure refill), but endless repetition is a model bug.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const os::AccessResult result = model_->access(domain, va, type);
+        if (result.completed)
+            return true;
+        bool retry = false;
+        switch (result.fault) {
+          case os::FaultKind::Protection:
+            retry = kernel_->handleProtectionFault(domain, va, type);
+            break;
+          case os::FaultKind::Translation:
+            retry = kernel_->handleTranslationFault(domain, va, type);
+            break;
+          case os::FaultKind::None:
+            SASOS_PANIC("incomplete access without a fault");
+        }
+        if (!retry) {
+            ++failedReferences;
+            return false;
+        }
+    }
+    SASOS_PANIC("livelock resolving faults at address ", va.raw(),
+                " in domain ", domain);
+}
+
+void
+System::touchRange(vm::VAddr base, u64 bytes)
+{
+    for (u64 offset = 0; offset < bytes; offset += vm::kPageBytes)
+        load(base + offset);
+}
+
+os::Pager &
+System::makePager(const os::PagerConfig &pager_config)
+{
+    SASOS_ASSERT(pager_ == nullptr, "system already has a pager");
+    pager_ = std::make_unique<os::Pager>(*kernel_, pager_config,
+                                         &statsRoot_);
+    return *pager_;
+}
+
+void
+System::dumpStats(std::ostream &os)
+{
+    statsRoot_.dump(os);
+    account_.dump(os, "system.");
+}
+
+} // namespace sasos::core

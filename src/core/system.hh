@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The top-level simulated system: machine + kernel + accounting.
+ *
+ * A System bundles one protection architecture (chosen by the
+ * SystemConfig), the canonical VM state, the kernel and the cycle
+ * account, and provides the reference-issue loop that resolves faults
+ * through the kernel -- the simulation's outermost "CPU".
+ */
+
+#ifndef SASOS_CORE_SYSTEM_HH
+#define SASOS_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+
+#include "core/conventional_system.hh"
+#include "core/pagegroup_system.hh"
+#include "core/plb_system.hh"
+#include "core/system_config.hh"
+#include "os/kernel.hh"
+#include "os/pager.hh"
+
+namespace sasos::core
+{
+
+/** One simulated machine running the SASOS kernel. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    const SystemConfig &config() const { return config_; }
+
+    /** @name Issuing references from the current domain
+     * Faults are resolved through the kernel and the access retried;
+     * @return false if the fault became an exception (the reference
+     * never completed).
+     */
+    /// @{
+    bool access(vm::VAddr va, vm::AccessType type);
+    bool load(vm::VAddr va) { return access(va, vm::AccessType::Load); }
+    bool store(vm::VAddr va) { return access(va, vm::AccessType::Store); }
+    bool ifetch(vm::VAddr va) { return access(va, vm::AccessType::IFetch); }
+
+    /** Touch every page of a range once (load). */
+    void touchRange(vm::VAddr base, u64 bytes);
+    /// @}
+
+    /** Create a pager (registers itself with the kernel). */
+    os::Pager &makePager(const os::PagerConfig &pager_config);
+
+    os::Kernel &kernel() { return *kernel_; }
+    os::VmState &state() { return state_; }
+    os::ProtectionModel &model() { return *model_; }
+    CycleAccount &account() { return account_; }
+    const CostModel &costs() const { return config_.costs; }
+
+    /** Concrete model access (null when another model is active). */
+    PlbSystem *plbSystem() { return plb_; }
+    PageGroupSystem *pageGroupSystem() { return pageGroup_; }
+    ConventionalSystem *conventionalSystem() { return conventional_; }
+
+    /** Total simulated cycles so far. */
+    Cycles cycles() const { return account_.total(); }
+
+    stats::Group &statsRoot() { return statsRoot_; }
+
+    /** Dump all statistics and the cycle breakdown. */
+    void dumpStats(std::ostream &os);
+
+  private:
+    SystemConfig config_;
+    stats::Group statsRoot_;
+
+  public:
+    /** @name Statistics */
+    /// @{
+    stats::Scalar references;
+    stats::Scalar failedReferences;
+    /// @}
+
+  private:
+    CycleAccount account_;
+    os::VmState state_;
+    std::unique_ptr<os::ProtectionModel> model_;
+    PlbSystem *plb_ = nullptr;
+    PageGroupSystem *pageGroup_ = nullptr;
+    ConventionalSystem *conventional_ = nullptr;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<os::Pager> pager_;
+};
+
+} // namespace sasos::core
+
+#endif // SASOS_CORE_SYSTEM_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * A generic set-associative tag store.
+ *
+ * This is the common machinery behind every lookup structure in the
+ * simulator: the data cache tag array, the TLB, the PLB and the
+ * page-group cache. Callers map their key to (set index, tag); the
+ * store handles validity, replacement and scans.
+ *
+ * Purge operations report how many entries were *scanned* as well as
+ * how many were invalidated, because the paper's cost arguments
+ * distinguish a full inspect-every-entry pass (PLB detach) from an
+ * indexed invalidate (TLB purge of one page).
+ */
+
+#ifndef SASOS_HW_ASSOC_CACHE_HH
+#define SASOS_HW_ASSOC_CACHE_HH
+
+#include <optional>
+#include <vector>
+
+#include "hw/replacement.hh"
+#include "sim/logging.hh"
+
+namespace sasos::hw
+{
+
+/** Result of a scan-style purge. */
+struct PurgeResult
+{
+    u64 scanned = 0;
+    u64 invalidated = 0;
+};
+
+/**
+ * Set-associative storage of (Tag -> Payload).
+ *
+ * @tparam Tag      equality-comparable lookup key (within a set).
+ * @tparam Payload  per-entry data.
+ */
+template <typename Tag, typename Payload>
+class AssocCache
+{
+  public:
+    struct Entry
+    {
+        bool valid = false;
+        Tag tag{};
+        Payload payload{};
+    };
+
+    /** An evicted valid entry, reported to the caller on insert. */
+    struct Victim
+    {
+        Tag tag{};
+        Payload payload{};
+    };
+
+    AssocCache(std::size_t sets, std::size_t ways, PolicyKind policy,
+               u64 seed = 1)
+        : sets_(sets), ways_(ways),
+          entries_(sets * ways),
+          policy_(makePolicy(policy, sets, ways, seed))
+    {
+        SASOS_ASSERT(sets > 0 && ways > 0, "degenerate cache geometry");
+    }
+
+    std::size_t sets() const { return sets_; }
+    std::size_t ways() const { return ways_; }
+    std::size_t capacity() const { return entries_.size(); }
+
+    /** Valid entries currently stored. */
+    std::size_t occupancy() const { return occupancy_; }
+
+    /** Find and touch (updates replacement state). Null on miss. */
+    Payload *
+    lookup(std::size_t set, const Tag &tag)
+    {
+        Entry *entry = findEntry(set, tag);
+        if (entry == nullptr)
+            return nullptr;
+        policy_->touch(set, static_cast<std::size_t>(entry - setBase(set)));
+        return &entry->payload;
+    }
+
+    /** Find without touching replacement state. Null on miss. */
+    Payload *
+    probe(std::size_t set, const Tag &tag)
+    {
+        Entry *entry = findEntry(set, tag);
+        return entry ? &entry->payload : nullptr;
+    }
+
+    const Payload *
+    probe(std::size_t set, const Tag &tag) const
+    {
+        return const_cast<AssocCache *>(this)->probe(set, tag);
+    }
+
+    /**
+     * Insert, evicting if the set is full.
+     * Inserting a tag that is already present is a caller bug
+     * (use lookup + modify payload instead) and panics.
+     * @return the evicted valid entry, if any.
+     */
+    std::optional<Victim>
+    insert(std::size_t set, const Tag &tag, Payload payload)
+    {
+        SASOS_ASSERT(findEntry(set, tag) == nullptr,
+                     "inserting duplicate tag");
+        Entry *base = setBase(set);
+        // Prefer an invalid way.
+        for (std::size_t way = 0; way < ways_; ++way) {
+            if (!base[way].valid) {
+                base[way].valid = true;
+                base[way].tag = tag;
+                base[way].payload = std::move(payload);
+                policy_->fill(set, way);
+                ++occupancy_;
+                return std::nullopt;
+            }
+        }
+        const std::size_t way = policy_->victim(set);
+        SASOS_ASSERT(way < ways_, "policy returned bad way");
+        Victim victim{base[way].tag, std::move(base[way].payload)};
+        base[way].tag = tag;
+        base[way].payload = std::move(payload);
+        policy_->fill(set, way);
+        return victim;
+    }
+
+    /** Invalidate one entry if present. @return true if it existed. */
+    bool
+    invalidate(std::size_t set, const Tag &tag)
+    {
+        Entry *entry = findEntry(set, tag);
+        if (entry == nullptr)
+            return false;
+        entry->valid = false;
+        --occupancy_;
+        return true;
+    }
+
+    /**
+     * Scan every entry; invalidate those matching `pred(tag, payload)`.
+     * Models the "inspect all the entries in the PLB" cost the paper
+     * describes for segment detach.
+     */
+    template <typename Pred>
+    PurgeResult
+    invalidateIf(Pred pred)
+    {
+        PurgeResult result;
+        // Hardware inspects every slot of the structure, valid or
+        // not; the scan cost is the capacity, which is what the
+        // paper's "inspecting all the entries" worst case charges.
+        result.scanned = entries_.size();
+        for (Entry &entry : entries_) {
+            if (!entry.valid)
+                continue;
+            if (pred(entry.tag, entry.payload)) {
+                entry.valid = false;
+                --occupancy_;
+                ++result.invalidated;
+            }
+        }
+        return result;
+    }
+
+    /** Flash-invalidate everything. @return entries dropped. */
+    u64
+    invalidateAll()
+    {
+        u64 dropped = 0;
+        for (Entry &entry : entries_) {
+            if (entry.valid) {
+                entry.valid = false;
+                ++dropped;
+            }
+        }
+        occupancy_ = 0;
+        policy_->reset();
+        return dropped;
+    }
+
+    /** Visit every valid entry: fn(tag, payload&). */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (Entry &entry : entries_) {
+            if (entry.valid)
+                fn(entry.tag, entry.payload);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const Entry &entry : entries_) {
+            if (entry.valid)
+                fn(entry.tag, entry.payload);
+        }
+    }
+
+    /** Visit every valid entry of one set: fn(tag, payload&). */
+    template <typename Fn>
+    void
+    forEachInSet(std::size_t set, Fn fn)
+    {
+        Entry *base = setBase(set);
+        for (std::size_t way = 0; way < ways_; ++way) {
+            if (base[way].valid)
+                fn(base[way].tag, base[way].payload);
+        }
+    }
+
+  private:
+    Entry *setBase(std::size_t set) { return &entries_[set * ways_]; }
+
+    Entry *
+    findEntry(std::size_t set, const Tag &tag)
+    {
+        SASOS_ASSERT(set < sets_, "set index ", set, " out of range");
+        Entry *base = setBase(set);
+        for (std::size_t way = 0; way < ways_; ++way) {
+            if (base[way].valid && base[way].tag == tag)
+                return &base[way];
+        }
+        return nullptr;
+    }
+
+    std::size_t sets_;
+    std::size_t ways_;
+    std::vector<Entry> entries_;
+    std::unique_ptr<ReplacementPolicy> policy_;
+    std::size_t occupancy_ = 0;
+};
+
+} // namespace sasos::hw
+
+#endif // SASOS_HW_ASSOC_CACHE_HH

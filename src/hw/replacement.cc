@@ -1,0 +1,237 @@
+#include "hw/replacement.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace sasos::hw
+{
+
+namespace
+{
+
+/** True LRU via per-way timestamps. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    LruPolicy(std::size_t sets, std::size_t ways)
+        : ways_(ways), stamps_(sets * ways, 0)
+    {
+    }
+
+    void
+    touch(std::size_t set, std::size_t way) override
+    {
+        stamps_[set * ways_ + way] = ++clock_;
+    }
+
+    void
+    fill(std::size_t set, std::size_t way) override
+    {
+        touch(set, way);
+    }
+
+    std::size_t
+    victim(std::size_t set) override
+    {
+        const u64 *base = &stamps_[set * ways_];
+        return static_cast<std::size_t>(
+            std::min_element(base, base + ways_) - base);
+    }
+
+    void
+    reset() override
+    {
+        std::fill(stamps_.begin(), stamps_.end(), 0);
+        clock_ = 0;
+    }
+
+  private:
+    std::size_t ways_;
+    std::vector<u64> stamps_;
+    u64 clock_ = 0;
+};
+
+/** FIFO: evict the oldest fill; hits do not refresh. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    FifoPolicy(std::size_t sets, std::size_t ways)
+        : ways_(ways), stamps_(sets * ways, 0)
+    {
+    }
+
+    void touch(std::size_t, std::size_t) override {}
+
+    void
+    fill(std::size_t set, std::size_t way) override
+    {
+        stamps_[set * ways_ + way] = ++clock_;
+    }
+
+    std::size_t
+    victim(std::size_t set) override
+    {
+        const u64 *base = &stamps_[set * ways_];
+        return static_cast<std::size_t>(
+            std::min_element(base, base + ways_) - base);
+    }
+
+    void
+    reset() override
+    {
+        std::fill(stamps_.begin(), stamps_.end(), 0);
+        clock_ = 0;
+    }
+
+  private:
+    std::size_t ways_;
+    std::vector<u64> stamps_;
+    u64 clock_ = 0;
+};
+
+/** Uniformly random victim (deterministic via seeded Rng). */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    RandomPolicy(std::size_t ways, u64 seed) : ways_(ways), rng_(seed) {}
+
+    void touch(std::size_t, std::size_t) override {}
+    void fill(std::size_t, std::size_t) override {}
+
+    std::size_t
+    victim(std::size_t) override
+    {
+        return static_cast<std::size_t>(rng_.nextBelow(ways_));
+    }
+
+    void reset() override {}
+
+  private:
+    std::size_t ways_;
+    Rng rng_;
+};
+
+/**
+ * Tree pseudo-LRU: one bit per internal node of a binary tree over
+ * the ways. Requires a power-of-two way count; falls back to LRU for
+ * other geometries (callers get told via makePolicy's choice).
+ */
+class TreePlruPolicy : public ReplacementPolicy
+{
+  public:
+    TreePlruPolicy(std::size_t sets, std::size_t ways)
+        : ways_(ways), bits_(sets * (ways - 1), 0)
+    {
+    }
+
+    void
+    touch(std::size_t set, std::size_t way) override
+    {
+        // Walk from root to the leaf, pointing each node away from
+        // the touched way.
+        char *tree = treeFor(set);
+        std::size_t node = 0;
+        std::size_t lo = 0, hi = ways_;
+        while (hi - lo > 1) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            const bool right = way >= mid;
+            tree[node] = !right; // point away from the used half
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+    }
+
+    void
+    fill(std::size_t set, std::size_t way) override
+    {
+        touch(set, way);
+    }
+
+    std::size_t
+    victim(std::size_t set) override
+    {
+        char *tree = treeFor(set);
+        std::size_t node = 0;
+        std::size_t lo = 0, hi = ways_;
+        while (hi - lo > 1) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            const bool right = tree[node];
+            node = 2 * node + (right ? 2 : 1);
+            if (right)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    void
+    reset() override
+    {
+        std::fill(bits_.begin(), bits_.end(), 0);
+    }
+
+  private:
+    char *treeFor(std::size_t set) { return &bits_[set * (ways_ - 1)]; }
+
+    std::size_t ways_;
+    std::vector<char> bits_;
+};
+
+} // namespace
+
+const char *
+toString(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "lru";
+      case PolicyKind::Fifo:
+        return "fifo";
+      case PolicyKind::Random:
+        return "random";
+      case PolicyKind::TreePlru:
+        return "plru";
+    }
+    return "?";
+}
+
+PolicyKind
+parsePolicyKind(const std::string &name)
+{
+    if (name == "lru")
+        return PolicyKind::Lru;
+    if (name == "fifo")
+        return PolicyKind::Fifo;
+    if (name == "random")
+        return PolicyKind::Random;
+    if (name == "plru")
+        return PolicyKind::TreePlru;
+    SASOS_FATAL("unknown replacement policy '", name, "'");
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(PolicyKind kind, std::size_t sets, std::size_t ways, u64 seed)
+{
+    SASOS_ASSERT(sets > 0 && ways > 0, "degenerate geometry");
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<LruPolicy>(sets, ways);
+      case PolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>(sets, ways);
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(ways, seed);
+      case PolicyKind::TreePlru:
+        if ((ways & (ways - 1)) != 0 || ways == 1)
+            return std::make_unique<LruPolicy>(sets, ways);
+        return std::make_unique<TreePlruPolicy>(sets, ways);
+    }
+    SASOS_PANIC("unreachable");
+}
+
+} // namespace sasos::hw

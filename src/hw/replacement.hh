@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Replacement policies for set-associative hardware structures.
+ *
+ * One policy object serves a whole structure; state is kept per
+ * (set, way). The structure asks for a victim only when every way in
+ * the set is valid -- invalid ways are always filled first by the
+ * caller.
+ */
+
+#ifndef SASOS_HW_REPLACEMENT_HH
+#define SASOS_HW_REPLACEMENT_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace sasos::hw
+{
+
+/** Selectable replacement policies. */
+enum class PolicyKind
+{
+    Lru,
+    Fifo,
+    Random,
+    TreePlru,
+};
+
+const char *toString(PolicyKind kind);
+
+/** Parse "lru" / "fifo" / "random" / "plru" (fatal on other input). */
+PolicyKind parsePolicyKind(const std::string &name);
+
+/** Per-structure replacement state. */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Record a hit on (set, way). */
+    virtual void touch(std::size_t set, std::size_t way) = 0;
+
+    /** Record a fill of (set, way). */
+    virtual void fill(std::size_t set, std::size_t way) = 0;
+
+    /** Choose the way to evict in a full set. */
+    virtual std::size_t victim(std::size_t set) = 0;
+
+    /** Forget all history (e.g. after a full purge). */
+    virtual void reset() = 0;
+};
+
+/**
+ * Build a policy instance.
+ * @param seed only used by PolicyKind::Random.
+ */
+std::unique_ptr<ReplacementPolicy> makePolicy(PolicyKind kind,
+                                              std::size_t sets,
+                                              std::size_t ways,
+                                              u64 seed = 1);
+
+} // namespace sasos::hw
+
+#endif // SASOS_HW_REPLACEMENT_HH

@@ -1,0 +1,141 @@
+#include "hw/tag_sizing.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace sasos::hw::sizing
+{
+
+namespace
+{
+
+int
+log2Exact(u64 value)
+{
+    SASOS_ASSERT(std::has_single_bit(value), value, " is not a power of 2");
+    return std::countr_zero(value);
+}
+
+u64
+vpnTagBits(const SizingParams &p)
+{
+    const u64 vpn_bits = static_cast<u64>(p.vaBits - p.pageShift);
+    const u64 index_bits = static_cast<u64>(log2Exact(p.sets));
+    SASOS_ASSERT(index_bits < vpn_bits, "index wider than VPN");
+    return vpn_bits - index_bits;
+}
+
+u64
+pfnBits(const SizingParams &p)
+{
+    return static_cast<u64>(p.paBits - p.pageShift);
+}
+
+} // namespace
+
+u64
+EntryLayout::totalBits() const
+{
+    u64 total = 0;
+    for (const Field &field : fields)
+        total += field.bits;
+    return total;
+}
+
+u64
+EntryLayout::bitsOf(const std::string &name) const
+{
+    for (const Field &field : fields) {
+        if (field.name == name)
+            return field.bits;
+    }
+    return 0;
+}
+
+EntryLayout
+plbEntry(const SizingParams &p)
+{
+    return EntryLayout{{
+        {"vpn", vpnTagBits(p)},
+        {"pdid", static_cast<u64>(p.pdidBits)},
+        {"rights", static_cast<u64>(p.rightsBits)},
+    }};
+}
+
+EntryLayout
+pageGroupTlbEntry(const SizingParams &p)
+{
+    return EntryLayout{{
+        {"vpn", vpnTagBits(p)},
+        {"pfn", pfnBits(p)},
+        {"aid", static_cast<u64>(p.aidBits)},
+        {"rights", static_cast<u64>(p.rightsBits)},
+        {"dirty", 1},
+        {"referenced", 1},
+    }};
+}
+
+EntryLayout
+translationTlbEntry(const SizingParams &p)
+{
+    return EntryLayout{{
+        {"vpn", vpnTagBits(p)},
+        {"pfn", pfnBits(p)},
+        {"dirty", 1},
+        {"referenced", 1},
+    }};
+}
+
+EntryLayout
+conventionalTlbEntry(const SizingParams &p)
+{
+    return EntryLayout{{
+        {"vpn", vpnTagBits(p)},
+        {"asid", static_cast<u64>(p.asidBits)},
+        {"pfn", pfnBits(p)},
+        {"rights", static_cast<u64>(p.rightsBits)},
+        {"dirty", 1},
+        {"referenced", 1},
+    }};
+}
+
+u64
+cacheLineBits(const CacheSizing &c, Tagging tagging)
+{
+    const u64 lines = c.sizeBytes / c.lineBytes;
+    const u64 sets = lines / c.ways;
+    const int offset_bits = log2Exact(c.lineBytes);
+    const int index_bits = log2Exact(sets);
+    const int addr_bits =
+        tagging == Tagging::Virtual ? c.vaBits : c.paBits;
+    const u64 tag_bits =
+        static_cast<u64>(addr_bits - index_bits - offset_bits);
+    const u64 data_bits = static_cast<u64>(c.lineBytes) * 8;
+    return data_bits + tag_bits + c.stateBitsPerLine;
+}
+
+u64
+cacheTotalBits(const CacheSizing &c, Tagging tagging)
+{
+    const u64 lines = c.sizeBytes / c.lineBytes;
+    return lines * cacheLineBits(c, tagging);
+}
+
+double
+virtualTagOverhead(const CacheSizing &c)
+{
+    return static_cast<double>(cacheTotalBits(c, Tagging::Virtual)) /
+           static_cast<double>(cacheTotalBits(c, Tagging::Physical));
+}
+
+u64
+entriesInSameArea(const EntryLayout &entry, const EntryLayout &reference,
+                  u64 reference_entries)
+{
+    const u64 budget = reference.totalBits() * reference_entries;
+    SASOS_ASSERT(entry.totalBits() > 0, "empty entry layout");
+    return budget / entry.totalBits();
+}
+
+} // namespace sasos::hw::sizing

@@ -1,0 +1,183 @@
+#include "hw/tlb.hh"
+
+#include <bit>
+
+namespace sasos::hw
+{
+
+const char *
+toString(TlbKind kind)
+{
+    switch (kind) {
+      case TlbKind::Conventional:
+        return "conventional";
+      case TlbKind::PageGroup:
+        return "page-group";
+      case TlbKind::TranslationOnly:
+        return "translation-only";
+    }
+    return "?";
+}
+
+Tlb::Tlb(const TlbConfig &config, stats::Group *parent,
+         const std::string &name)
+    : statsGroup(parent, name),
+      lookups(&statsGroup, "lookups", "translation lookups"),
+      hits(&statsGroup, "hits", "lookups that hit"),
+      misses(&statsGroup, "misses", "lookups that missed"),
+      insertions(&statsGroup, "insertions", "entries installed"),
+      evictions(&statsGroup, "evictions", "valid entries evicted"),
+      purgedEntries(&statsGroup, "purgedEntries",
+                    "entries removed by purges"),
+      hitRate(&statsGroup, "hitRate", "fraction of lookups that hit",
+              [this] {
+                  return lookups.value()
+                             ? static_cast<double>(hits.value()) /
+                                   lookups.value()
+                             : 0.0;
+              }),
+      config_(config),
+      array_(config.sets, config.ways, config.policy, config.seed)
+{
+    SASOS_ASSERT(std::has_single_bit(config.sets), "set count not 2^k");
+}
+
+std::size_t
+Tlb::setOf(vm::Vpn vpn) const
+{
+    return static_cast<std::size_t>(vpn.number() & (config_.sets - 1));
+}
+
+Tlb::Key
+Tlb::keyOf(vm::Vpn vpn, DomainId asid) const
+{
+    Key key;
+    key.vpn = vpn.number();
+    key.asid = config_.kind == TlbKind::Conventional ? asid : 0;
+    return key;
+}
+
+TlbEntry *
+Tlb::lookup(vm::Vpn vpn, DomainId asid)
+{
+    ++lookups;
+    TlbEntry *entry = array_.lookup(setOf(vpn), keyOf(vpn, asid));
+    if (entry == nullptr) {
+        ++misses;
+        return nullptr;
+    }
+    ++hits;
+    return entry;
+}
+
+const TlbEntry *
+Tlb::peek(vm::Vpn vpn, DomainId asid) const
+{
+    return array_.probe(setOf(vpn), keyOf(vpn, asid));
+}
+
+TlbEntry *
+Tlb::find(vm::Vpn vpn, DomainId asid)
+{
+    return array_.probe(setOf(vpn), keyOf(vpn, asid));
+}
+
+void
+Tlb::insert(vm::Vpn vpn, const TlbEntry &entry)
+{
+    ++insertions;
+    if (array_.insert(setOf(vpn), keyOf(vpn, entry.asid), entry))
+        ++evictions;
+}
+
+bool
+Tlb::setRights(vm::Vpn vpn, vm::Access rights, DomainId asid)
+{
+    TlbEntry *entry = array_.probe(setOf(vpn), keyOf(vpn, asid));
+    if (entry == nullptr)
+        return false;
+    entry->rights = rights;
+    return true;
+}
+
+bool
+Tlb::setGroup(vm::Vpn vpn, GroupId aid, vm::Access rights)
+{
+    SASOS_ASSERT(config_.kind == TlbKind::PageGroup,
+                 "setGroup on a ", toString(config_.kind), " TLB");
+    TlbEntry *entry = array_.probe(setOf(vpn), keyOf(vpn, 0));
+    if (entry == nullptr)
+        return false;
+    entry->aid = aid;
+    entry->rights = rights;
+    return true;
+}
+
+u64
+Tlb::purgePage(vm::Vpn vpn)
+{
+    if (config_.kind != TlbKind::Conventional) {
+        const bool dropped = array_.invalidate(setOf(vpn), keyOf(vpn, 0));
+        if (dropped)
+            ++purgedEntries;
+        return dropped ? 1 : 0;
+    }
+    // Conventional: one replica per ASID may exist; scan the set.
+    u64 dropped = 0;
+    std::vector<Key> victims;
+    array_.forEachInSet(setOf(vpn), [&](const Key &key, TlbEntry &) {
+        if (key.vpn == vpn.number())
+            victims.push_back(key);
+    });
+    for (const Key &key : victims)
+        dropped += array_.invalidate(setOf(vpn), key) ? 1 : 0;
+    purgedEntries += dropped;
+    return dropped;
+}
+
+bool
+Tlb::purgePageAsid(vm::Vpn vpn, DomainId asid)
+{
+    const bool dropped = array_.invalidate(setOf(vpn), keyOf(vpn, asid));
+    if (dropped)
+        ++purgedEntries;
+    return dropped;
+}
+
+PurgeResult
+Tlb::purgeAsid(DomainId asid)
+{
+    SASOS_ASSERT(config_.kind == TlbKind::Conventional,
+                 "purgeAsid on a ", toString(config_.kind), " TLB");
+    PurgeResult result = array_.invalidateIf(
+        [asid](const Key &key, const TlbEntry &) {
+            return key.asid == asid;
+        });
+    purgedEntries += result.invalidated;
+    return result;
+}
+
+PurgeResult
+Tlb::purgeRange(std::optional<DomainId> asid, vm::Vpn first, u64 pages)
+{
+    const u64 lo = first.number();
+    const u64 hi = lo + pages;
+    PurgeResult result = array_.invalidateIf(
+        [&](const Key &key, const TlbEntry &) {
+            if (asid && key.asid != *asid)
+                return false;
+            return key.vpn >= lo && key.vpn < hi;
+        });
+    purgedEntries += result.invalidated;
+    return result;
+}
+
+u64
+Tlb::purgeAll()
+{
+    const u64 dropped = array_.invalidateAll();
+    purgedEntries += dropped;
+    return dropped;
+}
+
+} // namespace sasos::hw

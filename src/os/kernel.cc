@@ -1,0 +1,338 @@
+#include "os/kernel.hh"
+
+#include "os/pager.hh"
+#include "sim/logging.hh"
+
+namespace sasos::os
+{
+
+Kernel::Kernel(VmState &state, ProtectionModel &model,
+               const CostModel &costs, CycleAccount &account,
+               stats::Group *parent)
+    : statsGroup(parent, "kernel"),
+      domainSwitches(&statsGroup, "domainSwitches",
+                     "protection domain switches"),
+      attaches(&statsGroup, "attaches", "segment attach operations"),
+      detaches(&statsGroup, "detaches", "segment detach operations"),
+      rightsChanges(&statsGroup, "rightsChanges",
+                    "protection manipulation operations"),
+      protectionFaults(&statsGroup, "protectionFaults",
+                       "protection faults taken"),
+      translationFaults(&statsGroup, "translationFaults",
+                        "translation faults taken"),
+      staleFaults(&statsGroup, "staleFaults",
+                  "faults caused by stale hardware state"),
+      serverUpcalls(&statsGroup, "serverUpcalls",
+                    "segment-server upcalls"),
+      exceptions(&statsGroup, "exceptions",
+                 "faults delivered as exceptions"),
+      demandMaps(&statsGroup, "demandMaps", "demand-zero page mappings"),
+      unmaps(&statsGroup, "unmaps", "pages unmapped"),
+      state_(state), model_(model), costs_(costs), account_(account)
+{
+}
+
+void
+Kernel::charge(CostCategory category, Cycles cycles)
+{
+    account_.charge(category, cycles);
+}
+
+void
+Kernel::chargeTrap()
+{
+    charge(CostCategory::Trap, costs_.kernelTrap);
+}
+
+DomainId
+Kernel::createDomain(std::string name)
+{
+    chargeTrap();
+    Domain &domain = state_.createDomain(std::move(name));
+    if (current_ == 0)
+        current_ = domain.id;
+    return domain.id;
+}
+
+void
+Kernel::destroyDomain(DomainId domain)
+{
+    chargeTrap();
+    SASOS_ASSERT(domain != current_, "destroying the running domain");
+    model_.onDomainDestroyed(domain);
+    state_.destroyDomain(domain);
+}
+
+void
+Kernel::switchTo(DomainId domain)
+{
+    if (domain == current_)
+        return;
+    ++domainSwitches;
+    charge(CostCategory::DomainSwitch, costs_.domainSwitchBase);
+    const DomainId from = current_;
+    current_ = domain;
+    model_.onDomainSwitch(from, domain);
+}
+
+vm::SegmentId
+Kernel::createSegment(std::string name, u64 pages, bool pow2_align)
+{
+    chargeTrap();
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    return state_.segments.create(std::move(name), pages, pow2_align);
+}
+
+void
+Kernel::destroySegment(vm::SegmentId seg)
+{
+    chargeTrap();
+    const vm::Segment *segment = state_.segments.find(seg);
+    if (segment == nullptr)
+        SASOS_FATAL("destroying unknown segment ", seg);
+    // Unmap any mapped pages (flushing caches and purging TLBs).
+    for (u64 i = 0; i < segment->pages; ++i) {
+        const vm::Vpn vpn(segment->firstPage.number() + i);
+        if (state_.pageTable.isMapped(vpn))
+            unmapPage(vpn);
+        onDisk_.erase(vpn);
+        state_.clearPageMask(vpn);
+    }
+    // Detach every domain still attached.
+    const std::set<DomainId> attached = state_.attachedDomains(seg);
+    for (DomainId d : attached) {
+        Domain &domain = state_.domain(d);
+        domain.prot.detachSegment(*segment);
+        state_.noteDetached(d, seg);
+    }
+    state_.forgetOverridesIn(segment->firstPage, segment->pages,
+                             std::nullopt);
+    model_.onSegmentDestroyed(*segment);
+    servers_.erase(seg);
+    state_.segments.destroy(seg);
+}
+
+void
+Kernel::attach(DomainId domain, vm::SegmentId seg, vm::Access rights)
+{
+    chargeTrap();
+    ++attaches;
+    const vm::Segment *segment = state_.segments.find(seg);
+    if (segment == nullptr)
+        SASOS_FATAL("attaching unknown segment ", seg);
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    Domain &d = state_.domain(domain);
+    if (d.prot.isAttached(seg)) {
+        // Re-attach: semantically a grant replacement. The hardware
+        // may hold entries with the old rights, so this takes the
+        // (costlier) segment-rights-change path, not the O(1) attach.
+        d.prot.setSegmentRights(seg, rights);
+        model_.onSetSegmentRights(domain, *segment, rights);
+        return;
+    }
+    d.prot.attachSegment(seg, rights);
+    state_.noteAttached(domain, seg);
+    model_.onAttach(domain, *segment, rights);
+}
+
+void
+Kernel::detach(DomainId domain, vm::SegmentId seg)
+{
+    chargeTrap();
+    ++detaches;
+    const vm::Segment *segment = state_.segments.find(seg);
+    if (segment == nullptr)
+        SASOS_FATAL("detaching unknown segment ", seg);
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.domain(domain).prot.detachSegment(*segment);
+    state_.noteDetached(domain, seg);
+    // The model sees the override index before it is pruned, so pages
+    // whose only override belonged to this domain still regroup.
+    model_.onDetach(domain, *segment);
+    state_.forgetOverridesIn(segment->firstPage, segment->pages, domain);
+}
+
+void
+Kernel::setSegmentServer(vm::SegmentId seg, SegmentServer *server)
+{
+    if (server == nullptr)
+        servers_.erase(seg);
+    else
+        servers_[seg] = server;
+}
+
+void
+Kernel::setPageRights(DomainId domain, vm::Vpn vpn, vm::Access rights)
+{
+    ++rightsChanges;
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.domain(domain).prot.setPageRights(vpn, rights);
+    state_.notePageOverride(domain, vpn);
+    model_.onSetPageRights(domain, vpn, rights);
+}
+
+void
+Kernel::clearPageRights(DomainId domain, vm::Vpn vpn)
+{
+    ++rightsChanges;
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    Domain &d = state_.domain(domain);
+    d.prot.clearPageRights(vpn);
+    state_.notePageOverrideCleared(domain, vpn);
+    // The hardware hears the post-clear canonical rights.
+    model_.onSetPageRights(domain, vpn,
+                           state_.effectiveRights(domain, vpn));
+}
+
+void
+Kernel::restrictPage(vm::Vpn vpn, vm::Access mask, DomainId exempt)
+{
+    ++rightsChanges;
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.setPageMask(vpn, mask, exempt);
+    model_.onSetPageRightsAllDomains(vpn, mask);
+}
+
+void
+Kernel::unrestrictPage(vm::Vpn vpn)
+{
+    ++rightsChanges;
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.clearPageMask(vpn);
+    model_.onClearPageRightsAllDomains(vpn);
+}
+
+void
+Kernel::setSegmentRights(DomainId domain, vm::SegmentId seg,
+                         vm::Access rights)
+{
+    ++rightsChanges;
+    const vm::Segment *segment = state_.segments.find(seg);
+    if (segment == nullptr)
+        SASOS_FATAL("segment rights on unknown segment ", seg);
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.domain(domain).prot.setSegmentRights(seg, rights);
+    model_.onSetSegmentRights(domain, *segment, rights);
+}
+
+bool
+Kernel::isMapped(vm::Vpn vpn) const
+{
+    return state_.pageTable.isMapped(vpn);
+}
+
+void
+Kernel::mapPage(vm::Vpn vpn)
+{
+    auto frame = state_.frameAllocator.allocate();
+    if (!frame) {
+        SASOS_ASSERT(pager_ != nullptr,
+                     "out of physical memory with no pager");
+        pager_->evictOne();
+        frame = state_.frameAllocator.allocate();
+        SASOS_ASSERT(frame, "pager failed to free a frame");
+    }
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.pageTable.map(vpn, *frame);
+    model_.onPageMapped(vpn, *frame);
+}
+
+void
+Kernel::unmapPage(vm::Vpn vpn)
+{
+    const vm::Translation *translation = state_.pageTable.lookup(vpn);
+    SASOS_ASSERT(translation != nullptr, "unmapping unmapped page ",
+                 vpn.number());
+    ++unmaps;
+    const vm::Pfn pfn = translation->pfn;
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    model_.onPageUnmapped(vpn, pfn);
+    state_.pageTable.unmap(vpn);
+    state_.frameAllocator.free(pfn);
+}
+
+void
+Kernel::markOnDisk(vm::Vpn vpn)
+{
+    onDisk_.insert(vpn);
+}
+
+void
+Kernel::clearOnDisk(vm::Vpn vpn)
+{
+    onDisk_.erase(vpn);
+}
+
+bool
+Kernel::isOnDisk(vm::Vpn vpn) const
+{
+    return onDisk_.count(vpn) != 0;
+}
+
+bool
+Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
+                              vm::AccessType type)
+{
+    ++protectionFaults;
+    chargeTrap();
+    const vm::Vpn vpn = vm::pageOf(va);
+    const vm::Access canonical = state_.effectiveRights(domain, vpn);
+    if (vm::includes(canonical, vm::requiredRight(type))) {
+        // The kernel's tables grant the access; the hardware state
+        // was stale (e.g. a page-group assignment must follow the
+        // faulting domain). Repair and retry.
+        ++staleFaults;
+        if (model_.refreshAfterFault(domain, vpn))
+            return true;
+        ++exceptions;
+        return false;
+    }
+    // Reflect to the segment's server, if any.
+    const vm::Segment *segment = state_.segments.findByPage(vpn);
+    if (segment != nullptr) {
+        auto it = servers_.find(segment->id);
+        if (it != servers_.end()) {
+            ++serverUpcalls;
+            charge(CostCategory::Upcall, costs_.serverUpcall);
+            if (it->second->onProtectionFault(*this, domain, va, type))
+                return true;
+        }
+    }
+    ++exceptions;
+    return false;
+}
+
+bool
+Kernel::handleTranslationFault(DomainId domain, vm::VAddr va,
+                               vm::AccessType type)
+{
+    (void)domain;
+    (void)type;
+    ++translationFaults;
+    chargeTrap();
+    const vm::Vpn vpn = vm::pageOf(va);
+    SASOS_ASSERT(!state_.pageTable.isMapped(vpn),
+                 "translation fault on mapped page");
+    const vm::Segment *segment = state_.segments.findByPage(vpn);
+    if (segment == nullptr) {
+        // Reference outside any segment: deliver an exception.
+        ++exceptions;
+        return false;
+    }
+    if (isOnDisk(vpn)) {
+        SASOS_ASSERT(pager_ != nullptr, "on-disk page with no pager");
+        pager_->pageIn(vpn);
+        return true;
+    }
+    ++demandMaps;
+    mapPage(vpn);
+    return true;
+}
+
+vm::Access
+Kernel::canonicalRights(DomainId domain, vm::Vpn vpn) const
+{
+    return state_.effectiveRights(domain, vpn);
+}
+
+} // namespace sasos::os

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The single address space kernel model (Opal-like).
+ *
+ * The kernel owns the canonical protection and translation state
+ * (VmState) and drives exactly one ProtectionModel: every public
+ * operation updates the canonical tables, charges its trap and
+ * software costs, and invokes the model's maintenance hooks so the
+ * hardware structures track the change. Protection faults are
+ * reflected to user-level segment servers; translation faults are
+ * satisfied by demand-zero mapping or by the paging server.
+ *
+ * Public operations model system calls (they charge a kernel trap);
+ * servers running inside a fault handler use the do*() forms exposed
+ * through handler context to avoid double-charging.
+ */
+
+#ifndef SASOS_OS_KERNEL_HH
+#define SASOS_OS_KERNEL_HH
+
+#include <set>
+#include <unordered_map>
+
+#include "os/protection_model.hh"
+#include "os/segment_server.hh"
+#include "os/vm_state.hh"
+#include "sim/cost_model.hh"
+#include "sim/cycle_account.hh"
+#include "sim/stats.hh"
+
+namespace sasos::os
+{
+
+class Pager;
+
+/** The kernel: canonical state plus one protection model. */
+class Kernel
+{
+  public:
+    Kernel(VmState &state, ProtectionModel &model, const CostModel &costs,
+           CycleAccount &account, stats::Group *parent);
+
+    /** @name Protection domains */
+    /// @{
+    DomainId createDomain(std::string name);
+    void destroyDomain(DomainId domain);
+    DomainId currentDomain() const { return current_; }
+    /** Switch the processor to another domain (RPC, scheduling). */
+    void switchTo(DomainId domain);
+    /// @}
+
+    /** @name Virtual segments */
+    /// @{
+    vm::SegmentId createSegment(std::string name, u64 pages,
+                                bool pow2_align = true);
+    void destroySegment(vm::SegmentId seg);
+    /** Grant a domain segment-level rights (Table 1: Attach). */
+    void attach(DomainId domain, vm::SegmentId seg, vm::Access rights);
+    /** Revoke a domain's grant (Table 1: Detach). */
+    void detach(DomainId domain, vm::SegmentId seg);
+    /** Register the user-level server for a segment's faults. */
+    void setSegmentServer(vm::SegmentId seg, SegmentServer *server);
+    /// @}
+
+    /** @name Rights manipulation (Table 1 applications) */
+    /// @{
+    /** Set one domain's rights to one page (page override). */
+    void setPageRights(DomainId domain, vm::Vpn vpn, vm::Access rights);
+    /** Drop the override; the segment grant applies again. */
+    void clearPageRights(DomainId domain, vm::Vpn vpn);
+    /** Restrict every domain to at most `mask` on a page (the
+     * paging-operation exclusion; `exempt` bypasses, e.g. the paging
+     * server). */
+    void restrictPage(vm::Vpn vpn, vm::Access mask, DomainId exempt = 0);
+    /** Lift the restriction. */
+    void unrestrictPage(vm::Vpn vpn);
+    /** Replace a domain's segment-level grant. */
+    void setSegmentRights(DomainId domain, vm::SegmentId seg,
+                          vm::Access rights);
+    /// @}
+
+    /** @name Mapping and paging */
+    /// @{
+    bool isMapped(vm::Vpn vpn) const;
+    /** Allocate a frame and install the unique translation. */
+    void mapPage(vm::Vpn vpn);
+    /** Remove translation: purge TLBs, flush caches, free the frame. */
+    void unmapPage(vm::Vpn vpn);
+    void markOnDisk(vm::Vpn vpn);
+    void clearOnDisk(vm::Vpn vpn);
+    bool isOnDisk(vm::Vpn vpn) const;
+    /** Register the paging server used for on-disk pages and frame
+     * pressure. */
+    void setPager(Pager *pager) { pager_ = pager; }
+    Pager *pager() const { return pager_; }
+    /// @}
+
+    /** @name Fault handling (called by the machine's access loop) */
+    /// @{
+    /**
+     * Hardware denied a reference. Repairs stale hardware state, or
+     * upcalls the segment server. @return true to retry.
+     */
+    bool handleProtectionFault(DomainId domain, vm::VAddr va,
+                               vm::AccessType type);
+    /**
+     * No translation for the page. Demand-zero maps or pages in.
+     * @return true to retry.
+     */
+    bool handleTranslationFault(DomainId domain, vm::VAddr va,
+                                vm::AccessType type);
+    /// @}
+
+    /** Canonical (software-truth) rights of a domain on a page. */
+    vm::Access canonicalRights(DomainId domain, vm::Vpn vpn) const;
+
+    /** Charge cycles to the simulation account. */
+    void charge(CostCategory category, Cycles cycles);
+
+    VmState &state() { return state_; }
+    const VmState &state() const { return state_; }
+    ProtectionModel &model() { return model_; }
+    const CostModel &costs() const { return costs_; }
+    CycleAccount &account() { return account_; }
+
+    /** @name Statistics */
+    /// @{
+    stats::Group statsGroup;
+    stats::Scalar domainSwitches;
+    stats::Scalar attaches;
+    stats::Scalar detaches;
+    stats::Scalar rightsChanges;
+    stats::Scalar protectionFaults;
+    stats::Scalar translationFaults;
+    stats::Scalar staleFaults;
+    stats::Scalar serverUpcalls;
+    stats::Scalar exceptions;
+    stats::Scalar demandMaps;
+    stats::Scalar unmaps;
+    /// @}
+
+  private:
+    void chargeTrap();
+
+    VmState &state_;
+    ProtectionModel &model_;
+    const CostModel &costs_;
+    CycleAccount &account_;
+
+    DomainId current_ = 0;
+    std::unordered_map<vm::SegmentId, SegmentServer *> servers_;
+    std::set<vm::Vpn> onDisk_;
+    Pager *pager_ = nullptr;
+};
+
+} // namespace sasos::os
+
+#endif // SASOS_OS_KERNEL_HH

@@ -1,0 +1,8 @@
+#include "os/protection_model.hh"
+
+namespace sasos::os
+{
+
+ProtectionModel::~ProtectionModel() = default;
+
+} // namespace sasos::os

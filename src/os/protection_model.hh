@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The hardware/OS protection contract.
+ *
+ * A ProtectionModel is the hardware side of one of the paper's
+ * protection organizations (domain-page / page-group / conventional).
+ * The kernel keeps the canonical protection state -- per-domain
+ * protection tables over segments and pages -- and calls the model's
+ * maintenance hooks whenever that state changes; the model updates
+ * whatever caching structures it owns (PLB, TLBs, page-group cache)
+ * and charges the cycles those manipulations cost. The reference path
+ * (access()) performs the model's hardware checks, resolving its own
+ * structure misses, and reports faults for the kernel to handle.
+ *
+ * Table 1 of the paper is precisely the difference between the
+ * implementations of these hooks across models.
+ */
+
+#ifndef SASOS_OS_PROTECTION_MODEL_HH
+#define SASOS_OS_PROTECTION_MODEL_HH
+
+#include "hw/tlb.hh" // DomainId, GroupId
+#include "vm/address.hh"
+#include "vm/rights.hh"
+#include "vm/segment.hh"
+
+namespace sasos::os
+{
+
+using hw::DomainId;
+using hw::GroupId;
+
+/** Why a reference could not complete in hardware. */
+enum class FaultKind : u8
+{
+    None,
+    /** Rights insufficient per the hardware's (refilled) state. */
+    Protection,
+    /** No translation exists for the page. */
+    Translation,
+};
+
+/** Outcome of one reference through the model's hardware. */
+struct AccessResult
+{
+    /** The reference completed. */
+    bool completed = false;
+    FaultKind fault = FaultKind::None;
+};
+
+/** Abstract protection architecture. */
+class ProtectionModel
+{
+  public:
+    virtual ~ProtectionModel();
+
+    virtual const char *name() const = 0;
+
+    /**
+     * Issue one reference from a domain. The model resolves its own
+     * structure misses (charging refill costs) and either completes
+     * the reference or reports a fault. It must never complete a
+     * reference whose required right the kernel has not granted.
+     */
+    virtual AccessResult access(DomainId domain, vm::VAddr va,
+                                vm::AccessType type) = 0;
+
+    /** @name Kernel-driven maintenance hooks
+     * Called *after* the kernel has updated the canonical protection
+     * state, so models may re-derive hardware state from it.
+     */
+    /// @{
+    virtual void onAttach(DomainId domain, const vm::Segment &seg,
+                          vm::Access rights) = 0;
+    virtual void onDetach(DomainId domain, const vm::Segment &seg) = 0;
+    virtual void onSetPageRights(DomainId domain, vm::Vpn vpn,
+                                 vm::Access rights) = 0;
+    /** A global mask now limits every domain to `rights` on the page
+     * (rights == None during paging operations). */
+    virtual void onSetPageRightsAllDomains(vm::Vpn vpn,
+                                           vm::Access rights) = 0;
+    /** The global mask was lifted; per-domain rights are canonical
+     * again (models may purge and refill lazily). */
+    virtual void onClearPageRightsAllDomains(vm::Vpn vpn) = 0;
+    virtual void onSetSegmentRights(DomainId domain, const vm::Segment &seg,
+                                    vm::Access rights) = 0;
+    virtual void onDomainSwitch(DomainId from, DomainId to) = 0;
+    virtual void onPageMapped(vm::Vpn vpn, vm::Pfn pfn) = 0;
+    /** Purge translations and flush cached lines for an unmapped page. */
+    virtual void onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn) = 0;
+    virtual void onDomainDestroyed(DomainId domain) = 0;
+    virtual void onSegmentDestroyed(const vm::Segment &seg) = 0;
+    /// @}
+
+    /**
+     * Called when a reference protection-faulted but the canonical
+     * state grants the right: hardware protection state was stale
+     * (e.g. the page-group model must regroup a page toward the
+     * faulting domain's view). The model repairs its structures and
+     * returns true if retrying can succeed.
+     */
+    virtual bool refreshAfterFault(DomainId domain, vm::Vpn vpn) = 0;
+
+    /**
+     * The model-semantic oracle: the rights the hardware *would*
+     * grant this domain on this page once all structures are warm.
+     * Used by tests to check the safety invariant against the
+     * kernel's canonical tables.
+     */
+    virtual vm::Access effectiveRights(DomainId domain, vm::Vpn vpn) = 0;
+};
+
+} // namespace sasos::os
+
+#endif // SASOS_OS_PROTECTION_MODEL_HH

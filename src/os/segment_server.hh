@@ -1,0 +1,43 @@
+/**
+ * @file
+ * User-level segment servers.
+ *
+ * Opal lets the semantics and protection of a segment be controlled
+ * by a user-level server; the kernel reflects protection faults on
+ * the segment's pages up to it (paper Section 6: "support for
+ * user-level segment servers which control the semantics and the
+ * protection for each segment"). All the Table 1 applications --
+ * concurrent GC, distributed VM, transactional VM, checkpointing --
+ * are implemented as segment servers in this library.
+ */
+
+#ifndef SASOS_OS_SEGMENT_SERVER_HH
+#define SASOS_OS_SEGMENT_SERVER_HH
+
+#include "os/protection_model.hh"
+
+namespace sasos::os
+{
+
+class Kernel;
+
+/** Receives protection-fault upcalls for one or more segments. */
+class SegmentServer
+{
+  public:
+    virtual ~SegmentServer() = default;
+
+    /**
+     * A domain faulted on a page of a served segment.
+     * The server may change protections through the kernel (e.g.
+     * grant the right after servicing the fault).
+     * @return true to retry the faulting access, false to deliver an
+     *         exception to the faulting domain.
+     */
+    virtual bool onProtectionFault(Kernel &kernel, DomainId domain,
+                                   vm::VAddr va, vm::AccessType type) = 0;
+};
+
+} // namespace sasos::os
+
+#endif // SASOS_OS_SEGMENT_SERVER_HH

@@ -1,0 +1,212 @@
+#include "os/vm_state.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::os
+{
+
+VmState::VmState(u64 frames) : frameAllocator(frames) {}
+
+Domain &
+VmState::createDomain(std::string name)
+{
+    const DomainId id = nextDomainId_++;
+    SASOS_ASSERT(id != 0, "domain id space exhausted");
+    Domain &domain = domains_[id];
+    domain.id = id;
+    domain.name = std::move(name);
+    return domain;
+}
+
+void
+VmState::destroyDomain(DomainId id)
+{
+    auto it = domains_.find(id);
+    SASOS_ASSERT(it != domains_.end(), "destroying unknown domain ", id);
+    // Remove from reverse indexes.
+    for (auto &[seg, members] : attached_)
+        members.erase(id);
+    for (auto &[vpn, holders] : overrides_)
+        holders.erase(id);
+    domains_.erase(it);
+}
+
+Domain *
+VmState::findDomain(DomainId id)
+{
+    auto it = domains_.find(id);
+    return it == domains_.end() ? nullptr : &it->second;
+}
+
+const Domain *
+VmState::findDomain(DomainId id) const
+{
+    auto it = domains_.find(id);
+    return it == domains_.end() ? nullptr : &it->second;
+}
+
+Domain &
+VmState::domain(DomainId id)
+{
+    Domain *d = findDomain(id);
+    if (d == nullptr)
+        SASOS_FATAL("unknown domain ", id);
+    return *d;
+}
+
+void
+VmState::noteAttached(DomainId domain, vm::SegmentId seg)
+{
+    attached_[seg].insert(domain);
+}
+
+void
+VmState::noteDetached(DomainId domain, vm::SegmentId seg)
+{
+    auto it = attached_.find(seg);
+    if (it != attached_.end()) {
+        it->second.erase(domain);
+        if (it->second.empty())
+            attached_.erase(it);
+    }
+}
+
+void
+VmState::notePageOverride(DomainId domain, vm::Vpn vpn)
+{
+    overrides_[vpn].insert(domain);
+}
+
+void
+VmState::notePageOverrideCleared(DomainId domain, vm::Vpn vpn)
+{
+    auto it = overrides_.find(vpn);
+    if (it != overrides_.end()) {
+        it->second.erase(domain);
+        if (it->second.empty())
+            overrides_.erase(it);
+    }
+}
+
+const std::set<DomainId> &
+VmState::attachedDomains(vm::SegmentId seg) const
+{
+    auto it = attached_.find(seg);
+    return it == attached_.end() ? empty_ : it->second;
+}
+
+const std::set<DomainId> &
+VmState::overrideDomains(vm::Vpn vpn) const
+{
+    auto it = overrides_.find(vpn);
+    return it == overrides_.end() ? empty_ : it->second;
+}
+
+void
+VmState::forgetOverridesIn(vm::Vpn first, u64 pages,
+                           std::optional<DomainId> domain)
+{
+    const vm::Vpn last(first.number() + pages - 1);
+    auto it = overrides_.lower_bound(first);
+    while (it != overrides_.end() && it->first <= last) {
+        if (domain)
+            it->second.erase(*domain);
+        else
+            it->second.clear();
+        if (it->second.empty())
+            it = overrides_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+VmState::setPageMask(vm::Vpn vpn, vm::Access mask, DomainId exempt)
+{
+    masks_[vpn] = Mask{mask, exempt};
+}
+
+void
+VmState::clearPageMask(vm::Vpn vpn)
+{
+    masks_.erase(vpn);
+}
+
+vm::Access
+VmState::pageMask(vm::Vpn vpn, DomainId domain) const
+{
+    auto it = masks_.find(vpn);
+    if (it == masks_.end())
+        return vm::Access::All;
+    if (domain != 0 && domain == it->second.exempt)
+        return vm::Access::All;
+    return it->second.mask;
+}
+
+bool
+VmState::hasPageMask(vm::Vpn vpn) const
+{
+    return masks_.count(vpn) != 0;
+}
+
+RightsVector
+VmState::rightsVector(vm::Vpn vpn) const
+{
+    RightsVector vector;
+    const vm::Segment *seg = segments.findByPage(vpn);
+    // Audience: domains attached to the containing segment plus any
+    // domain holding a page override (overrides can outlive grants).
+    std::set<DomainId> audience = overrideDomains(vpn);
+    if (seg != nullptr) {
+        const std::set<DomainId> &att = attachedDomains(seg->id);
+        audience.insert(att.begin(), att.end());
+    }
+    for (DomainId id : audience) {
+        const vm::Access rights = effectiveRights(id, vpn);
+        if (rights != vm::Access::None)
+            vector.emplace_back(id, rights);
+    }
+    return vector;
+}
+
+RightsVector
+VmState::segmentDefaultVector(vm::SegmentId seg) const
+{
+    RightsVector vector;
+    for (DomainId id : attachedDomains(seg)) {
+        const Domain *d = findDomain(id);
+        if (d == nullptr)
+            continue;
+        const vm::Access rights = d->prot.segmentRights(seg);
+        if (rights != vm::Access::None)
+            vector.emplace_back(id, rights);
+    }
+    return vector;
+}
+
+vm::Access
+VmState::effectiveRights(DomainId domain, vm::Vpn vpn) const
+{
+    const Domain *d = findDomain(domain);
+    if (d == nullptr)
+        return vm::Access::None;
+    return d->prot.effectiveRights(vpn, segments) & pageMask(vpn, domain);
+}
+
+std::vector<vm::Vpn>
+VmState::pagesWithStateIn(vm::Vpn first, u64 pages) const
+{
+    const vm::Vpn last(first.number() + pages - 1);
+    std::set<vm::Vpn> result;
+    for (auto it = overrides_.lower_bound(first);
+         it != overrides_.end() && it->first <= last; ++it) {
+        result.insert(it->first);
+    }
+    for (auto it = masks_.lower_bound(first);
+         it != masks_.end() && it->first <= last; ++it) {
+        result.insert(it->first);
+    }
+    return {result.begin(), result.end()};
+}
+
+} // namespace sasos::os

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The kernel's canonical virtual memory state.
+ *
+ * This is the software truth from which every protection model
+ * derives its hardware state: the global segment table, the single
+ * global page table, physical memory, and one protection domain
+ * record (with its protection table) per domain. Reverse indexes
+ * (segment -> attached domains, page -> domains with overrides) let
+ * the page-group model compute a page's rights vector without
+ * scanning every domain.
+ */
+
+#ifndef SASOS_OS_VM_STATE_HH
+#define SASOS_OS_VM_STATE_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hw/tlb.hh" // DomainId
+#include "vm/page_table.hh"
+#include "vm/phys_mem.hh"
+#include "vm/prot_table.hh"
+#include "vm/segment.hh"
+
+namespace sasos::os
+{
+
+using hw::DomainId;
+
+/** One protection domain: a set of access rights to the global space. */
+struct Domain
+{
+    DomainId id = 0;
+    std::string name;
+    /** Canonical per-domain rights (segment grants + page overrides). */
+    vm::ProtectionTable prot;
+};
+
+/**
+ * A page's canonical rights vector: which domains can access it and
+ * how. Ordered so it can serve as a group-equivalence key.
+ */
+using RightsVector = std::vector<std::pair<DomainId, vm::Access>>;
+
+/** Canonical VM state shared by the kernel and the models. */
+class VmState
+{
+  public:
+    explicit VmState(u64 frames);
+
+    /** @name Core tables */
+    /// @{
+    vm::SegmentTable segments;
+    vm::GlobalPageTable pageTable;
+    vm::FrameAllocator frameAllocator;
+    /// @}
+
+    /** @name Domains */
+    /// @{
+    Domain &createDomain(std::string name);
+    void destroyDomain(DomainId id);
+    Domain *findDomain(DomainId id);
+    const Domain *findDomain(DomainId id) const;
+    Domain &domain(DomainId id); // fatal if unknown
+    const std::map<DomainId, Domain> &domains() const { return domains_; }
+    /// @}
+
+    /** @name Reverse indexes (maintained by the kernel) */
+    /// @{
+    void noteAttached(DomainId domain, vm::SegmentId seg);
+    void noteDetached(DomainId domain, vm::SegmentId seg);
+    void notePageOverride(DomainId domain, vm::Vpn vpn);
+    void notePageOverrideCleared(DomainId domain, vm::Vpn vpn);
+
+    /** Domains currently attached to a segment. */
+    const std::set<DomainId> &attachedDomains(vm::SegmentId seg) const;
+
+    /** Domains holding a page-level override on a page. */
+    const std::set<DomainId> &overrideDomains(vm::Vpn vpn) const;
+
+    /** Drop override-index records for a page range (one domain, or
+     * all when nullopt). Called when overrides are bulk-cleared by
+     * detach or segment destruction. */
+    void forgetOverridesIn(vm::Vpn first, u64 pages,
+                           std::optional<DomainId> domain);
+    /// @}
+
+    /** @name Per-page global mask
+     * A second protection layer intersected with every domain's
+     * rights, used to exclude all applications from a page during
+     * paging operations (Section 4.1.3). The `exempt` domain (the
+     * paging server) bypasses the mask.
+     */
+    /// @{
+    void setPageMask(vm::Vpn vpn, vm::Access mask, DomainId exempt = 0);
+    void clearPageMask(vm::Vpn vpn);
+    vm::Access pageMask(vm::Vpn vpn, DomainId domain) const;
+    bool hasPageMask(vm::Vpn vpn) const;
+    /// @}
+
+    /**
+     * The canonical rights vector of a page: every domain with
+     * nonzero effective rights (mask applied), sorted by domain id.
+     * This is what the page-group model's grouping is derived from.
+     */
+    RightsVector rightsVector(vm::Vpn vpn) const;
+
+    /**
+     * The rights vector a segment's unmodified pages share: the
+     * attach grants, with no page overrides and no mask.
+     */
+    RightsVector segmentDefaultVector(vm::SegmentId seg) const;
+
+    /** Canonical effective rights of one domain on one page. */
+    vm::Access effectiveRights(DomainId domain, vm::Vpn vpn) const;
+
+    /** Pages in [first, first+pages) holding any per-page state
+     * (override or mask); used for segment-wide regrouping. */
+    std::vector<vm::Vpn> pagesWithStateIn(vm::Vpn first, u64 pages) const;
+
+  private:
+    struct Mask
+    {
+        vm::Access mask = vm::Access::All;
+        DomainId exempt = 0;
+    };
+
+    DomainId nextDomainId_ = 1;
+    std::map<DomainId, Domain> domains_;
+    std::map<vm::SegmentId, std::set<DomainId>> attached_;
+    std::map<vm::Vpn, std::set<DomainId>> overrides_;
+    std::map<vm::Vpn, Mask> masks_;
+    std::set<DomainId> empty_;
+};
+
+} // namespace sasos::os
+
+#endif // SASOS_OS_VM_STATE_HH

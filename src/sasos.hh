@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Umbrella header for the sasos library.
+ *
+ * Reproduction of "Architectural Support for Single Address Space
+ * Operating Systems" (Koldinger, Chase, Eggers; ASPLOS 1992): the
+ * protection lookaside buffer (domain-page model), the PA-RISC
+ * page-group model, and a conventional ASID baseline, on top of an
+ * Opal-like single address space kernel.
+ */
+
+#ifndef SASOS_SASOS_HH
+#define SASOS_SASOS_HH
+
+#include "core/system.hh"
+#include "core/system_config.hh"
+#include "hw/tag_sizing.hh"
+#include "os/pager.hh"
+#include "os/segment_server.hh"
+#include "sim/options.hh"
+#include "sim/table.hh"
+
+#endif // SASOS_SASOS_HH

@@ -1,0 +1,74 @@
+#include "sim/cost_model.hh"
+
+namespace sasos
+{
+
+CostModel::CostModel() = default;
+
+const std::vector<CostModel::Binding> &
+CostModel::bindings()
+{
+    static const std::vector<Binding> table = {
+        {"l1Hit", &CostModel::l1Hit},
+        {"l2Hit", &CostModel::l2Hit},
+        {"memory", &CostModel::memory},
+        {"writeback", &CostModel::writeback},
+        {"cacheFlushLine", &CostModel::cacheFlushLine},
+        {"tlbLookup", &CostModel::tlbLookup},
+        {"offChipTlb", &CostModel::offChipTlb},
+        {"tlbRefill", &CostModel::tlbRefill},
+        {"plbRefill", &CostModel::plbRefill},
+        {"pgCacheRefill", &CostModel::pgCacheRefill},
+        {"purgeScanEntry", &CostModel::purgeScanEntry},
+        {"invalidateEntry", &CostModel::invalidateEntry},
+        {"pgCacheLoadEntry", &CostModel::pgCacheLoadEntry},
+        {"registerWrite", &CostModel::registerWrite},
+        {"kernelTrap", &CostModel::kernelTrap},
+        {"serverUpcall", &CostModel::serverUpcall},
+        {"domainSwitchBase", &CostModel::domainSwitchBase},
+        {"interProcessorInterrupt", &CostModel::interProcessorInterrupt},
+        {"tableUpdate", &CostModel::tableUpdate},
+        {"diskAccess", &CostModel::diskAccess},
+        {"pageCopy", &CostModel::pageCopy},
+        {"compressPage", &CostModel::compressPage},
+        {"decompressPage", &CostModel::decompressPage},
+        {"networkRoundTrip", &CostModel::networkRoundTrip},
+    };
+    return table;
+}
+
+bool
+CostModel::set(const std::string &name, u64 cycles)
+{
+    for (const Binding &binding : bindings()) {
+        if (name == binding.name) {
+            this->*binding.member = Cycles(cycles);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+CostModel::get(const std::string &name, u64 &cycles) const
+{
+    for (const Binding &binding : bindings()) {
+        if (name == binding.name) {
+            cycles = (this->*binding.member).count();
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<std::string>
+CostModel::names() const
+{
+    std::vector<std::string> result;
+    result.reserve(bindings().size());
+    for (const Binding &binding : bindings())
+        result.emplace_back(binding.name);
+    return result;
+}
+
+} // namespace sasos

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The latency table mapping hardware and kernel events to cycles.
+ *
+ * The paper's comparisons are about *counts* of structure operations
+ * (register writes, purge scans, refills, traps); the cost model turns
+ * those counts into simulated cycles using auditable constants. Every
+ * constant can be overridden by name (see set()/Options), and the
+ * headline results hold across a wide range of constants because the
+ * compared quantities differ asymptotically.
+ *
+ * Defaults are loosely calibrated to an early-90s RISC with a software
+ * TLB miss handler (e.g. MIPS R4000 class), matching the paper's
+ * context.
+ */
+
+#ifndef SASOS_SIM_COST_MODEL_HH
+#define SASOS_SIM_COST_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sasos
+{
+
+/** Named, overridable latency constants (all in cycles). */
+class CostModel
+{
+  public:
+    CostModel();
+
+    /** @name Memory hierarchy */
+    /// @{
+    /** First-level cache hit (load-to-use). */
+    Cycles l1Hit{1};
+    /** Second-level cache hit, beyond the L1 time. */
+    Cycles l2Hit{12};
+    /** Main memory access, beyond the L2 time. */
+    Cycles memory{80};
+    /** Write back one dirty line to the next level. */
+    Cycles writeback{12};
+    /** Flush (and possibly write back) one cache line by instruction. */
+    Cycles cacheFlushLine{2};
+    /// @}
+
+    /** @name Translation and protection structures */
+    /// @{
+    /** On-chip TLB lookup overlapped with the cache access. */
+    Cycles tlbLookup{0};
+    /** Off-chip (second-level) TLB consulted on cache miss/writeback. */
+    Cycles offChipTlb{6};
+    /** Software TLB miss handler: walk tables, insert entry. */
+    Cycles tlbRefill{40};
+    /** Software PLB miss handler: protection-table lookup, insert. */
+    Cycles plbRefill{40};
+    /** Page-group cache refill from the domain's group list (kernel). */
+    Cycles pgCacheRefill{40};
+    /** Inspect one entry during a purge scan of a PLB/TLB. */
+    Cycles purgeScanEntry{1};
+    /** Invalidate one matched entry. */
+    Cycles invalidateEntry{1};
+    /** Load one page-group entry during an explicit reload. */
+    Cycles pgCacheLoadEntry{2};
+    /** Write a processor control register (e.g. the PD-ID register). */
+    Cycles registerWrite{1};
+    /// @}
+
+    /** @name Kernel operations */
+    /// @{
+    /** Trap into the kernel and return (protection fault, syscall). */
+    Cycles kernelTrap{200};
+    /** Upcall to a user-level segment server and back. */
+    Cycles serverUpcall{400};
+    /** Scheduler work on a protection domain switch, before any
+     * hardware-structure maintenance. */
+    Cycles domainSwitchBase{100};
+    /** Interrupt a remote processor for a shootdown (send + ack). */
+    Cycles interProcessorInterrupt{500};
+    /** Update one protection/page-table entry in kernel software. */
+    Cycles tableUpdate{10};
+    /// @}
+
+    /** @name I/O and bulk data */
+    /// @{
+    /** Disk access for one page (page-in/page-out). */
+    Cycles diskAccess{400000};
+    /** Copy one page of memory. */
+    Cycles pageCopy{1024};
+    /** Compress one page (compression paging). */
+    Cycles compressPage{8192};
+    /** Decompress one page. */
+    Cycles decompressPage{4096};
+    /** Remote-node round trip (distributed VM). */
+    Cycles networkRoundTrip{20000};
+    /// @}
+
+    /**
+     * Override a constant by name, e.g. set("kernelTrap", 500).
+     * @return false if the name is unknown.
+     */
+    bool set(const std::string &name, u64 cycles);
+
+    /** Read a constant by name. @return false if unknown. */
+    bool get(const std::string &name, u64 &cycles) const;
+
+    /** All known constant names, for help text. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Binding
+    {
+        const char *name;
+        Cycles CostModel::*member;
+    };
+
+    static const std::vector<Binding> &bindings();
+};
+
+} // namespace sasos
+
+#endif // SASOS_SIM_COST_MODEL_HH

@@ -1,0 +1,93 @@
+#include "sim/cycle_account.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos
+{
+
+const char *
+toString(CostCategory category)
+{
+    switch (category) {
+      case CostCategory::Reference:
+        return "reference";
+      case CostCategory::Refill:
+        return "refill";
+      case CostCategory::Trap:
+        return "trap";
+      case CostCategory::Upcall:
+        return "upcall";
+      case CostCategory::KernelWork:
+        return "kernelWork";
+      case CostCategory::DomainSwitch:
+        return "domainSwitch";
+      case CostCategory::Flush:
+        return "flush";
+      case CostCategory::Io:
+        return "io";
+      case CostCategory::NumCategories:
+        break;
+    }
+    return "?";
+}
+
+Cycles
+CycleAccount::total() const
+{
+    Cycles sum;
+    for (Cycles c : totals_)
+        sum += c;
+    return sum;
+}
+
+Cycles
+CycleAccount::totalExcludingIo() const
+{
+    Cycles sum;
+    for (unsigned i = 0; i < kCount; ++i) {
+        if (static_cast<CostCategory>(i) != CostCategory::Io)
+            sum += totals_[i];
+    }
+    return sum;
+}
+
+void
+CycleAccount::reset()
+{
+    totals_.fill(Cycles());
+}
+
+void
+CycleAccount::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (unsigned i = 0; i < kCount; ++i) {
+        if (totals_[i].count() == 0)
+            continue;
+        os << prefix << "cycles." << toString(static_cast<CostCategory>(i))
+           << " " << totals_[i].count() << "\n";
+    }
+    os << prefix << "cycles.total " << total().count() << "\n";
+}
+
+CycleAccount &
+CycleAccount::operator+=(const CycleAccount &other)
+{
+    for (unsigned i = 0; i < kCount; ++i)
+        totals_[i] += other.totals_[i];
+    return *this;
+}
+
+CycleAccount
+CycleAccount::since(const CycleAccount &snapshot) const
+{
+    CycleAccount diff;
+    for (unsigned i = 0; i < kCount; ++i) {
+        SASOS_ASSERT(totals_[i] >= snapshot.totals_[i],
+                     "snapshot is newer than this account");
+        diff.totals_[i] =
+            Cycles(totals_[i].count() - snapshot.totals_[i].count());
+    }
+    return diff;
+}
+
+} // namespace sasos

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Categorized cycle accounting.
+ *
+ * Every simulated cost is charged to one category so benches can
+ * decompose where time goes (reference stream vs refills vs kernel
+ * traps vs structure maintenance vs I/O), which is the level at which
+ * the paper's Table 1 comparisons are made.
+ */
+
+#ifndef SASOS_SIM_CYCLE_ACCOUNT_HH
+#define SASOS_SIM_CYCLE_ACCOUNT_HH
+
+#include <array>
+#include <ostream>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace sasos
+{
+
+/** Where a charge belongs. */
+enum class CostCategory : unsigned
+{
+    /** The user-level reference stream (cache/memory time). */
+    Reference,
+    /** Hardware-structure refills (TLB/PLB/page-group cache). */
+    Refill,
+    /** Kernel traps and returns. */
+    Trap,
+    /** Upcalls to user-level servers. */
+    Upcall,
+    /** Kernel software work (table updates, scans, purges). */
+    KernelWork,
+    /** Protection domain switches. */
+    DomainSwitch,
+    /** Cache flushes. */
+    Flush,
+    /** Disk, network and bulk-data time. */
+    Io,
+    NumCategories,
+};
+
+const char *toString(CostCategory category);
+
+/** A per-category accumulator of simulated cycles. */
+class CycleAccount
+{
+  public:
+    CycleAccount() = default;
+
+    void
+    charge(CostCategory category, Cycles cycles)
+    {
+        totals_[static_cast<unsigned>(category)] += cycles;
+    }
+
+    Cycles
+    byCategory(CostCategory category) const
+    {
+        return totals_[static_cast<unsigned>(category)];
+    }
+
+    Cycles total() const;
+
+    /** Total excluding I/O, often the interesting comparison. */
+    Cycles totalExcludingIo() const;
+
+    void reset();
+
+    /** One line per nonzero category. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    CycleAccount &operator+=(const CycleAccount &other);
+
+    /** Difference since a snapshot (other must be older). */
+    CycleAccount since(const CycleAccount &snapshot) const;
+
+  private:
+    static constexpr unsigned kCount =
+        static_cast<unsigned>(CostCategory::NumCategories);
+    std::array<Cycles, kCount> totals_{};
+};
+
+} // namespace sasos
+
+#endif // SASOS_SIM_CYCLE_ACCOUNT_HH

@@ -1,0 +1,40 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace sasos
+{
+namespace detail
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", message.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", message.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &message)
+{
+    std::fprintf(stderr, "warn: %s\n", message.c_str());
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::fprintf(stdout, "info: %s\n", message.c_str());
+}
+
+} // namespace detail
+} // namespace sasos

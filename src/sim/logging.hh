@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic split.
+ *
+ * panic() is for simulator bugs (conditions that should be impossible
+ * regardless of user input); fatal() is for user errors (bad
+ * configuration, invalid arguments). warn()/inform() report conditions
+ * without stopping the simulation.
+ */
+
+#ifndef SASOS_SIM_LOGGING_HH
+#define SASOS_SIM_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sasos
+{
+
+namespace detail
+{
+
+/** Compose a message from stream-style arguments. */
+template <typename... Args>
+std::string
+composeMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+void warnImpl(const std::string &message);
+void informImpl(const std::string &message);
+
+} // namespace detail
+
+/** Abort: an internal invariant was violated (simulator bug). */
+#define SASOS_PANIC(...) \
+    ::sasos::detail::panicImpl(__FILE__, __LINE__, \
+        ::sasos::detail::composeMessage(__VA_ARGS__))
+
+/** Exit: the user asked for something unsatisfiable. */
+#define SASOS_FATAL(...) \
+    ::sasos::detail::fatalImpl(__FILE__, __LINE__, \
+        ::sasos::detail::composeMessage(__VA_ARGS__))
+
+/** Panic unless the condition holds. */
+#define SASOS_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            SASOS_PANIC("assertion '" #cond "' failed: ", \
+                        ::sasos::detail::composeMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Report a suspicious but survivable condition. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::composeMessage(std::forward<Args>(args)...));
+}
+
+} // namespace sasos
+
+#endif // SASOS_SIM_LOGGING_HH

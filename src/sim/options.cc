@@ -1,0 +1,147 @@
+#include "sim/options.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/cost_model.hh"
+#include "sim/logging.hh"
+
+namespace sasos
+{
+
+namespace
+{
+
+/** True if arg looks like key=value with a plausible key. */
+bool
+splitKeyValue(const std::string &arg, std::string &key, std::string &value)
+{
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    key = arg.substr(0, eq);
+    for (char c : key) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '_' && c != '-') {
+            return false;
+        }
+    }
+    value = arg.substr(eq + 1);
+    return true;
+}
+
+} // namespace
+
+void
+Options::parseArgs(int &argc, char **argv)
+{
+    int out = 1;
+    for (int in = 1; in < argc; ++in) {
+        std::string arg = argv[in];
+        if (arg.rfind("--sasos-", 0) == 0)
+            arg = arg.substr(std::strlen("--sasos-"));
+        std::string key, value;
+        // Only swallow args that parse as key=value and do not look
+        // like a flag for another parser (e.g. --benchmark_filter=x).
+        if (arg.rfind("--", 0) != 0 && splitKeyValue(arg, key, value)) {
+            values_[key] = value;
+        } else {
+            argv[out++] = argv[in];
+        }
+    }
+    argc = out;
+}
+
+void
+Options::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Options::has(const std::string &key) const
+{
+    return values_.count(key) != 0;
+}
+
+u64
+Options::getU64(const std::string &key, u64 def) const
+{
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const u64 value = std::strtoull(it->second.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0')
+        SASOS_FATAL("option '", key, "': '", it->second, "' is not an int");
+    return value;
+}
+
+double
+Options::getDouble(const std::string &key, double def) const
+{
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == nullptr || *end != '\0')
+        SASOS_FATAL("option '", key, "': '", it->second, "' is not a number");
+    return value;
+}
+
+std::string
+Options::getString(const std::string &key, const std::string &def) const
+{
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+}
+
+bool
+Options::getBool(const std::string &key, bool def) const
+{
+    consumed_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return def;
+    const std::string &v = it->second;
+    if (v == "1" || v == "true" || v == "yes")
+        return true;
+    if (v == "0" || v == "false" || v == "no")
+        return false;
+    SASOS_FATAL("option '", key, "': '", v, "' is not a bool");
+}
+
+void
+Options::applyCostOverrides(CostModel &costs) const
+{
+    const std::string prefix = "cost.";
+    for (const auto &[key, value] : values_) {
+        if (key.rfind(prefix, 0) != 0)
+            continue;
+        consumed_.insert(key);
+        const std::string name = key.substr(prefix.size());
+        char *end = nullptr;
+        const u64 cycles = std::strtoull(value.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0')
+            SASOS_FATAL("cost override '", key, "': bad value '", value, "'");
+        if (!costs.set(name, cycles))
+            SASOS_FATAL("unknown cost constant '", name, "'");
+    }
+}
+
+std::vector<std::string>
+Options::unusedKeys() const
+{
+    std::vector<std::string> unused;
+    for (const auto &[key, value] : values_) {
+        if (!consumed_.count(key))
+            unused.push_back(key);
+    }
+    return unused;
+}
+
+} // namespace sasos

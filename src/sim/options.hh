@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal key=value option handling for benches and examples.
+ *
+ * Recognizes arguments of the form `--sasos-<key>=<value>` (or bare
+ * `<key>=<value>`), removes them from argv so that downstream parsers
+ * (e.g. google-benchmark) never see them, and exposes typed getters
+ * with defaults. Unrecognized keys are kept and reported so typos do
+ * not silently fall back to defaults.
+ */
+
+#ifndef SASOS_SIM_OPTIONS_HH
+#define SASOS_SIM_OPTIONS_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sasos
+{
+
+class CostModel;
+
+/** Parsed key=value options with typed access. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /**
+     * Extract sasos options from argv, compacting it in place.
+     * @param argc updated argument count.
+     * @param argv updated argument vector (entries are shuffled, not
+     *             freed).
+     */
+    void parseArgs(int &argc, char **argv);
+
+    /** Insert or replace a single key. */
+    void set(const std::string &key, const std::string &value);
+
+    bool has(const std::string &key) const;
+
+    /** Typed getters; record the key as consumed. */
+    u64 getU64(const std::string &key, u64 def) const;
+    double getDouble(const std::string &key, double def) const;
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Apply every `cost.<name>=<value>` option to a cost model.
+     * Unknown cost names are fatal (user error).
+     */
+    void applyCostOverrides(CostModel &costs) const;
+
+    /** Keys that were parsed but never consumed by a getter. */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    mutable std::set<std::string> consumed_;
+};
+
+} // namespace sasos
+
+#endif // SASOS_SIM_OPTIONS_HH

@@ -1,0 +1,153 @@
+#include "sim/stats.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace sasos::stats
+{
+
+Stat::Stat(Group *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    SASOS_ASSERT(parent != nullptr, "stat '", name_, "' needs a group");
+    parent->addStat(this);
+}
+
+void
+Scalar::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+Histogram::Histogram(Group *parent, std::string name, std::string desc,
+                     u64 bucket_width, std::size_t bucket_count)
+    : Stat(parent, std::move(name), std::move(desc)),
+      bucketWidth_(bucket_width), buckets_(bucket_count, 0)
+{
+    SASOS_ASSERT(bucket_width > 0, "zero bucket width");
+    SASOS_ASSERT(bucket_count > 0, "zero bucket count");
+}
+
+void
+Histogram::sample(u64 value)
+{
+    std::size_t index = value / bucketWidth_;
+    if (index < buckets_.size())
+        ++buckets_[index];
+    else
+        ++overflow_;
+    if (samples_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++samples_;
+    sum_ += value;
+}
+
+double
+Histogram::mean() const
+{
+    return samples_ ? static_cast<double>(sum_) / samples_ : 0.0;
+}
+
+void
+Histogram::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << ".samples " << samples_ << " # " << desc()
+       << "\n";
+    if (!samples_)
+        return;
+    os << prefix << name() << ".min " << min() << "\n";
+    os << prefix << name() << ".max " << max() << "\n";
+    os << prefix << name() << ".mean " << std::fixed << std::setprecision(2)
+       << mean() << "\n";
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        os << prefix << name() << ".bucket[" << i * bucketWidth_ << ","
+           << (i + 1) * bucketWidth_ << ") " << buckets_[i] << "\n";
+    }
+    if (overflow_)
+        os << prefix << name() << ".overflow " << overflow_ << "\n";
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+Formula::Formula(Group *parent, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : Stat(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
+{
+    SASOS_ASSERT(fn_ != nullptr, "formula '", this->name(), "' needs a body");
+}
+
+void
+Formula::dump(std::ostream &os, const std::string &prefix) const
+{
+    os << prefix << name() << " " << std::fixed << std::setprecision(4)
+       << fn_() << " # " << desc() << "\n";
+}
+
+Group::Group(std::string name) : name_(std::move(name)) {}
+
+Group::Group(Group *parent, std::string name) : name_(std::move(name))
+{
+    SASOS_ASSERT(parent != nullptr, "child group '", name_,
+                 "' needs a parent");
+    parent->addChild(this);
+}
+
+void
+Group::dump(std::ostream &os, const std::string &prefix) const
+{
+    const std::string my_prefix =
+        name_.empty() ? prefix : prefix + name_ + ".";
+    for (const Stat *stat : stats_)
+        stat->dump(os, my_prefix);
+    for (const Group *child : children_)
+        child->dump(os, my_prefix);
+}
+
+void
+Group::reset()
+{
+    for (Stat *stat : stats_)
+        stat->reset();
+    for (Group *child : children_)
+        child->reset();
+}
+
+const Scalar *
+Group::findScalar(const std::string &path) const
+{
+    auto dot = path.find('.');
+    if (dot == std::string::npos) {
+        for (const Stat *stat : stats_) {
+            if (stat->name() == path)
+                return dynamic_cast<const Scalar *>(stat);
+        }
+        return nullptr;
+    }
+    const std::string head = path.substr(0, dot);
+    const std::string tail = path.substr(dot + 1);
+    for (const Group *child : children_) {
+        if (child->name() == head)
+            return child->findScalar(tail);
+    }
+    return nullptr;
+}
+
+} // namespace sasos::stats

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Lightweight hierarchical statistics, in the spirit of gem5's stats
+ * package.
+ *
+ * Components own a Group; counters (Scalar), distributions (Histogram)
+ * and derived values (Formula) register themselves with their parent
+ * group on construction and are dumped recursively. Everything is
+ * deterministic and allocation happens only at construction time, so
+ * counters can be bumped on the simulator fast path.
+ */
+
+#ifndef SASOS_SIM_STATS_HH
+#define SASOS_SIM_STATS_HH
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sasos::stats
+{
+
+class Group;
+
+/** Common base for all statistics: a name and a description. */
+class Stat
+{
+  public:
+    Stat(Group *parent, std::string name, std::string desc);
+    virtual ~Stat() = default;
+
+    Stat(const Stat &) = delete;
+    Stat &operator=(const Stat &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Write one or more `name value # desc` lines. */
+    virtual void dump(std::ostream &os, const std::string &prefix) const = 0;
+
+    /** Reset to the post-construction state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A monotonically growing (or directly set) 64-bit counter. */
+class Scalar : public Stat
+{
+  public:
+    using Stat::Stat;
+
+    Scalar &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Scalar &
+    operator+=(u64 delta)
+    {
+        value_ += delta;
+        return *this;
+    }
+
+    void set(u64 value) { value_ = value; }
+    u64 value() const { return value_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override { value_ = 0; }
+
+  private:
+    u64 value_ = 0;
+};
+
+/**
+ * A fixed-bucket histogram over u64 samples.
+ *
+ * Buckets are [0,w), [w,2w), ...; samples beyond the last bucket are
+ * accumulated in an overflow bucket. Tracks min/max/mean as well.
+ */
+class Histogram : public Stat
+{
+  public:
+    Histogram(Group *parent, std::string name, std::string desc,
+              u64 bucket_width, std::size_t bucket_count);
+
+    void sample(u64 value);
+
+    u64 samples() const { return samples_; }
+    u64 min() const { return samples_ ? min_ : 0; }
+    u64 max() const { return max_; }
+    double mean() const;
+    u64 bucket(std::size_t i) const { return buckets_.at(i); }
+    u64 overflow() const { return overflow_; }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override;
+
+  private:
+    u64 bucketWidth_;
+    std::vector<u64> buckets_;
+    u64 overflow_ = 0;
+    u64 samples_ = 0;
+    u64 sum_ = 0;
+    u64 min_ = 0;
+    u64 max_ = 0;
+};
+
+/** A value computed at dump time, typically a ratio of Scalars. */
+class Formula : public Stat
+{
+  public:
+    Formula(Group *parent, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return fn_(); }
+
+    void dump(std::ostream &os, const std::string &prefix) const override;
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of stats and child groups.
+ *
+ * Groups do not own their children; the owning component declares the
+ * Group and its stats as members, so lifetimes nest naturally.
+ */
+class Group
+{
+  public:
+    explicit Group(std::string name);
+    Group(Group *parent, std::string name);
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    void addStat(Stat *stat) { stats_.push_back(stat); }
+    void addChild(Group *child) { children_.push_back(child); }
+
+    /** Dump this group's stats and all descendants. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** Reset all stats in this group and descendants. */
+    void reset();
+
+    /** Find a scalar by dotted path relative to this group, or null. */
+    const Scalar *findScalar(const std::string &path) const;
+
+  private:
+    std::string name_;
+    std::vector<Stat *> stats_;
+    std::vector<Group *> children_;
+};
+
+} // namespace sasos::stats
+
+#endif // SASOS_SIM_STATS_HH

@@ -1,0 +1,100 @@
+#include "sim/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace sasos
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SASOS_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    SASOS_ASSERT(cells.size() == headers_.size(), "row has ", cells.size(),
+                 " cells, table has ", headers_.size(), " columns");
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    auto print_rule = [&] {
+        os << "+";
+        for (std::size_t w : widths)
+            os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+    auto print_cells = [&](const std::vector<std::string> &cells) {
+        os << "|";
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            os << " " << std::left << std::setw(static_cast<int>(widths[i]))
+               << cells[i] << " |";
+        os << "\n";
+    };
+
+    print_rule();
+    print_cells(headers_);
+    print_rule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            print_rule();
+        else
+            print_cells(row);
+    }
+    print_rule();
+}
+
+std::string
+TextTable::num(u64 value)
+{
+    // Group digits for readability: 1234567 -> 1,234,567.
+    std::string digits = std::to_string(value);
+    std::string out;
+    out.reserve(digits.size() + digits.size() / 3);
+    for (std::size_t i = 0; i < digits.size(); ++i) {
+        if (i != 0 && (digits.size() - i) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+TextTable::ratio(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value << "x";
+    return os.str();
+}
+
+} // namespace sasos

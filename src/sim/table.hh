@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plain-text table formatting for bench output.
+ *
+ * Benches print the paper-artifact tables (Table 1 rows, geometry
+ * tables, sweeps) through this formatter so all outputs align and can
+ * be diffed between runs.
+ */
+
+#ifndef SASOS_SIM_TABLE_HH
+#define SASOS_SIM_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sasos
+{
+
+/** A simple column-aligned text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format helpers for numeric cells. */
+    static std::string num(u64 value);
+    static std::string num(double value, int precision = 2);
+    /** Ratio rendered like "3.1x". */
+    static std::string ratio(double value, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_; // empty row = separator
+};
+
+} // namespace sasos
+
+#endif // SASOS_SIM_TABLE_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fundamental fixed-width and strong types used across the simulator.
+ */
+
+#ifndef SASOS_SIM_TYPES_HH
+#define SASOS_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace sasos
+{
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+/**
+ * Simulated time, measured in processor cycles.
+ *
+ * A strong type so that cycle counts cannot be silently mixed with
+ * byte counts or entry counts. Supports the arithmetic a cost
+ * accumulator needs and nothing else.
+ */
+class Cycles
+{
+  public:
+    constexpr Cycles() = default;
+    constexpr explicit Cycles(u64 count) : count_(count) {}
+
+    /** Raw cycle count. */
+    constexpr u64 count() const { return count_; }
+
+    constexpr Cycles
+    operator+(Cycles other) const
+    {
+        return Cycles(count_ + other.count_);
+    }
+
+    constexpr Cycles &
+    operator+=(Cycles other)
+    {
+        count_ += other.count_;
+        return *this;
+    }
+
+    constexpr Cycles
+    operator*(u64 factor) const
+    {
+        return Cycles(count_ * factor);
+    }
+
+    constexpr auto operator<=>(const Cycles &) const = default;
+
+  private:
+    u64 count_ = 0;
+};
+
+/** Scale a cycle count, e.g. `flushPerLine * lines`. */
+constexpr Cycles
+operator*(u64 factor, Cycles c)
+{
+    return c * factor;
+}
+
+} // namespace sasos
+
+#endif // SASOS_SIM_TYPES_HH

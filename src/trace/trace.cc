@@ -1,0 +1,207 @@
+#include "trace/trace.hh"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace sasos::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'S', 'A', 'S', 'T', 'R', 'C', '0', '1'};
+
+/** On-disk record: fixed 16 bytes, little-endian fields. */
+struct DiskRecord
+{
+    u8 op;
+    u8 pad;
+    u16 domain;
+    u32 pad2;
+    u64 addr;
+};
+static_assert(sizeof(DiskRecord) == 16, "trace record must be 16 bytes");
+
+/** Header: magic + record count (patched at close). */
+struct DiskHeader
+{
+    char magic[8];
+    u64 count;
+};
+static_assert(sizeof(DiskHeader) == 16, "trace header must be 16 bytes");
+
+} // namespace
+
+const char *
+toString(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::Load:
+        return "load";
+      case TraceOp::Store:
+        return "store";
+      case TraceOp::IFetch:
+        return "ifetch";
+      case TraceOp::Switch:
+        return "switch";
+    }
+    return "?";
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        SASOS_FATAL("cannot create trace file '", path, "'");
+    DiskHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.count = 0;
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        SASOS_FATAL("cannot write trace header to '", path, "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &record)
+{
+    SASOS_ASSERT(file_ != nullptr, "append to closed trace");
+    DiskRecord disk{};
+    disk.op = static_cast<u8>(record.op);
+    disk.domain = record.domain;
+    disk.addr = record.addr;
+    if (std::fwrite(&disk, sizeof(disk), 1, file_) != 1)
+        SASOS_FATAL("trace write failed");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    // Patch the record count into the header.
+    if (std::fseek(file_, offsetof(DiskHeader, count), SEEK_SET) == 0) {
+        if (std::fwrite(&count_, sizeof(count_), 1, file_) != 1)
+            SASOS_FATAL("trace header patch failed");
+    }
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr)
+        SASOS_FATAL("cannot open trace file '", path, "'");
+    DiskHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file_) != 1)
+        SASOS_FATAL("trace file '", path, "' has no header");
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
+        SASOS_FATAL("'", path, "' is not a sasos trace");
+    count_ = header.count;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::next(TraceRecord &record)
+{
+    DiskRecord disk{};
+    if (std::fread(&disk, sizeof(disk), 1, file_) != 1)
+        return false;
+    if (disk.op > static_cast<u8>(TraceOp::Switch))
+        SASOS_FATAL("corrupt trace: bad op ", unsigned{disk.op});
+    record.op = static_cast<TraceOp>(disk.op);
+    record.domain = disk.domain;
+    record.addr = disk.addr;
+    ++read_;
+    return true;
+}
+
+std::string
+toText(const TraceRecord &record)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s d=%u 0x%" PRIx64,
+                  toString(record.op), unsigned{record.domain},
+                  record.addr);
+    return buffer;
+}
+
+TraceRecord
+fromText(const std::string &line)
+{
+    char op_name[16] = {};
+    unsigned domain = 0;
+    u64 addr = 0;
+    const int fields = std::sscanf(line.c_str(), "%15s d=%u 0x%" SCNx64,
+                                   op_name, &domain, &addr);
+    if (fields != 3)
+        SASOS_FATAL("malformed trace line '", line, "'");
+    TraceRecord record;
+    record.domain = static_cast<u16>(domain);
+    record.addr = addr;
+    const std::string name(op_name);
+    if (name == "load")
+        record.op = TraceOp::Load;
+    else if (name == "store")
+        record.op = TraceOp::Store;
+    else if (name == "ifetch")
+        record.op = TraceOp::IFetch;
+    else if (name == "switch")
+        record.op = TraceOp::Switch;
+    else
+        SASOS_FATAL("malformed trace op '", name, "'");
+    return record;
+}
+
+ReplayResult
+replay(core::System &sys, TraceReader &reader,
+       const std::map<u16, os::DomainId> &domain_map)
+{
+    ReplayResult result;
+    TraceRecord record;
+    while (reader.next(record)) {
+        ++result.records;
+        auto it = domain_map.find(record.domain);
+        if (it == domain_map.end())
+            SASOS_FATAL("trace domain ", record.domain, " is not mapped");
+        if (record.op == TraceOp::Switch) {
+            sys.kernel().switchTo(it->second);
+            ++result.switches;
+            continue;
+        }
+        if (sys.kernel().currentDomain() != it->second)
+            sys.kernel().switchTo(it->second);
+        bool ok = false;
+        switch (record.op) {
+          case TraceOp::Load:
+            ok = sys.load(vm::VAddr(record.addr));
+            break;
+          case TraceOp::Store:
+            ok = sys.store(vm::VAddr(record.addr));
+            break;
+          case TraceOp::IFetch:
+            ok = sys.ifetch(vm::VAddr(record.addr));
+            break;
+          case TraceOp::Switch:
+            break;
+        }
+        ++result.references;
+        if (!ok)
+            ++result.failedReferences;
+    }
+    return result;
+}
+
+} // namespace sasos::trace

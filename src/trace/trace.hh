@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Reference traces: record, store, replay.
+ *
+ * A trace is a sequence of (operation, domain, address) records --
+ * loads, stores, instruction fetches and domain switches -- in a
+ * fixed-width binary format with a magic header, plus a one-line-per-
+ * record text form for inspection. Traces make workload runs
+ * reconstructible and let the same reference stream be replayed
+ * against every protection model.
+ */
+
+#ifndef SASOS_TRACE_TRACE_HH
+#define SASOS_TRACE_TRACE_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/system.hh"
+#include "vm/address.hh"
+#include "vm/rights.hh"
+
+namespace sasos::trace
+{
+
+/** What a record describes. */
+enum class TraceOp : u8
+{
+    Load = 0,
+    Store = 1,
+    IFetch = 2,
+    /** Switch to `domain`; addr unused. */
+    Switch = 3,
+};
+
+const char *toString(TraceOp op);
+
+/** One trace event. */
+struct TraceRecord
+{
+    TraceOp op = TraceOp::Load;
+    u16 domain = 0;
+    u64 addr = 0;
+
+    bool operator==(const TraceRecord &) const = default;
+};
+
+/** Writes records to a binary trace file. */
+class TraceWriter
+{
+  public:
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    void append(const TraceRecord &record);
+    void
+    append(TraceOp op, u16 domain, vm::VAddr addr)
+    {
+        append(TraceRecord{op, domain, addr.raw()});
+    }
+
+    u64 count() const { return count_; }
+
+    /** Flush and close; called by the destructor as well. */
+    void close();
+
+  private:
+    std::FILE *file_ = nullptr;
+    u64 count_ = 0;
+};
+
+/** Reads records back from a binary trace file. */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** @return false at end of trace. */
+    bool next(TraceRecord &record);
+
+    /** Records promised by the header. */
+    u64 count() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    u64 count_ = 0;
+    u64 read_ = 0;
+};
+
+/** Render a record as one text line ("store d=2 0x10000"). */
+std::string toText(const TraceRecord &record);
+
+/** Parse the text form; fatal on malformed input. */
+TraceRecord fromText(const std::string &line);
+
+/** Replay outcome. */
+struct ReplayResult
+{
+    u64 records = 0;
+    u64 references = 0;
+    u64 switches = 0;
+    u64 failedReferences = 0;
+};
+
+/**
+ * Replay a trace against a system. Trace domain numbers are mapped
+ * through `domain_map` (trace id -> simulated domain); unmapped ids
+ * are fatal. The caller sets up segments/domains beforehand.
+ */
+ReplayResult replay(core::System &sys, TraceReader &reader,
+                    const std::map<u16, os::DomainId> &domain_map);
+
+} // namespace sasos::trace
+
+#endif // SASOS_TRACE_TRACE_HH

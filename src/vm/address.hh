@@ -1,0 +1,173 @@
+/**
+ * @file
+ * 64-bit virtual and physical address types.
+ *
+ * The single address space is the full 64-bit virtual space of the
+ * paper (Section 1); physical addresses default to 36 bits, the value
+ * the paper uses for its cache-tag sizing argument. Virtual and
+ * physical addresses, and page numbers of each, are distinct strong
+ * types so the compiler rejects e.g. indexing a TLB with a physical
+ * page number.
+ */
+
+#ifndef SASOS_VM_ADDRESS_HH
+#define SASOS_VM_ADDRESS_HH
+
+#include <compare>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace sasos::vm
+{
+
+/** Bits of virtual address, per the paper's wide-address context. */
+constexpr int kVaBits = 64;
+/** Bits of physical address, the paper's example value. */
+constexpr int kPaBits = 36;
+/** Default translation page: 4 KB, the paper's Figure 1 assumption. */
+constexpr int kPageShift = 12;
+constexpr u64 kPageBytes = u64{1} << kPageShift;
+
+/** A virtual address in the single global address space. */
+class VAddr
+{
+  public:
+    constexpr VAddr() = default;
+    constexpr explicit VAddr(u64 raw) : raw_(raw) {}
+
+    constexpr u64 raw() const { return raw_; }
+    constexpr auto operator<=>(const VAddr &) const = default;
+
+    constexpr VAddr
+    operator+(u64 delta) const
+    {
+        return VAddr(raw_ + delta);
+    }
+
+  private:
+    u64 raw_ = 0;
+};
+
+/** A physical (real memory) address. */
+class PAddr
+{
+  public:
+    constexpr PAddr() = default;
+    constexpr explicit PAddr(u64 raw) : raw_(raw) {}
+
+    constexpr u64 raw() const { return raw_; }
+    constexpr auto operator<=>(const PAddr &) const = default;
+
+  private:
+    u64 raw_ = 0;
+};
+
+/** A virtual page number. */
+class Vpn
+{
+  public:
+    constexpr Vpn() = default;
+    constexpr explicit Vpn(u64 number) : number_(number) {}
+
+    constexpr u64 number() const { return number_; }
+    constexpr auto operator<=>(const Vpn &) const = default;
+
+    constexpr Vpn
+    operator+(u64 delta) const
+    {
+        return Vpn(number_ + delta);
+    }
+
+  private:
+    u64 number_ = 0;
+};
+
+/** A physical frame number. */
+class Pfn
+{
+  public:
+    constexpr Pfn() = default;
+    constexpr explicit Pfn(u64 number) : number_(number) {}
+
+    constexpr u64 number() const { return number_; }
+    constexpr auto operator<=>(const Pfn &) const = default;
+
+  private:
+    u64 number_ = 0;
+};
+
+/** Virtual page containing an address. */
+constexpr Vpn
+pageOf(VAddr va, int page_shift = kPageShift)
+{
+    return Vpn(va.raw() >> page_shift);
+}
+
+/** First address of a virtual page. */
+constexpr VAddr
+baseOf(Vpn vpn, int page_shift = kPageShift)
+{
+    return VAddr(vpn.number() << page_shift);
+}
+
+/** Byte offset within the page. */
+constexpr u64
+offsetOf(VAddr va, int page_shift = kPageShift)
+{
+    return va.raw() & ((u64{1} << page_shift) - 1);
+}
+
+/** Physical address of a frame base. */
+constexpr PAddr
+frameBase(Pfn pfn, int page_shift = kPageShift)
+{
+    return PAddr(pfn.number() << page_shift);
+}
+
+/** Translate an address given its page's frame. */
+constexpr PAddr
+translate(VAddr va, Pfn pfn, int page_shift = kPageShift)
+{
+    return PAddr(frameBase(pfn, page_shift).raw() |
+                 offsetOf(va, page_shift));
+}
+
+} // namespace sasos::vm
+
+namespace std
+{
+
+template <>
+struct hash<sasos::vm::Vpn>
+{
+    size_t
+    operator()(const sasos::vm::Vpn &vpn) const noexcept
+    {
+        return std::hash<sasos::u64>{}(vpn.number());
+    }
+};
+
+template <>
+struct hash<sasos::vm::Pfn>
+{
+    size_t
+    operator()(const sasos::vm::Pfn &pfn) const noexcept
+    {
+        return std::hash<sasos::u64>{}(pfn.number());
+    }
+};
+
+template <>
+struct hash<sasos::vm::VAddr>
+{
+    size_t
+    operator()(const sasos::vm::VAddr &va) const noexcept
+    {
+        return std::hash<sasos::u64>{}(va.raw());
+    }
+};
+
+} // namespace std
+
+#endif // SASOS_VM_ADDRESS_HH

@@ -1,0 +1,50 @@
+#include "vm/linear_page_table.hh"
+
+#include <unordered_set>
+
+#include "sim/logging.hh"
+
+namespace sasos::vm
+{
+
+LinearPageTableModel::LinearPageTableModel(u64 pte_bytes, int page_shift)
+    : pteBytes_(pte_bytes), pageShift_(page_shift)
+{
+    SASOS_ASSERT(pte_bytes > 0, "zero PTE size");
+}
+
+void
+LinearPageTableModel::addRange(Vpn first, u64 pages)
+{
+    for (u64 i = 0; i < pages; ++i)
+        mapped_.insert(first.number() + i);
+}
+
+u64
+LinearPageTableModel::flatBytes() const
+{
+    if (mapped_.empty())
+        return 0;
+    const u64 span = *mapped_.rbegin() - *mapped_.begin() + 1;
+    return span * pteBytes_;
+}
+
+u64
+LinearPageTableModel::twoLevelBytes() const
+{
+    if (mapped_.empty())
+        return 0;
+    const u64 page_bytes = u64{1} << pageShift_;
+    const u64 ptes_per_leaf = page_bytes / pteBytes_;
+    std::unordered_set<u64> leaves;
+    for (u64 vpn : mapped_)
+        leaves.insert(vpn / ptes_per_leaf);
+    // Directory spans the leaf index range (itself linear); one word
+    // per possible leaf between the extremes.
+    const u64 min_leaf = *mapped_.begin() / ptes_per_leaf;
+    const u64 max_leaf = *mapped_.rbegin() / ptes_per_leaf;
+    const u64 directory_bytes = (max_leaf - min_leaf + 1) * pteBytes_;
+    return leaves.size() * page_bytes + directory_bytes;
+}
+
+} // namespace sasos::vm

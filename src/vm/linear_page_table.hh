@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Space model for conventional per-domain linear page tables.
+ *
+ * Models the VAX/SPARC-style organization the paper criticizes
+ * (Section 3.1): each protection domain keeps its own linear table of
+ * translations. Two costs follow for a single address space system:
+ *
+ *  1. sparsity -- a domain references small, widely scattered pieces
+ *     of the 64-bit space, and a linear table must span from the
+ *     lowest to the highest mapped page;
+ *  2. duplication -- translations for shared pages are replicated in
+ *     every sharing domain's table and must be kept coherent.
+ *
+ * The model computes table space for the flat (single-level span) and
+ * two-level (only touched leaf table pages allocated) variants, for
+ * comparison against the global-table + protection-table organization
+ * (bench_page_tables, experiment C7).
+ */
+
+#ifndef SASOS_VM_LINEAR_PAGE_TABLE_HH
+#define SASOS_VM_LINEAR_PAGE_TABLE_HH
+
+#include <set>
+
+#include "vm/address.hh"
+
+namespace sasos::vm
+{
+
+/** Space accounting for one domain's linear page table. */
+class LinearPageTableModel
+{
+  public:
+    /**
+     * @param pte_bytes   size of one page table entry.
+     * @param page_shift  page size used for leaf table pages in the
+     *                    two-level variant.
+     */
+    explicit LinearPageTableModel(u64 pte_bytes = 8,
+                                  int page_shift = kPageShift);
+
+    /** Record that this domain maps a range of pages. */
+    void addRange(Vpn first, u64 pages);
+
+    /** Distinct pages this domain maps. */
+    u64 mappedPages() const { return mapped_.size(); }
+
+    /**
+     * Bytes for a single flat table spanning min..max mapped page.
+     * Zero if nothing is mapped.
+     */
+    u64 flatBytes() const;
+
+    /**
+     * Bytes for a two-level table: one directory entry per leaf page
+     * plus only the leaf pages that contain at least one mapping.
+     */
+    u64 twoLevelBytes() const;
+
+    /** Bytes that would suffice for a dense (perfectly packed) table. */
+    u64 denseBytes() const { return mappedPages() * pteBytes_; }
+
+  private:
+    u64 pteBytes_;
+    int pageShift_;
+    std::set<u64> mapped_; // mapped VPNs
+};
+
+} // namespace sasos::vm
+
+#endif // SASOS_VM_LINEAR_PAGE_TABLE_HH

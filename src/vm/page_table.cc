@@ -1,0 +1,76 @@
+#include "vm/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::vm
+{
+
+void
+GlobalPageTable::map(Vpn vpn, Pfn pfn)
+{
+    auto [it, inserted] = entries_.emplace(vpn, Translation{pfn});
+    SASOS_ASSERT(inserted, "homonym: page ", vpn.number(),
+                 " already mapped");
+    auto [rit, rinserted] = reverse_.emplace(pfn, vpn);
+    SASOS_ASSERT(rinserted, "synonym: frame ", pfn.number(),
+                 " already backs page ", rit->second.number());
+}
+
+Pfn
+GlobalPageTable::unmap(Vpn vpn)
+{
+    auto it = entries_.find(vpn);
+    SASOS_ASSERT(it != entries_.end(), "unmapping unmapped page ",
+                 vpn.number());
+    const Pfn pfn = it->second.pfn;
+    entries_.erase(it);
+    reverse_.erase(pfn);
+    return pfn;
+}
+
+const Translation *
+GlobalPageTable::lookup(Vpn vpn) const
+{
+    auto it = entries_.find(vpn);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<Vpn>
+GlobalPageTable::pageOfFrame(Pfn pfn) const
+{
+    auto it = reverse_.find(pfn);
+    if (it == reverse_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+GlobalPageTable::markDirty(Vpn vpn)
+{
+    auto it = entries_.find(vpn);
+    SASOS_ASSERT(it != entries_.end(), "dirtying unmapped page ",
+                 vpn.number());
+    it->second.dirty = true;
+    it->second.referenced = true;
+}
+
+void
+GlobalPageTable::markReferenced(Vpn vpn)
+{
+    auto it = entries_.find(vpn);
+    SASOS_ASSERT(it != entries_.end(), "referencing unmapped page ",
+                 vpn.number());
+    it->second.referenced = true;
+}
+
+void
+GlobalPageTable::clearUsage(Vpn vpn)
+{
+    auto it = entries_.find(vpn);
+    SASOS_ASSERT(it != entries_.end(), "clearing unmapped page ",
+                 vpn.number());
+    it->second.dirty = false;
+    it->second.referenced = false;
+}
+
+} // namespace sasos::vm

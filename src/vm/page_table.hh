@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The single global page table of a single address space system.
+ *
+ * One translation per virtual page, shared by all protection domains
+ * (paper Section 3.1: "a single table of translations that is shared
+ * by all domains"). The table enforces the two invariants that make
+ * virtually indexed, virtually tagged caches safe (Section 2.2):
+ *
+ *  - no homonyms: a VPN has at most one translation, ever;
+ *  - no synonyms: a PFN backs at most one VPN at a time.
+ *
+ * Protection lives elsewhere (per-domain ProtectionTable); this table
+ * carries only VPN -> PFN plus the dirty and referenced bits, exactly
+ * the contents the paper assigns to the PLB system's TLB.
+ */
+
+#ifndef SASOS_VM_PAGE_TABLE_HH
+#define SASOS_VM_PAGE_TABLE_HH
+
+#include <optional>
+#include <unordered_map>
+
+#include "vm/address.hh"
+
+namespace sasos::vm
+{
+
+/** Translation entry: frame plus usage bits. */
+struct Translation
+{
+    Pfn pfn;
+    bool dirty = false;
+    bool referenced = false;
+};
+
+/** Global hashed (inverted-style) page table. */
+class GlobalPageTable
+{
+  public:
+    GlobalPageTable() = default;
+
+    /**
+     * Install the unique translation for a page.
+     * Panics if the VPN is already mapped (homonym) or the PFN already
+     * backs another page (synonym) -- both are impossible states in a
+     * single address space system and indicate a kernel bug.
+     */
+    void map(Vpn vpn, Pfn pfn);
+
+    /** Remove a translation; returns the frame it used. */
+    Pfn unmap(Vpn vpn);
+
+    /** Lookup; null if the page is not mapped. */
+    const Translation *lookup(Vpn vpn) const;
+
+    bool isMapped(Vpn vpn) const { return lookup(vpn) != nullptr; }
+
+    /** The page a frame currently backs, if any (reverse map). */
+    std::optional<Vpn> pageOfFrame(Pfn pfn) const;
+
+    /** Set the dirty bit (store to the page). */
+    void markDirty(Vpn vpn);
+
+    /** Set the referenced bit (any access). */
+    void markReferenced(Vpn vpn);
+
+    /** Clear usage bits, e.g. for clock-style page replacement. */
+    void clearUsage(Vpn vpn);
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Visit every mapped page: fn(vpn, translation). */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &[vpn, translation] : entries_)
+            fn(vpn, translation);
+    }
+
+  private:
+    std::unordered_map<Vpn, Translation> entries_;
+    std::unordered_map<Pfn, Vpn> reverse_;
+};
+
+} // namespace sasos::vm
+
+#endif // SASOS_VM_PAGE_TABLE_HH

@@ -1,0 +1,47 @@
+#include "vm/phys_mem.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::vm
+{
+
+FrameAllocator::FrameAllocator(u64 frame_count) : allocated_(frame_count)
+{
+    SASOS_ASSERT(frame_count > 0, "no physical memory");
+    freeList_.reserve(frame_count);
+    // Hand out low frame numbers first: push high numbers first so the
+    // vector's back is frame 0.
+    for (u64 i = frame_count; i > 0; --i)
+        freeList_.push_back(i - 1);
+}
+
+std::optional<Pfn>
+FrameAllocator::allocate()
+{
+    if (freeList_.empty())
+        return std::nullopt;
+    const u64 frame = freeList_.back();
+    freeList_.pop_back();
+    allocated_[frame] = true;
+    ++inUse_;
+    return Pfn(frame);
+}
+
+void
+FrameAllocator::free(Pfn pfn)
+{
+    const u64 frame = pfn.number();
+    SASOS_ASSERT(frame < allocated_.size(), "freeing foreign frame ", frame);
+    SASOS_ASSERT(allocated_[frame], "double free of frame ", frame);
+    allocated_[frame] = false;
+    freeList_.push_back(frame);
+    --inUse_;
+}
+
+bool
+FrameAllocator::isAllocated(Pfn pfn) const
+{
+    return pfn.number() < allocated_.size() && allocated_[pfn.number()];
+}
+
+} // namespace sasos::vm

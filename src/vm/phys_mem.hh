@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Physical frame allocation.
+ */
+
+#ifndef SASOS_VM_PHYS_MEM_HH
+#define SASOS_VM_PHYS_MEM_HH
+
+#include <optional>
+#include <vector>
+
+#include "vm/address.hh"
+
+namespace sasos::vm
+{
+
+/**
+ * A free-list allocator over a fixed pool of physical frames.
+ *
+ * Frames are recycled (unlike virtual addresses). Double-free and
+ * foreign-free are simulator bugs and panic.
+ */
+class FrameAllocator
+{
+  public:
+    explicit FrameAllocator(u64 frame_count);
+
+    /** Allocate a frame; nullopt when memory is exhausted. */
+    std::optional<Pfn> allocate();
+
+    /** Return a frame to the pool. */
+    void free(Pfn pfn);
+
+    bool isAllocated(Pfn pfn) const;
+
+    u64 capacity() const { return allocated_.size(); }
+    u64 inUse() const { return inUse_; }
+    u64 available() const { return capacity() - inUse_; }
+
+  private:
+    std::vector<bool> allocated_;
+    std::vector<u64> freeList_;
+    u64 inUse_ = 0;
+};
+
+} // namespace sasos::vm
+
+#endif // SASOS_VM_PHYS_MEM_HH

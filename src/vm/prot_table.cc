@@ -1,0 +1,101 @@
+#include "vm/prot_table.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::vm
+{
+
+void
+ProtectionTable::attachSegment(SegmentId id, Access rights)
+{
+    SASOS_ASSERT(id != kInvalidSegment, "attaching invalid segment");
+    segments_[id] = rights;
+}
+
+u64
+ProtectionTable::detachSegment(const Segment &seg)
+{
+    u64 removed = segments_.erase(seg.id);
+    // Sparse scan: overrides are few, so erase by probing the map
+    // rather than iterating the segment's full page range when the
+    // override count is smaller.
+    if (pages_.size() < seg.pages) {
+        for (auto it = pages_.begin(); it != pages_.end();) {
+            if (seg.containsPage(it->first)) {
+                it = pages_.erase(it);
+                ++removed;
+            } else {
+                ++it;
+            }
+        }
+    } else {
+        for (u64 i = 0; i < seg.pages; ++i)
+            removed += pages_.erase(Vpn(seg.firstPage.number() + i));
+    }
+    return removed;
+}
+
+bool
+ProtectionTable::isAttached(SegmentId id) const
+{
+    return segments_.count(id) != 0;
+}
+
+Access
+ProtectionTable::segmentRights(SegmentId id) const
+{
+    auto it = segments_.find(id);
+    return it == segments_.end() ? Access::None : it->second;
+}
+
+void
+ProtectionTable::setSegmentRights(SegmentId id, Access rights)
+{
+    auto it = segments_.find(id);
+    SASOS_ASSERT(it != segments_.end(),
+                 "setting rights on unattached segment ", id);
+    it->second = rights;
+}
+
+void
+ProtectionTable::setPageRights(Vpn vpn, Access rights)
+{
+    pages_[vpn] = rights;
+}
+
+void
+ProtectionTable::clearPageRights(Vpn vpn)
+{
+    pages_.erase(vpn);
+}
+
+bool
+ProtectionTable::hasPageOverride(Vpn vpn) const
+{
+    return pages_.count(vpn) != 0;
+}
+
+std::vector<SegmentId>
+ProtectionTable::attachedSegmentIds() const
+{
+    std::vector<SegmentId> ids;
+    ids.reserve(segments_.size());
+    for (const auto &[id, rights] : segments_)
+        ids.push_back(id);
+    return ids;
+}
+
+Access
+ProtectionTable::effectiveRights(Vpn vpn, const SegmentTable &segments) const
+{
+    auto it = pages_.find(vpn);
+    if (it != pages_.end())
+        return it->second;
+    const Segment *seg = segments.findByPage(vpn);
+    if (seg == nullptr)
+        return Access::None;
+    auto sit = segments_.find(seg->id);
+    return sit == segments_.end() ? Access::None : sit->second;
+}
+
+} // namespace sasos::vm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-domain protection tables: the software side of the domain-page
+ * model.
+ *
+ * Each protection domain has a sparse table of its access rights to
+ * the global address space, organized as segment-level grants (set at
+ * attach time) plus per-page overrides (set by rights manipulation,
+ * e.g. the Table 1 applications). A PLB miss handler reads this
+ * structure; the kernel writes it.
+ */
+
+#ifndef SASOS_VM_PROT_TABLE_HH
+#define SASOS_VM_PROT_TABLE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "vm/rights.hh"
+#include "vm/segment.hh"
+
+namespace sasos::vm
+{
+
+/** One domain's sparse view of its rights to the global space. */
+class ProtectionTable
+{
+  public:
+    ProtectionTable() = default;
+
+    /** Grant segment-level rights (segment attach). */
+    void attachSegment(SegmentId id, Access rights);
+
+    /**
+     * Revoke a segment grant and drop all page overrides inside the
+     * segment. @return number of entries removed (for cost models).
+     */
+    u64 detachSegment(const Segment &seg);
+
+    bool isAttached(SegmentId id) const;
+
+    /** Rights granted at attach time; None if not attached. */
+    Access segmentRights(SegmentId id) const;
+
+    /** Replace the segment-level grant (all pages without overrides). */
+    void setSegmentRights(SegmentId id, Access rights);
+
+    /** Set a per-page override (takes precedence over the grant). */
+    void setPageRights(Vpn vpn, Access rights);
+
+    /** Drop a per-page override, reverting to the segment grant. */
+    void clearPageRights(Vpn vpn);
+
+    /** True if the page currently has an override. */
+    bool hasPageOverride(Vpn vpn) const;
+
+    /**
+     * Effective rights of this domain to a page: the page override if
+     * present, else the grant for the containing attached segment,
+     * else None.
+     */
+    Access effectiveRights(Vpn vpn, const SegmentTable &segments) const;
+
+    std::size_t attachedSegments() const { return segments_.size(); }
+    std::size_t pageOverrides() const { return pages_.size(); }
+
+    /** Ids of all attached segments (unordered). */
+    std::vector<SegmentId> attachedSegmentIds() const;
+
+    /**
+     * Approximate space the table occupies, for the page-table space
+     * experiment (C7): one word per segment grant, one per override.
+     */
+    u64
+    spaceBytes(u64 entry_bytes = 16) const
+    {
+        return (segments_.size() + pages_.size()) * entry_bytes;
+    }
+
+  private:
+    std::unordered_map<SegmentId, Access> segments_;
+    std::unordered_map<Vpn, Access> pages_;
+};
+
+} // namespace sasos::vm
+
+#endif // SASOS_VM_PROT_TABLE_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Page access rights and memory reference kinds.
+ *
+ * Rights are the 3-bit read/write/execute field of the paper's
+ * Figure 1. A protection domain's effective rights to a page are a
+ * value of Access; a memory reference requires the right implied by
+ * its AccessType.
+ */
+
+#ifndef SASOS_VM_RIGHTS_HH
+#define SASOS_VM_RIGHTS_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace sasos::vm
+{
+
+/** Access rights bitmask (the 3-bit Rights field of Figure 1). */
+enum class Access : u8
+{
+    None = 0,
+    Read = 1,
+    Write = 2,
+    Execute = 4,
+    ReadWrite = Read | Write,
+    ReadExecute = Read | Execute,
+    All = Read | Write | Execute,
+};
+
+constexpr Access
+operator|(Access a, Access b)
+{
+    return static_cast<Access>(static_cast<u8>(a) | static_cast<u8>(b));
+}
+
+constexpr Access
+operator&(Access a, Access b)
+{
+    return static_cast<Access>(static_cast<u8>(a) & static_cast<u8>(b));
+}
+
+constexpr Access
+operator~(Access a)
+{
+    return static_cast<Access>(~static_cast<u8>(a) & static_cast<u8>(7));
+}
+
+/** True if `rights` includes every bit of `needed`. */
+constexpr bool
+includes(Access rights, Access needed)
+{
+    return (rights & needed) == needed;
+}
+
+/** The kind of a memory reference. */
+enum class AccessType : u8
+{
+    Load,
+    Store,
+    IFetch,
+};
+
+/** The right a reference of this type requires. */
+constexpr Access
+requiredRight(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load:
+        return Access::Read;
+      case AccessType::Store:
+        return Access::Write;
+      case AccessType::IFetch:
+        return Access::Execute;
+    }
+    return Access::None;
+}
+
+/** Short human-readable form, e.g. "rw-". */
+inline std::string
+toString(Access rights)
+{
+    std::string s = "---";
+    if (includes(rights, Access::Read))
+        s[0] = 'r';
+    if (includes(rights, Access::Write))
+        s[1] = 'w';
+    if (includes(rights, Access::Execute))
+        s[2] = 'x';
+    return s;
+}
+
+inline const char *
+toString(AccessType type)
+{
+    switch (type) {
+      case AccessType::Load:
+        return "load";
+      case AccessType::Store:
+        return "store";
+      case AccessType::IFetch:
+        return "ifetch";
+    }
+    return "?";
+}
+
+} // namespace sasos::vm
+
+#endif // SASOS_VM_RIGHTS_HH

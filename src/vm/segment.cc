@@ -1,0 +1,92 @@
+#include "vm/segment.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace sasos::vm
+{
+
+bool
+Segment::isPowerOfTwoAligned() const
+{
+    if (!std::has_single_bit(pages))
+        return false;
+    return firstPage.number() % pages == 0;
+}
+
+AddressSpaceAllocator::AddressSpaceAllocator(Vpn first_page)
+    : nextPage_(first_page.number())
+{
+}
+
+Vpn
+AddressSpaceAllocator::allocate(u64 pages, bool pow2_align)
+{
+    SASOS_ASSERT(pages > 0, "empty segment");
+    u64 base = nextPage_;
+    if (pow2_align) {
+        const u64 align = std::bit_ceil(pages);
+        base = (base + align - 1) & ~(align - 1);
+    }
+    nextPage_ = base + pages;
+    allocatedPages_ += pages;
+    return Vpn(base);
+}
+
+SegmentId
+SegmentTable::create(std::string name, u64 pages, bool pow2_align)
+{
+    if (pages == 0)
+        SASOS_FATAL("segment '", name, "' must have at least one page");
+    Segment seg;
+    seg.id = nextId_++;
+    seg.firstPage = allocator_.allocate(pages, pow2_align);
+    seg.pages = pages;
+    seg.name = std::move(name);
+    byBase_[seg.firstPage.number()] = seg.id;
+    const SegmentId id = seg.id;
+    segments_.emplace(id, std::move(seg));
+    return id;
+}
+
+void
+SegmentTable::destroy(SegmentId id)
+{
+    auto it = segments_.find(id);
+    if (it == segments_.end())
+        SASOS_FATAL("destroying unknown segment ", id);
+    byBase_.erase(it->second.firstPage.number());
+    segments_.erase(it);
+}
+
+const Segment *
+SegmentTable::find(SegmentId id) const
+{
+    auto it = segments_.find(id);
+    return it == segments_.end() ? nullptr : &it->second;
+}
+
+const Segment *
+SegmentTable::findByPage(Vpn vpn) const
+{
+    auto it = byBase_.upper_bound(vpn.number());
+    if (it == byBase_.begin())
+        return nullptr;
+    --it;
+    const Segment *seg = find(it->second);
+    SASOS_ASSERT(seg != nullptr, "byBase_ out of sync");
+    return seg->containsPage(vpn) ? seg : nullptr;
+}
+
+std::vector<SegmentId>
+SegmentTable::liveIds() const
+{
+    std::vector<SegmentId> ids;
+    ids.reserve(segments_.size());
+    for (const auto &[base, id] : byBase_)
+        ids.push_back(id);
+    return ids;
+}
+
+} // namespace sasos::vm

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Virtual segments: the Opal unit of allocation and sharing.
+ *
+ * A virtual segment is a contiguous, fixed range of the global virtual
+ * address space, assigned at creation and disjoint from every other
+ * segment forever (addresses are never re-interpreted; see paper
+ * Section 4.1.1). Segments represent code, heaps, stacks, mapped files
+ * and RPC channels. Their boundaries are unknown to the hardware;
+ * protection hardware sees only pages (or page-groups).
+ */
+
+#ifndef SASOS_VM_SEGMENT_HH
+#define SASOS_VM_SEGMENT_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/address.hh"
+
+namespace sasos::vm
+{
+
+/** Identifies a virtual segment. 0 is never a valid id. */
+using SegmentId = u32;
+constexpr SegmentId kInvalidSegment = 0;
+
+/** A contiguous, immutable range of the global address space. */
+struct Segment
+{
+    SegmentId id = kInvalidSegment;
+    /** First virtual page of the segment. */
+    Vpn firstPage;
+    /** Length in translation pages (> 0). */
+    u64 pages = 0;
+    /** Debugging label. */
+    std::string name;
+
+    Vpn lastPage() const { return Vpn(firstPage.number() + pages - 1); }
+    VAddr base() const { return baseOf(firstPage); }
+    u64 bytes() const { return pages * kPageBytes; }
+
+    bool
+    containsPage(Vpn vpn) const
+    {
+        return vpn >= firstPage && vpn <= lastPage();
+    }
+
+    bool
+    contains(VAddr va) const
+    {
+        return containsPage(pageOf(va));
+    }
+
+    /**
+     * True if the segment occupies a naturally aligned power-of-two
+     * page range, i.e. one super-page protection entry can cover it
+     * (paper Section 4.3).
+     */
+    bool isPowerOfTwoAligned() const;
+};
+
+/**
+ * Carves disjoint segments out of the single 64-bit address space.
+ *
+ * A bump allocator: virtual addresses are plentiful (the paper:
+ * consumed at 100 MB/s, 64 bits last five thousand years), so freed
+ * ranges are never reused. That gives the system the "addresses are
+ * unique forever" property Opal relies on.
+ */
+class AddressSpaceAllocator
+{
+  public:
+    /** @param first_page lowest allocatable page (page 0 is reserved
+     *                    so that address 0 stays unmapped). */
+    explicit AddressSpaceAllocator(Vpn first_page = Vpn(0x100));
+
+    /**
+     * Reserve a range of pages.
+     * @param pages          length of the range.
+     * @param pow2_align     align the base so a single power-of-two
+     *                       protection entry can cover the range.
+     */
+    Vpn allocate(u64 pages, bool pow2_align = false);
+
+    /** Total pages handed out so far. */
+    u64 allocatedPages() const { return allocatedPages_; }
+
+  private:
+    u64 nextPage_;
+    u64 allocatedPages_ = 0;
+};
+
+/**
+ * The global registry of virtual segments.
+ *
+ * Lookup is by id or by page; segments never overlap, which this
+ * table enforces by construction (all bases come from the allocator).
+ */
+class SegmentTable
+{
+  public:
+    SegmentTable() = default;
+
+    /** Create a segment of `pages` pages; returns its id. */
+    SegmentId create(std::string name, u64 pages, bool pow2_align = false);
+
+    /**
+     * Remove a segment. The address range is retired, never reused.
+     * It is a user error (fatal) to destroy an unknown segment.
+     */
+    void destroy(SegmentId id);
+
+    /** Find by id; null if unknown/destroyed. */
+    const Segment *find(SegmentId id) const;
+
+    /** Find the segment containing a page; null if none. */
+    const Segment *findByPage(Vpn vpn) const;
+
+    /** Number of live segments. */
+    std::size_t size() const { return segments_.size(); }
+
+    /** Every live segment id, in creation order. */
+    std::vector<SegmentId> liveIds() const;
+
+  private:
+    AddressSpaceAllocator allocator_;
+    SegmentId nextId_ = 1;
+    std::unordered_map<SegmentId, Segment> segments_;
+    /** firstPage.number() -> id, for findByPage. */
+    std::map<u64, SegmentId> byBase_;
+};
+
+} // namespace sasos::vm
+
+#endif // SASOS_VM_SEGMENT_HH

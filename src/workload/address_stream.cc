@@ -1,0 +1,84 @@
+#include "workload/address_stream.hh"
+
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace sasos::wl
+{
+
+SequentialStream::SequentialStream(vm::VAddr base, u64 bytes, u64 stride)
+    : base_(base), bytes_(bytes), stride_(stride)
+{
+    SASOS_ASSERT(bytes > 0 && stride > 0, "degenerate sequential stream");
+}
+
+vm::VAddr
+SequentialStream::next(Rng &)
+{
+    const vm::VAddr va = base_ + offset_;
+    offset_ += stride_;
+    if (offset_ >= bytes_)
+        offset_ = 0;
+    return va;
+}
+
+UniformStream::UniformStream(vm::VAddr base, u64 bytes, u64 alignment)
+    : base_(base), slots_(bytes / alignment), alignment_(alignment)
+{
+    SASOS_ASSERT(slots_ > 0, "degenerate uniform stream");
+}
+
+vm::VAddr
+UniformStream::next(Rng &rng)
+{
+    return base_ + rng.nextBelow(slots_) * alignment_;
+}
+
+ZipfPageStream::ZipfPageStream(vm::VAddr base, u64 pages, double theta,
+                               u64 seed)
+    : base_(base), zipf_(pages, theta), pageOrder_(pages)
+{
+    std::iota(pageOrder_.begin(), pageOrder_.end(), u64{0});
+    Rng shuffler(seed);
+    shuffler.shuffle(pageOrder_);
+}
+
+vm::VAddr
+ZipfPageStream::next(Rng &rng)
+{
+    const u64 page = pageOrder_[zipf_(rng)];
+    const u64 offset = rng.nextBelow(vm::kPageBytes / 8) * 8;
+    return base_ + page * vm::kPageBytes + offset;
+}
+
+WorkingSetStream::WorkingSetStream(vm::VAddr base, u64 pages, u64 ws_pages,
+                                   u64 phase_refs)
+    : base_(base), pages_(pages), wsPages_(std::min(ws_pages, pages)),
+      phaseRefs_(phase_refs)
+{
+    SASOS_ASSERT(pages > 0 && ws_pages > 0 && phase_refs > 0,
+                 "degenerate working-set stream");
+}
+
+void
+WorkingSetStream::redraw(Rng &rng)
+{
+    workingSet_.clear();
+    for (u64 i = 0; i < wsPages_; ++i)
+        workingSet_.push_back(rng.nextBelow(pages_));
+    refsLeft_ = phaseRefs_;
+}
+
+vm::VAddr
+WorkingSetStream::next(Rng &rng)
+{
+    if (refsLeft_ == 0)
+        redraw(rng);
+    --refsLeft_;
+    const u64 page = workingSet_[rng.nextBelow(workingSet_.size())];
+    const u64 offset = rng.nextBelow(vm::kPageBytes / 8) * 8;
+    return base_ + page * vm::kPageBytes + offset;
+}
+
+} // namespace sasos::wl

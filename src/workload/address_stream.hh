@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthetic reference stream generators.
+ *
+ * The paper's evaluation arguments depend on locality, sharing degree
+ * and fault frequency rather than on specific binaries, so workloads
+ * synthesize their reference streams from these generators. All
+ * randomness comes from the caller's seeded Rng, making every run
+ * exactly reproducible.
+ */
+
+#ifndef SASOS_WORKLOAD_ADDRESS_STREAM_HH
+#define SASOS_WORKLOAD_ADDRESS_STREAM_HH
+
+#include <memory>
+
+#include "sim/random.hh"
+#include "vm/address.hh"
+
+namespace sasos::wl
+{
+
+/** A source of virtual addresses. */
+class AddressStream
+{
+  public:
+    virtual ~AddressStream() = default;
+
+    virtual vm::VAddr next(Rng &rng) = 0;
+};
+
+/** Walks a range with a fixed stride, wrapping around. */
+class SequentialStream : public AddressStream
+{
+  public:
+    SequentialStream(vm::VAddr base, u64 bytes, u64 stride = 8);
+
+    vm::VAddr next(Rng &rng) override;
+
+  private:
+    vm::VAddr base_;
+    u64 bytes_;
+    u64 stride_;
+    u64 offset_ = 0;
+};
+
+/** Uniform random word addresses in a range. */
+class UniformStream : public AddressStream
+{
+  public:
+    UniformStream(vm::VAddr base, u64 bytes, u64 alignment = 8);
+
+    vm::VAddr next(Rng &rng) override;
+
+  private:
+    vm::VAddr base_;
+    u64 slots_;
+    u64 alignment_;
+};
+
+/** Zipf-distributed page popularity with uniform offsets inside the
+ * page; rank order is a deterministic shuffle of the pages so hot
+ * pages are scattered across the range. */
+class ZipfPageStream : public AddressStream
+{
+  public:
+    ZipfPageStream(vm::VAddr base, u64 pages, double theta, u64 seed);
+
+    vm::VAddr next(Rng &rng) override;
+
+  private:
+    vm::VAddr base_;
+    ZipfDistribution zipf_;
+    std::vector<u64> pageOrder_;
+};
+
+/**
+ * Phased working-set model: references stay uniform within a working
+ * set of `ws_pages` pages for `phase_refs` references, then the set
+ * re-draws -- the classic program-phase behaviour that gives TLBs and
+ * PLBs their locality.
+ */
+class WorkingSetStream : public AddressStream
+{
+  public:
+    WorkingSetStream(vm::VAddr base, u64 pages, u64 ws_pages,
+                     u64 phase_refs);
+
+    vm::VAddr next(Rng &rng) override;
+
+  private:
+    void redraw(Rng &rng);
+
+    vm::VAddr base_;
+    u64 pages_;
+    u64 wsPages_;
+    u64 phaseRefs_;
+    u64 refsLeft_ = 0;
+    std::vector<u64> workingSet_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_ADDRESS_STREAM_HH

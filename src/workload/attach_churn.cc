@@ -1,0 +1,49 @@
+#include "workload/attach_churn.hh"
+
+#include <vector>
+
+namespace sasos::wl
+{
+
+AttachChurnResult
+AttachChurnWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+
+    const os::DomainId app = kernel.createDomain("churn-app");
+    kernel.switchTo(app);
+
+    // The segment pool exists up front (files on disk); the churn is
+    // in the attach/use/detach cycle, not creation.
+    std::vector<vm::SegmentId> pool;
+    std::vector<vm::VAddr> bases;
+    for (u64 i = 0; i < config_.segmentCount; ++i) {
+        const vm::SegmentId seg = kernel.createSegment(
+            "pool-" + std::to_string(i), config_.segmentPages);
+        pool.push_back(seg);
+        bases.push_back(sys.state().segments.find(seg)->base());
+    }
+
+    const CycleAccount before = sys.account();
+
+    for (u64 episode = 0; episode < config_.episodes; ++episode) {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.nextBelow(pool.size()));
+        kernel.attach(app, pool[pick], vm::Access::ReadWrite);
+        for (u64 t = 0; t < config_.pagesTouched; ++t) {
+            const u64 page = rng.nextBelow(config_.segmentPages);
+            sys.load(bases[pick] + page * vm::kPageBytes);
+        }
+        kernel.detach(app, pool[pick]);
+    }
+
+    AttachChurnResult result;
+    result.episodes = config_.episodes;
+    result.cycles = sys.account().since(before);
+    if (auto *plb_system = sys.plbSystem())
+        result.plbPurgeScans = plb_system->plb().purgeScans.value();
+    return result;
+}
+
+} // namespace sasos::wl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Segment attach/detach churn (Table 1, rows "Attach Segment" /
+ * "Detach Segment").
+ *
+ * Models the file-open/close and library-load pattern the paper
+ * expects to dominate once sharing is cheap: a domain repeatedly
+ * attaches a segment (a newly accessed file or library), touches some
+ * of its pages, and detaches it. Attach should be cheap in both
+ * models; detach is O(1) in the page-group model but a PLB scan in
+ * the domain-page model.
+ */
+
+#ifndef SASOS_WORKLOAD_ATTACH_CHURN_HH
+#define SASOS_WORKLOAD_ATTACH_CHURN_HH
+
+#include "core/system.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** Attach/detach churn parameters. */
+struct AttachChurnConfig
+{
+    /** Attach/use/detach episodes. */
+    u64 episodes = 200;
+    /** Pool of segments cycled through. */
+    u64 segmentCount = 16;
+    u64 segmentPages = 64;
+    /** Pages touched per episode while attached. */
+    u64 pagesTouched = 16;
+    u64 seed = 1;
+};
+
+/** Attach/detach churn results. */
+struct AttachChurnResult
+{
+    u64 episodes = 0;
+    CycleAccount cycles;
+    u64 plbPurgeScans = 0; // domain-page model scan volume
+
+    double
+    cyclesPerEpisode() const
+    {
+        return episodes
+                   ? static_cast<double>(cycles.total().count()) / episodes
+                   : 0.0;
+    }
+};
+
+/** The churn driver. */
+class AttachChurnWorkload
+{
+  public:
+    explicit AttachChurnWorkload(const AttachChurnConfig &config)
+        : config_(config)
+    {
+    }
+
+    AttachChurnResult run(core::System &sys);
+
+  private:
+    AttachChurnConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_ATTACH_CHURN_HH

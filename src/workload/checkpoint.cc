@@ -1,0 +1,151 @@
+#include "workload/checkpoint.hh"
+
+#include <set>
+
+#include "workload/address_stream.hh"
+
+namespace sasos::wl
+{
+
+namespace
+{
+
+/** Copy-on-write checkpointer, as a segment server. */
+class CheckpointServer : public os::SegmentServer
+{
+  public:
+    CheckpointServer(os::DomainId app, CheckpointResult *result)
+        : app_(app), result_(result)
+    {
+    }
+
+    void
+    beginCheckpoint(vm::Vpn first, u64 pages)
+    {
+        pending_.clear();
+        for (u64 p = 0; p < pages; ++p)
+            pending_.insert(vm::Vpn(first.number() + p));
+    }
+
+    bool inProgress() const { return !pending_.empty(); }
+
+    bool
+    onProtectionFault(os::Kernel &kernel, os::DomainId domain,
+                      vm::VAddr va, vm::AccessType type) override
+    {
+        if (domain != app_ || type != vm::AccessType::Store)
+            return false;
+        const vm::Vpn vpn = vm::pageOf(va);
+        auto it = pending_.find(vpn);
+        if (it == pending_.end())
+            return false;
+        // Table 1 "Checkpoint Page": write the old contents to disk,
+        // then reopen the page read-write for the application.
+        kernel.charge(CostCategory::Io, kernel.costs().diskAccess);
+        kernel.setPageRights(app_, vpn, vm::Access::ReadWrite);
+        pending_.erase(it);
+        ++result_->copyOnWriteFaults;
+        return true;
+    }
+
+    /** Background sweep: checkpoint up to `batch` untouched pages. */
+    u64
+    sweep(os::Kernel &kernel, u64 batch)
+    {
+        u64 done = 0;
+        while (done < batch && !pending_.empty()) {
+            const vm::Vpn vpn = *pending_.begin();
+            pending_.erase(pending_.begin());
+            kernel.charge(CostCategory::Io, kernel.costs().diskAccess);
+            kernel.setPageRights(app_, vpn, vm::Access::ReadWrite);
+            ++done;
+            ++result_->sweptPages;
+        }
+        return done;
+    }
+
+  private:
+    os::DomainId app_;
+    CheckpointResult *result_;
+    std::set<vm::Vpn> pending_;
+};
+
+} // namespace
+
+CheckpointResult
+CheckpointWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+    CheckpointResult result;
+
+    const os::DomainId app = kernel.createDomain("app");
+    const os::DomainId checkpointer = kernel.createDomain("checkpointer");
+    (void)checkpointer;
+
+    const vm::SegmentId data = kernel.createSegment("ckpt-data",
+                                                    config_.dataPages);
+    kernel.attach(app, data, vm::Access::ReadWrite);
+
+    CheckpointServer server(app, &result);
+    kernel.setSegmentServer(data, &server);
+
+    const vm::Segment *seg = sys.state().segments.find(data);
+    const vm::VAddr base = seg->base();
+    const vm::Vpn first = seg->firstPage;
+
+    WorkingSetStream stream(base, config_.dataPages,
+                            std::min<u64>(16, config_.dataPages), 512);
+
+    kernel.switchTo(app);
+    // Warm the heap.
+    sys.touchRange(base, config_.dataPages * vm::kPageBytes);
+
+    const CycleAccount before = sys.account();
+
+    auto run_refs = [&](u64 count) {
+        for (u64 r = 0; r < count; ++r) {
+            const vm::VAddr va = stream.next(rng);
+            if (rng.bernoulli(config_.storeFraction))
+                sys.store(va);
+            else
+                sys.load(va);
+            ++result.references;
+        }
+    };
+
+    for (u64 ckpt = 0; ckpt < config_.checkpoints; ++ckpt) {
+        run_refs(config_.refsBetween);
+
+        // --- Restrict Access (Table 1): the application loses write
+        // access to the whole segment at once. Page overrides from
+        // the previous checkpoint are cleared first so the grant
+        // governs again.
+        const u64 restrict_start = sys.account().total().count();
+        for (u64 p = 0; p < config_.dataPages; ++p) {
+            const vm::Vpn vpn(first.number() + p);
+            if (sys.state().domain(app).prot.hasPageOverride(vpn))
+                kernel.clearPageRights(app, vpn);
+        }
+        kernel.setSegmentRights(app, data, vm::Access::Read);
+        server.beginCheckpoint(first, config_.dataPages);
+        result.restrictCycles +=
+            sys.account().total().count() - restrict_start;
+        ++result.checkpoints;
+
+        // --- Application runs against the read-only segment; the
+        // background sweeper interleaves.
+        while (server.inProgress()) {
+            run_refs(config_.refsPerSweepStep);
+            server.sweep(kernel, 8);
+        }
+        // Checkpoint complete: restore the segment grant (the page
+        // overrides are already read-write).
+        kernel.setSegmentRights(app, data, vm::Access::ReadWrite);
+    }
+
+    result.cycles = sys.account().since(before);
+    return result;
+}
+
+} // namespace sasos::wl

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Concurrent checkpointing (Table 1, "Concurrent Checkpoint", after
+ * Li, Naughton & Plank).
+ *
+ * A checkpoint makes the application's writable segment read-only and
+ * then lets the application keep running: pages it tries to write are
+ * checkpointed on demand (copy-on-write to stable storage) and opened
+ * back up read-write; a background checkpointer sweeps the remaining
+ * pages. The restrict step is a segment-wide rights change (a PLB
+ * scan vs a page-group rights flip); each checkpointed page is one
+ * rights update.
+ */
+
+#ifndef SASOS_WORKLOAD_CHECKPOINT_HH
+#define SASOS_WORKLOAD_CHECKPOINT_HH
+
+#include "core/system.hh"
+#include "os/segment_server.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** Checkpoint parameters. */
+struct CheckpointConfig
+{
+    u64 dataPages = 64;
+    /** Checkpoints to take. */
+    u64 checkpoints = 4;
+    /** Application references between checkpoints. */
+    u64 refsBetween = 4000;
+    /** Application references per background sweep step. */
+    u64 refsPerSweepStep = 200;
+    double storeFraction = 0.5;
+    u64 seed = 1;
+};
+
+/** Checkpoint results. */
+struct CheckpointResult
+{
+    u64 checkpoints = 0;
+    u64 copyOnWriteFaults = 0;
+    u64 sweptPages = 0;
+    u64 references = 0;
+    CycleAccount cycles;
+    /** Cycles in the restrict step alone (Table 1 "Restrict Access"). */
+    u64 restrictCycles = 0;
+};
+
+/** The checkpoint driver. */
+class CheckpointWorkload
+{
+  public:
+    explicit CheckpointWorkload(const CheckpointConfig &config)
+        : config_(config)
+    {
+    }
+
+    CheckpointResult run(core::System &sys);
+
+  private:
+    CheckpointConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_CHECKPOINT_HH

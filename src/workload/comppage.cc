@@ -1,0 +1,46 @@
+#include "workload/comppage.hh"
+
+#include "workload/address_stream.hh"
+
+namespace sasos::wl
+{
+
+CompPageResult
+CompPageWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+    CompPageResult result;
+
+    os::Pager &pager = sys.makePager(os::PagerConfig{true});
+
+    const os::DomainId app = kernel.createDomain("comp-app");
+    const vm::SegmentId data = kernel.createSegment("comp-data",
+                                                    config_.dataPages);
+    kernel.attach(app, data, vm::Access::ReadWrite);
+    kernel.switchTo(app);
+
+    const vm::VAddr base = sys.state().segments.find(data)->base();
+    ZipfPageStream stream(base, config_.dataPages, config_.theta,
+                          config_.seed + 3);
+
+    const u64 ins_before = pager.pageIns.value();
+    const u64 outs_before = pager.pageOuts.value();
+    const CycleAccount before = sys.account();
+
+    for (u64 r = 0; r < config_.references; ++r) {
+        const vm::VAddr va = stream.next(rng);
+        if (rng.bernoulli(config_.storeFraction))
+            sys.store(va);
+        else
+            sys.load(va);
+        ++result.references;
+    }
+
+    result.cycles = sys.account().since(before);
+    result.pageIns = pager.pageIns.value() - ins_before;
+    result.pageOuts = pager.pageOuts.value() - outs_before;
+    return result;
+}
+
+} // namespace sasos::wl

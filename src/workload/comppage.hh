@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Compression paging (Table 1, "Compression Paging", after Appel &
+ * Li's virtual memory primitives).
+ *
+ * The application's data set exceeds physical memory; the user-level
+ * pager compresses victims on the way out and decompresses on the way
+ * in. Each page-out excludes all applications from the page (PLB:
+ * scan-update; page-group: move to the pager's group), then unmaps
+ * it; each page-in maps, transfers, and restores accessibility.
+ */
+
+#ifndef SASOS_WORKLOAD_COMPPAGE_HH
+#define SASOS_WORKLOAD_COMPPAGE_HH
+
+#include "core/system.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** Compression paging parameters. */
+struct CompPageConfig
+{
+    /** Application data set, in pages. */
+    u64 dataPages = 256;
+    /** Physical frames available (must be < dataPages to page). */
+    u64 frames = 128;
+    u64 references = 20000;
+    double storeFraction = 0.3;
+    /** Zipf skew: higher keeps the hot set resident. */
+    double theta = 0.7;
+    u64 seed = 1;
+};
+
+/** Compression paging results. */
+struct CompPageResult
+{
+    u64 references = 0;
+    u64 pageIns = 0;
+    u64 pageOuts = 0;
+    CycleAccount cycles;
+
+    double
+    faultRate() const
+    {
+        return references ? static_cast<double>(pageIns) / references : 0.0;
+    }
+};
+
+/** The paging driver. Note: configure the System with
+ * config.frames = CompPageConfig::frames. */
+class CompPageWorkload
+{
+  public:
+    explicit CompPageWorkload(const CompPageConfig &config)
+        : config_(config)
+    {
+    }
+
+    CompPageResult run(core::System &sys);
+
+  private:
+    CompPageConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_COMPPAGE_HH

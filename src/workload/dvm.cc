@@ -1,0 +1,166 @@
+#include "workload/dvm.hh"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/address_stream.hh"
+
+namespace sasos::wl
+{
+
+namespace
+{
+
+/** The coherence manager, as a segment server. */
+class DsmServer : public os::SegmentServer
+{
+  public:
+    DsmServer(std::vector<os::DomainId> nodes, DvmResult *result)
+        : nodes_(std::move(nodes)), result_(result)
+    {
+    }
+
+    bool
+    onProtectionFault(os::Kernel &kernel, os::DomainId domain,
+                      vm::VAddr va, vm::AccessType type) override
+    {
+        const vm::Vpn vpn = vm::pageOf(va);
+        PageDir &dir = directory_[vpn];
+        if (type == vm::AccessType::Store) {
+            // Get Writable: fetch an exclusive copy and invalidate
+            // every other replica.
+            ++result_->writeFaults;
+            kernel.charge(CostCategory::Io,
+                          kernel.costs().networkRoundTrip);
+            for (os::DomainId replica : dir.copyset) {
+                if (replica == domain)
+                    continue;
+                ++result_->invalidations;
+                // Invalidate on the remote node: one rights update.
+                kernel.setPageRights(replica, vpn, vm::Access::None);
+            }
+            dir.copyset.clear();
+            dir.copyset.insert(domain);
+            dir.owner = domain;
+            kernel.setPageRights(domain, vpn, vm::Access::ReadWrite);
+        } else {
+            // Get Readable: fetch a shared copy; the owner drops to
+            // read-only so future writes fault.
+            ++result_->readFaults;
+            kernel.charge(CostCategory::Io,
+                          kernel.costs().networkRoundTrip);
+            if (dir.owner != 0 && dir.owner != domain &&
+                dir.copyset.count(dir.owner)) {
+                kernel.setPageRights(dir.owner, vpn, vm::Access::Read);
+            }
+            dir.copyset.insert(domain);
+            kernel.setPageRights(domain, vpn, vm::Access::Read);
+        }
+        return true;
+    }
+
+  private:
+    struct PageDir
+    {
+        os::DomainId owner = 0;
+        std::set<os::DomainId> copyset;
+    };
+
+    std::vector<os::DomainId> nodes_;
+    DvmResult *result_;
+    std::map<vm::Vpn, PageDir> directory_;
+};
+
+} // namespace
+
+DvmResult
+DvmWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+    DvmResult result;
+
+    std::vector<os::DomainId> nodes;
+    for (u64 n = 0; n < config_.nodes; ++n)
+        nodes.push_back(kernel.createDomain("node-" + std::to_string(n)));
+
+    const vm::SegmentId shared =
+        kernel.createSegment("dsm-shared", config_.sharedPages);
+    // Every node can name the segment but starts with no access: all
+    // copies are initially invalid.
+    for (os::DomainId node : nodes)
+        kernel.attach(node, shared, vm::Access::None);
+
+    DsmServer server(nodes, &result);
+    kernel.setSegmentServer(shared, &server);
+
+    const vm::VAddr base = sys.state().segments.find(shared)->base();
+    ZipfPageStream stream(base, config_.sharedPages, config_.theta,
+                          config_.seed + 99);
+
+    const CycleAccount before = sys.account();
+
+    for (u64 quantum = 0; quantum < config_.quanta; ++quantum) {
+        kernel.switchTo(nodes[quantum % config_.nodes]);
+        for (u64 r = 0; r < config_.refsPerQuantum; ++r) {
+            const vm::VAddr va = stream.next(rng);
+            if (rng.bernoulli(config_.storeFraction))
+                sys.store(va);
+            else
+                sys.load(va);
+            ++result.references;
+        }
+    }
+
+    result.cycles = sys.account().since(before);
+    return result;
+}
+
+DvmResult
+DvmWorkload::run(core::SmpSystem &sys)
+{
+    auto &kernel = sys.kernel();
+    SASOS_ASSERT(sys.cpuCount() >= config_.nodes,
+                 "SMP DVM needs one CPU per node (have ",
+                 sys.cpuCount(), ", need ", config_.nodes, ")");
+    Rng rng(config_.seed);
+    DvmResult result;
+
+    std::vector<os::DomainId> nodes;
+    for (u64 n = 0; n < config_.nodes; ++n)
+        nodes.push_back(kernel.createDomain("node-" + std::to_string(n)));
+
+    const vm::SegmentId shared =
+        kernel.createSegment("dsm-shared", config_.sharedPages);
+    for (os::DomainId node : nodes)
+        kernel.attach(node, shared, vm::Access::None);
+
+    DsmServer server(nodes, &result);
+    kernel.setSegmentServer(shared, &server);
+
+    const vm::VAddr base = sys.state().segments.find(shared)->base();
+    ZipfPageStream stream(base, config_.sharedPages, config_.theta,
+                          config_.seed + 99);
+
+    const CycleAccount before = sys.account();
+
+    for (u64 quantum = 0; quantum < config_.quanta; ++quantum) {
+        const unsigned cpu =
+            static_cast<unsigned>(quantum % config_.nodes);
+        sys.runOn(cpu, nodes[cpu]);
+        for (u64 r = 0; r < config_.refsPerQuantum; ++r) {
+            const vm::VAddr va = stream.next(rng);
+            if (rng.bernoulli(config_.storeFraction))
+                sys.store(va);
+            else
+                sys.load(va);
+            ++result.references;
+        }
+    }
+
+    result.cycles = sys.account().since(before);
+    return result;
+}
+
+} // namespace sasos::wl

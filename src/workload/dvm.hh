@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Distributed virtual memory (Table 1, "Distributed VM", after Li's
+ * IVY and Carter et al.'s Munin).
+ *
+ * N nodes share a segment under a single-writer/multiple-reader
+ * ownership protocol. Each node is modeled as a protection domain on
+ * the simulated machine (the protection costs are what the paper
+ * compares; remote transfers are charged as network round trips):
+ *
+ *  - Get Readable: a read fault fetches a copy from the owner and
+ *    maps the page read-only on this node;
+ *  - Get Writable: a write fault fetches an exclusive copy,
+ *    invalidates every other replica, maps read-write;
+ *  - Invalidate: a remote write makes the local copy inaccessible --
+ *    one rights update on this node.
+ */
+
+#ifndef SASOS_WORKLOAD_DVM_HH
+#define SASOS_WORKLOAD_DVM_HH
+
+#include "core/smp.hh"
+#include "core/system.hh"
+#include "os/segment_server.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** Distributed VM parameters. */
+struct DvmConfig
+{
+    u64 nodes = 4;
+    u64 sharedPages = 32;
+    /** Scheduler quanta (node activations). */
+    u64 quanta = 200;
+    u64 refsPerQuantum = 100;
+    double storeFraction = 0.2;
+    /** Zipf skew of page popularity (sharing intensity). */
+    double theta = 0.6;
+    u64 seed = 1;
+};
+
+/** Distributed VM results. */
+struct DvmResult
+{
+    u64 references = 0;
+    u64 readFaults = 0;   // Get Readable episodes
+    u64 writeFaults = 0;  // Get Writable episodes
+    u64 invalidations = 0;
+    CycleAccount cycles;
+};
+
+/** The DSM driver. */
+class DvmWorkload
+{
+  public:
+    explicit DvmWorkload(const DvmConfig &config) : config_(config) {}
+
+    DvmResult run(core::System &sys);
+
+    /**
+     * The multiprocessor variant: node i is pinned to CPU i (the
+     * natural DSM deployment), so coherence rights changes become
+     * cross-CPU shootdowns.
+     */
+    DvmResult run(core::SmpSystem &sys);
+
+  private:
+    DvmConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_DVM_HH

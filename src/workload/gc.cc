@@ -1,0 +1,151 @@
+#include "workload/gc.hh"
+
+#include <set>
+
+#include "sim/logging.hh"
+
+namespace sasos::wl
+{
+
+namespace
+{
+
+/**
+ * The collector as a segment server: a mutator trap on an unscanned
+ * to-space page garbage collects that page and opens it read-write
+ * (Table 1, "Access unscanned to-space").
+ */
+class GcServer : public os::SegmentServer
+{
+  public:
+    GcServer(os::DomainId mutator, u64 *scan_faults)
+        : mutator_(mutator), scanFaults_(scan_faults)
+    {
+    }
+
+    void
+    beginCollection(vm::SegmentId to_space, std::set<vm::Vpn> unscanned)
+    {
+        toSpace_ = to_space;
+        unscanned_ = std::move(unscanned);
+    }
+
+    bool
+    onProtectionFault(os::Kernel &kernel, os::DomainId domain,
+                      vm::VAddr va, vm::AccessType type) override
+    {
+        (void)type;
+        if (domain != mutator_)
+            return false;
+        const vm::Vpn vpn = vm::pageOf(va);
+        auto it = unscanned_.find(vpn);
+        if (it == unscanned_.end())
+            return false;
+        // Scan the page: copy its reachable objects out of from-space
+        // (one page copy of collector work), then grant the mutator
+        // read-write access.
+        kernel.charge(CostCategory::Io, kernel.costs().pageCopy);
+        kernel.setPageRights(mutator_, vpn, vm::Access::ReadWrite);
+        unscanned_.erase(it);
+        ++*scanFaults_;
+        return true;
+    }
+
+    bool scanned(vm::Vpn vpn) const { return unscanned_.count(vpn) == 0; }
+    std::size_t unscannedCount() const { return unscanned_.size(); }
+
+  private:
+    os::DomainId mutator_;
+    u64 *scanFaults_;
+    vm::SegmentId toSpace_ = vm::kInvalidSegment;
+    std::set<vm::Vpn> unscanned_;
+};
+
+} // namespace
+
+GcResult
+GcWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+    GcResult result;
+
+    const os::DomainId mutator = kernel.createDomain("mutator");
+    const os::DomainId collector = kernel.createDomain("collector");
+    GcServer server(mutator, &result.scanFaults);
+
+    // Initial to-space: fully scanned (empty heap), mutator has RW.
+    vm::SegmentId to_space = kernel.createSegment("to-space-0",
+                                                  config_.spacePages);
+    kernel.attach(mutator, to_space, vm::Access::ReadWrite);
+    kernel.attach(collector, to_space, vm::Access::ReadWrite);
+    kernel.setSegmentServer(to_space, &server);
+    vm::VAddr to_base = sys.state().segments.find(to_space)->base();
+
+    kernel.switchTo(mutator);
+
+    const CycleAccount before = sys.account();
+    u64 alloc_ptr = 0; // bump pointer, in pages
+
+    for (u64 gc = 0; gc < config_.collections; ++gc) {
+        // --- Mutator epoch: allocate and reference the heap.
+        for (u64 alloc = 0; alloc < config_.allocsPerCollection; ++alloc) {
+            // Allocate: store into the next to-space slot.
+            const u64 page = alloc_ptr % config_.spacePages;
+            sys.store(to_base + page * vm::kPageBytes +
+                      (alloc % (vm::kPageBytes / 8)) * 8);
+            ++alloc_ptr;
+            ++result.mutatorRefs;
+            // Reference existing data, old and new.
+            for (u64 r = 0; r < config_.refsPerAlloc; ++r) {
+                const u64 target =
+                    rng.bernoulli(config_.oldDataFraction)
+                        ? rng.nextBelow(config_.spacePages)
+                        : page;
+                sys.load(to_base + target * vm::kPageBytes +
+                         rng.nextBelow(vm::kPageBytes / 8) * 8);
+                ++result.mutatorRefs;
+            }
+        }
+
+        // --- Flip (Table 1 "Flip Spaces"): the old to-space becomes
+        // from-space; a fresh to-space appears; the collector can
+        // access both; the mutator loses from-space entirely and gets
+        // to-space pages lazily as they are scanned.
+        const u64 flip_start = sys.account().total().count();
+        const vm::SegmentId from_space = to_space;
+        to_space = kernel.createSegment(
+            "to-space-" + std::to_string(gc + 1), config_.spacePages);
+        kernel.setSegmentServer(to_space, &server);
+        to_base = sys.state().segments.find(to_space)->base();
+
+        kernel.attach(collector, to_space, vm::Access::ReadWrite);
+        // Mutator: no access to the new space until pages are scanned;
+        // attach with rights None so faults route to the server.
+        kernel.attach(mutator, to_space, vm::Access::None);
+        kernel.detach(mutator, from_space);
+
+        std::set<vm::Vpn> unscanned;
+        const vm::Vpn first = sys.state().segments.find(to_space)->firstPage;
+        for (u64 p = 0; p < config_.spacePages; ++p)
+            unscanned.insert(first + p);
+        server.beginCollection(to_space, std::move(unscanned));
+        ++result.flips;
+        result.flipCycles +=
+            sys.account().total().count() - flip_start;
+
+        // The collector evacuates the roots, then retires from-space.
+        kernel.switchTo(collector);
+        kernel.charge(CostCategory::Io,
+                      kernel.costs().pageCopy * 4); // root set copy
+        kernel.detach(collector, from_space);
+        kernel.destroySegment(from_space);
+        kernel.switchTo(mutator);
+        alloc_ptr = 0;
+    }
+
+    result.cycles = sys.account().since(before);
+    return result;
+}
+
+} // namespace sasos::wl

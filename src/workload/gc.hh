@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Concurrent copying garbage collection (Table 1, "Concurrent
+ * Garbage Collection", after Appel, Ellis & Li).
+ *
+ * The mutator allocates in to-space; on a flip the spaces swap, the
+ * collector gains read-write access to both spaces and the mutator
+ * loses access to the unscanned to-space and all of from-space. When
+ * the mutator touches an unscanned to-space page it traps; the
+ * collector scans that page (copying reachable objects out of
+ * from-space) and the page becomes read-write for the mutator.
+ *
+ * Per-model costs exercised:
+ *  - Flip: detach from-space / attach to-space with per-domain rights
+ *    (PLB: scan to drop entries; page-group: O(1) group id swaps);
+ *  - Scan fault: one per page touched (both models: trap + upcall +
+ *    one rights update).
+ */
+
+#ifndef SASOS_WORKLOAD_GC_HH
+#define SASOS_WORKLOAD_GC_HH
+
+#include "core/system.hh"
+#include "os/segment_server.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** GC workload parameters. */
+struct GcConfig
+{
+    /** Pages per semi-space. */
+    u64 spacePages = 64;
+    /** Full collections (flips) to run. */
+    u64 collections = 8;
+    /** Mutator references between allocations. */
+    u64 refsPerAlloc = 32;
+    /** Allocations between flips. */
+    u64 allocsPerCollection = 256;
+    /** Fraction of mutator references into old (to-be-scanned) data. */
+    double oldDataFraction = 0.5;
+    u64 seed = 1;
+};
+
+/** GC results. */
+struct GcResult
+{
+    u64 flips = 0;
+    u64 scanFaults = 0;
+    u64 mutatorRefs = 0;
+    CycleAccount cycles;
+    /** Cycles charged while flipping (the Table 1 "Flip Spaces" row). */
+    u64 flipCycles = 0;
+};
+
+/** The Appel-Ellis-Li driver. */
+class GcWorkload
+{
+  public:
+    explicit GcWorkload(const GcConfig &config) : config_(config) {}
+
+    GcResult run(core::System &sys);
+
+  private:
+    GcConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_GC_HH

@@ -1,0 +1,82 @@
+#include "workload/rpc.hh"
+
+#include "workload/address_stream.hh"
+
+namespace sasos::wl
+{
+
+RpcResult
+RpcWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+
+    const os::DomainId client = kernel.createDomain("rpc-client");
+    const os::DomainId server = kernel.createDomain("rpc-server");
+
+    const vm::SegmentId channel =
+        kernel.createSegment("rpc-channel", config_.channelPages);
+    const vm::SegmentId client_state =
+        kernel.createSegment("client-state", config_.statePages);
+    const vm::SegmentId server_state =
+        kernel.createSegment("server-state", config_.statePages);
+
+    kernel.attach(client, channel, vm::Access::ReadWrite);
+    kernel.attach(server, channel, vm::Access::ReadWrite);
+    kernel.attach(client, client_state, vm::Access::ReadWrite);
+    kernel.attach(server, server_state, vm::Access::ReadWrite);
+
+    const vm::VAddr channel_base =
+        sys.state().segments.find(channel)->base();
+    const vm::VAddr client_base =
+        sys.state().segments.find(client_state)->base();
+    const vm::VAddr server_base =
+        sys.state().segments.find(server_state)->base();
+
+    WorkingSetStream client_refs(client_base,
+                                 config_.statePages,
+                                 config_.statePagesTouched, 256);
+    WorkingSetStream server_refs(server_base,
+                                 config_.statePages,
+                                 config_.statePagesTouched, 256);
+
+    // Warm both sides once so the measured loop isn't cold-start.
+    kernel.switchTo(client);
+    sys.touchRange(client_base, config_.statePages * vm::kPageBytes);
+    kernel.switchTo(server);
+    sys.touchRange(server_base, config_.statePages * vm::kPageBytes);
+
+    const CycleAccount before = sys.account();
+    const u64 switches_before = kernel.domainSwitches.value();
+
+    for (u64 call = 0; call < config_.calls; ++call) {
+        // Client marshals arguments into the channel.
+        kernel.switchTo(client);
+        for (u64 b = 0; b < config_.argBytes; b += 8)
+            sys.store(channel_base + b);
+        for (u64 i = 0; i < config_.statePagesTouched; ++i)
+            sys.load(client_refs.next(rng));
+
+        // Server picks them up, works, writes the result.
+        kernel.switchTo(server);
+        for (u64 b = 0; b < config_.argBytes; b += 8)
+            sys.load(channel_base + b);
+        for (u64 i = 0; i < config_.statePagesTouched; ++i)
+            sys.store(server_refs.next(rng));
+        for (u64 b = 0; b < config_.argBytes; b += 8)
+            sys.store(channel_base + b);
+
+        // Client consumes the result.
+        kernel.switchTo(client);
+        for (u64 b = 0; b < config_.argBytes; b += 8)
+            sys.load(channel_base + b);
+    }
+
+    RpcResult result;
+    result.calls = config_.calls;
+    result.cycles = sys.account().since(before);
+    result.domainSwitches = kernel.domainSwitches.value() - switches_before;
+    return result;
+}
+
+} // namespace sasos::wl

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cross-domain RPC ping-pong.
+ *
+ * The paper motivates single address space systems with the rising
+ * relative cost of protection domain switches in server-structured
+ * systems (Section 2.1, Section 4.1.4). This workload is the
+ * microbenchmark behind that argument: a client and a server domain
+ * share an argument segment (an RPC channel segment in Opal terms)
+ * and bounce control back and forth; each call writes arguments,
+ * switches, reads them, computes against the server's private state,
+ * writes a result and switches back.
+ *
+ * The number the models disagree on is what a switch costs: a PD-ID
+ * register write (PLB) vs a page-group cache purge + reload
+ * (page-group) vs an ASID write or a full TLB purge (conventional).
+ */
+
+#ifndef SASOS_WORKLOAD_RPC_HH
+#define SASOS_WORKLOAD_RPC_HH
+
+#include "core/system.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** RPC ping-pong parameters. */
+struct RpcConfig
+{
+    u64 calls = 1000;
+    /** Argument + result bytes copied through the channel per call. */
+    u64 argBytes = 256;
+    /** Pages of private state each side touches per call. */
+    u64 statePagesTouched = 4;
+    /** Pages of private state each side owns. */
+    u64 statePages = 64;
+    /** Pages of the shared channel segment. */
+    u64 channelPages = 4;
+    u64 seed = 1;
+};
+
+/** Results of an RPC run. */
+struct RpcResult
+{
+    u64 calls = 0;
+    CycleAccount cycles;
+    u64 domainSwitches = 0;
+
+    double
+    cyclesPerCall() const
+    {
+        return calls ? static_cast<double>(cycles.total().count()) / calls
+                     : 0.0;
+    }
+};
+
+/** Client/server RPC ping-pong through a shared channel segment. */
+class RpcWorkload
+{
+  public:
+    explicit RpcWorkload(const RpcConfig &config) : config_(config) {}
+
+    /** Build domains/segments and run the calls. */
+    RpcResult run(core::System &sys);
+
+  private:
+    RpcConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_RPC_HH

@@ -1,0 +1,115 @@
+#include "workload/sharing.hh"
+
+#include <memory>
+#include <vector>
+
+#include "workload/address_stream.hh"
+
+namespace sasos::wl
+{
+
+SharingResult
+SharingWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+
+    std::vector<os::DomainId> domains;
+    for (u64 d = 0; d < config_.domains; ++d)
+        domains.push_back(
+            kernel.createDomain("share-" + std::to_string(d)));
+
+    std::vector<vm::SegmentId> shared;
+    std::vector<vm::VAddr> shared_bases;
+    for (u64 s = 0; s < config_.sharedSegments; ++s) {
+        const vm::SegmentId seg = kernel.createSegment(
+            "shared-" + std::to_string(s), config_.sharedPages);
+        shared.push_back(seg);
+        shared_bases.push_back(sys.state().segments.find(seg)->base());
+        for (os::DomainId d : domains)
+            kernel.attach(d, seg, vm::Access::ReadWrite);
+    }
+
+    std::vector<vm::VAddr> private_bases;
+    for (u64 d = 0; d < config_.domains; ++d) {
+        const vm::SegmentId seg = kernel.createSegment(
+            "private-" + std::to_string(d), config_.privatePages);
+        kernel.attach(domains[d], seg, vm::Access::ReadWrite);
+        private_bases.push_back(sys.state().segments.find(seg)->base());
+    }
+
+    // Shared references are Zipf within each segment -- the same hot
+    // pages are touched by every domain, which is what drives entry
+    // replication; private references have working-set locality.
+    std::vector<std::unique_ptr<ZipfPageStream>> shared_streams;
+    for (u64 s = 0; s < config_.sharedSegments; ++s) {
+        shared_streams.push_back(std::make_unique<ZipfPageStream>(
+            shared_bases[s], config_.sharedPages, 0.8,
+            config_.seed + 17 + s));
+    }
+    std::vector<std::unique_ptr<WorkingSetStream>> private_streams;
+    for (u64 d = 0; d < config_.domains; ++d) {
+        private_streams.push_back(std::make_unique<WorkingSetStream>(
+            private_bases[d], config_.privatePages,
+            std::min<u64>(8, config_.privatePages), 512));
+    }
+
+    const CycleAccount before = sys.account();
+
+    SharingResult result;
+    for (u64 quantum = 0; quantum < config_.quanta; ++quantum) {
+        const u64 d = quantum % config_.domains;
+        kernel.switchTo(domains[d]);
+        for (u64 r = 0; r < config_.refsPerQuantum; ++r) {
+            const bool to_shared = rng.bernoulli(config_.sharedFraction);
+            vm::VAddr va;
+            if (to_shared) {
+                const std::size_t s = static_cast<std::size_t>(
+                    rng.nextBelow(config_.sharedSegments));
+                va = shared_streams[s]->next(rng);
+            } else {
+                va = private_streams[d]->next(rng);
+            }
+            if (rng.bernoulli(config_.storeFraction))
+                sys.store(va);
+            else
+                sys.load(va);
+            ++result.references;
+        }
+        if (config_.protChangePeriod != 0 &&
+            (quantum + 1) % config_.protChangePeriod == 0) {
+            // Toggle one domain's rights on one shared page: the
+            // "active sharing with frequent protection changes"
+            // regime of Section 4.1.2.
+            const std::size_t s = static_cast<std::size_t>(
+                rng.nextBelow(config_.sharedSegments));
+            const u64 page = rng.nextBelow(config_.sharedPages);
+            const vm::Vpn vpn =
+                vm::pageOf(shared_bases[s]) + page;
+            const os::DomainId target =
+                domains[rng.nextBelow(config_.domains)];
+            const bool restrict_now = rng.bernoulli(0.5);
+            kernel.setPageRights(target, vpn,
+                                 restrict_now ? vm::Access::Read
+                                              : vm::Access::ReadWrite);
+        }
+    }
+
+    result.cycles = sys.account().since(before);
+    if (auto *plb_system = sys.plbSystem()) {
+        result.plbMisses = plb_system->plb().misses.value();
+        result.tlbMisses = plb_system->translationTlb().misses.value();
+        result.occupancyEntries = plb_system->plb().occupancy();
+    } else if (auto *pg = sys.pageGroupSystem()) {
+        result.tlbMisses = pg->tlb().misses.value();
+        result.occupancyEntries = pg->tlb().occupancy();
+    } else if (auto *conv = sys.conventionalSystem()) {
+        result.tlbMisses = conv->tlb().misses.value();
+        result.occupancyEntries = conv->tlb().occupancy();
+    }
+    result.protOpCycles =
+        sys.account().byCategory(CostCategory::KernelWork).count();
+    return result;
+}
+
+} // namespace sasos::wl

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sharing-degree sweep (experiment C4).
+ *
+ * D domains share S segments and each owns a private segment; the
+ * scheduler round-robins between domains, each running a quantum of
+ * references. The paper's claims under test:
+ *
+ *  - ASID-tagged conventional TLBs and the PLB replicate one entry
+ *    per sharing domain, so their miss rates rise with D while the
+ *    page-group TLB keeps a single entry per page;
+ *  - "a PLB system will take fewer faults where there is active
+ *    sharing and frequent protection changes ... the page-group
+ *    implementation will incur fewer TLB misses where sharing is
+ *    static" -- the protChangePeriod knob moves the workload between
+ *    those regimes.
+ */
+
+#ifndef SASOS_WORKLOAD_SHARING_HH
+#define SASOS_WORKLOAD_SHARING_HH
+
+#include "core/system.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** Sharing sweep parameters. */
+struct SharingConfig
+{
+    u64 domains = 4;
+    u64 sharedSegments = 4;
+    u64 sharedPages = 32;
+    u64 privatePages = 32;
+    /** Scheduler quanta to run. */
+    u64 quanta = 200;
+    /** References per quantum. */
+    u64 refsPerQuantum = 200;
+    /** Fraction of references that hit shared segments. */
+    double sharedFraction = 0.7;
+    double storeFraction = 0.3;
+    /**
+     * Every N quanta, one domain's rights on one shared page are
+     * toggled (a protection change); 0 disables changes (static
+     * sharing).
+     */
+    u64 protChangePeriod = 0;
+    u64 seed = 1;
+};
+
+/** Sharing sweep results. */
+struct SharingResult
+{
+    u64 references = 0;
+    CycleAccount cycles;
+    u64 tlbMisses = 0;     // translation-structure misses
+    u64 plbMisses = 0;     // PLB misses (0 on other models)
+    u64 protOpCycles = 0;  // kernel work charged
+    u64 occupancyEntries = 0;
+
+    double
+    missRate() const
+    {
+        return references ? static_cast<double>(tlbMisses + plbMisses) /
+                                references
+                          : 0.0;
+    }
+
+    double
+    cyclesPerRef() const
+    {
+        return references
+                   ? static_cast<double>(cycles.total().count()) / references
+                   : 0.0;
+    }
+};
+
+/** The sharing driver. */
+class SharingWorkload
+{
+  public:
+    explicit SharingWorkload(const SharingConfig &config) : config_(config)
+    {
+    }
+
+    SharingResult run(core::System &sys);
+
+  private:
+    SharingConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_SHARING_HH

@@ -1,0 +1,156 @@
+#include "workload/txvm.hh"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "workload/address_stream.hh"
+
+namespace sasos::wl
+{
+
+namespace
+{
+
+/** Page lock table + rights management, as a segment server. */
+class LockServer : public os::SegmentServer
+{
+  public:
+    explicit LockServer(TxvmResult *result) : result_(result) {}
+
+    bool
+    onProtectionFault(os::Kernel &kernel, os::DomainId domain,
+                      vm::VAddr va, vm::AccessType type) override
+    {
+        const vm::Vpn vpn = vm::pageOf(va);
+        Lock &lock = locks_[vpn];
+        if (type == vm::AccessType::Store) {
+            // Write lock: exclusive.
+            if (!lock.holders.empty() &&
+                !(lock.holders.size() == 1 && lock.holders.count(domain))) {
+                conflicted_ = domain;
+                return false; // deliver: the driver aborts
+            }
+            lock.writer = domain;
+            lock.holders.insert(domain);
+            held_[domain].insert(vpn);
+            ++result_->lockWriteGrants;
+            kernel.setPageRights(domain, vpn, vm::Access::ReadWrite);
+        } else {
+            // Read lock: shared, blocked by a foreign write lock.
+            if (lock.writer != 0 && lock.writer != domain) {
+                conflicted_ = domain;
+                return false;
+            }
+            lock.holders.insert(domain);
+            held_[domain].insert(vpn);
+            ++result_->lockReadGrants;
+            kernel.setPageRights(domain, vpn, vm::Access::Read);
+        }
+        return true;
+    }
+
+    /** Commit (or abort): release locks, pages become inaccessible
+     * again for the domain (Table 1, "Commit"). */
+    void
+    releaseAll(os::Kernel &kernel, os::DomainId domain)
+    {
+        auto it = held_.find(domain);
+        if (it == held_.end())
+            return;
+        for (vm::Vpn vpn : it->second) {
+            Lock &lock = locks_[vpn];
+            lock.holders.erase(domain);
+            if (lock.writer == domain)
+                lock.writer = 0;
+            if (lock.holders.empty())
+                locks_.erase(vpn);
+            kernel.setPageRights(domain, vpn, vm::Access::None);
+        }
+        held_.erase(it);
+    }
+
+    bool
+    tookConflict(os::DomainId domain)
+    {
+        if (conflicted_ == domain) {
+            conflicted_ = 0;
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Lock
+    {
+        os::DomainId writer = 0;
+        std::set<os::DomainId> holders;
+    };
+
+    TxvmResult *result_;
+    std::map<vm::Vpn, Lock> locks_;
+    std::map<os::DomainId, std::set<vm::Vpn>> held_;
+    os::DomainId conflicted_ = 0;
+};
+
+} // namespace
+
+TxvmResult
+TxvmWorkload::run(core::System &sys)
+{
+    auto &kernel = sys.kernel();
+    Rng rng(config_.seed);
+    TxvmResult result;
+
+    std::vector<os::DomainId> txs;
+    for (u64 t = 0; t < config_.transactions; ++t)
+        txs.push_back(kernel.createDomain("tx-" + std::to_string(t)));
+
+    const vm::SegmentId db = kernel.createSegment("database",
+                                                  config_.dbPages);
+    // Transactions can name the database but start with no access:
+    // every first touch of a page traps to the lock manager.
+    for (os::DomainId tx : txs)
+        kernel.attach(tx, db, vm::Access::None);
+
+    LockServer server(&result);
+    kernel.setSegmentServer(db, &server);
+
+    const vm::VAddr base = sys.state().segments.find(db)->base();
+    ZipfPageStream stream(base, config_.dbPages, config_.theta,
+                          config_.seed + 7);
+
+    const CycleAccount before = sys.account();
+
+    u64 committed = 0;
+    u64 turn = 0;
+    while (committed < config_.commits) {
+        const os::DomainId tx = txs[turn % txs.size()];
+        ++turn;
+        kernel.switchTo(tx);
+        bool aborted = false;
+        for (u64 touch = 0; touch < config_.pagesPerTx && !aborted;
+             ++touch) {
+            const vm::VAddr va = stream.next(rng);
+            const bool is_store = rng.bernoulli(config_.writeFraction);
+            const bool ok = is_store ? sys.store(va) : sys.load(va);
+            ++result.references;
+            if (!ok && server.tookConflict(tx)) {
+                // Lock conflict: abort, releasing everything.
+                server.releaseAll(kernel, tx);
+                ++result.aborts;
+                aborted = true;
+            }
+        }
+        if (!aborted) {
+            server.releaseAll(kernel, tx);
+            ++result.commits;
+            ++committed;
+        }
+    }
+
+    result.cycles = sys.account().since(before);
+    return result;
+}
+
+} // namespace sasos::wl

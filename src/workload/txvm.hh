@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Transactional virtual memory (Table 1, "Transactional VM", after
+ * the IBM 801's database storage and Camelot).
+ *
+ * Each transaction runs in its own protection domain and initially
+ * has no access to the shared database segment. Touching a page
+ * traps; the lock manager grants a read or write lock and the
+ * matching page rights. Commit releases the locks and returns the
+ * pages to the inaccessible state for that domain.
+ *
+ * Per-model pressure points (Section 4.1.2):
+ *  - rights are inherently per-(domain, page): the PLB updates one
+ *    entry per lock; the page-group model must carve lock pages into
+ *    per-vector groups (splits) and, when transactions share read
+ *    locks while others hold write locks elsewhere, group churn and
+ *    PID-cache pressure follow;
+ *  - conflicting lock requests abort the younger transaction.
+ */
+
+#ifndef SASOS_WORKLOAD_TXVM_HH
+#define SASOS_WORKLOAD_TXVM_HH
+
+#include "core/system.hh"
+#include "os/segment_server.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+
+/** Transactional VM parameters. */
+struct TxvmConfig
+{
+    /** Concurrent transaction domains. */
+    u64 transactions = 4;
+    u64 dbPages = 64;
+    /** Committed transactions to run (across all domains). */
+    u64 commits = 100;
+    /** Pages touched per transaction. */
+    u64 pagesPerTx = 8;
+    double writeFraction = 0.3;
+    /** Zipf skew of page popularity (contention). */
+    double theta = 0.5;
+    u64 seed = 1;
+};
+
+/** Transactional VM results. */
+struct TxvmResult
+{
+    u64 commits = 0;
+    u64 aborts = 0;
+    u64 lockReadGrants = 0;
+    u64 lockWriteGrants = 0;
+    u64 references = 0;
+    CycleAccount cycles;
+};
+
+/** The transaction driver. */
+class TxvmWorkload
+{
+  public:
+    explicit TxvmWorkload(const TxvmConfig &config) : config_(config) {}
+
+    TxvmResult run(core::System &sys);
+
+  private:
+    TxvmConfig config_;
+};
+
+} // namespace sasos::wl
+
+#endif // SASOS_WORKLOAD_TXVM_HH

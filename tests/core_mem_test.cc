@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the shared memory path (L1 + L2) and the
+ * multiple-address-space virtually-indexed-cache baseline
+ * (flush-on-switch, Section 2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+
+using namespace sasos;
+using namespace sasos::core;
+
+namespace
+{
+
+SystemConfig
+tinyCaches(ModelKind kind)
+{
+    SystemConfig config = SystemConfig::forModel(kind);
+    config.cache.sizeBytes = 4 * 1024;
+    config.cache.ways = 1;
+    config.l2.sizeBytes = 64 * 1024;
+    return config;
+}
+
+} // namespace
+
+class MemPathTest : public ::testing::TestWithParam<ModelKind>
+{
+  protected:
+    hw::DataCache *
+    l2Of(core::System &sys)
+    {
+        if (auto *plb = sys.plbSystem())
+            return plb->memory().l2();
+        if (auto *pg = sys.pageGroupSystem())
+            return pg->memory().l2();
+        return sys.conventionalSystem()->memory().l2();
+    }
+};
+
+TEST_P(MemPathTest, L2CatchesL1ConflictMisses)
+{
+    core::System sys(tinyCaches(GetParam()));
+    auto &kernel = sys.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+
+    // a and b conflict in the 4KB direct-mapped L1 but coexist in L2.
+    const vm::VAddr a = base, b = base + 4096;
+    sys.load(a);
+    sys.load(b); // evicts a from L1; L2 now holds both
+    hw::DataCache *l2 = l2Of(sys);
+    ASSERT_NE(l2, nullptr);
+    const u64 l2_hits_before = l2->hits.value();
+    sys.load(a); // L1 miss, L2 hit
+    EXPECT_EQ(l2->hits.value(), l2_hits_before + 1);
+}
+
+TEST_P(MemPathTest, L2HitCheaperThanMemory)
+{
+    core::System sys(tinyCaches(GetParam()));
+    auto &kernel = sys.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    const vm::VAddr a = base, b = base + 4096;
+    sys.load(a);
+    sys.load(b);
+
+    // L1 miss + L2 hit:
+    u64 mark = sys.cycles().count();
+    sys.load(a);
+    const u64 l2_hit_cost = sys.cycles().count() - mark;
+
+    // L1 hit:
+    mark = sys.cycles().count();
+    sys.load(a);
+    const u64 l1_hit_cost = sys.cycles().count() - mark;
+
+    EXPECT_GT(l2_hit_cost, l1_hit_cost);
+    EXPECT_LT(l2_hit_cost,
+              sys.costs().memory.count()); // cheaper than memory
+}
+
+TEST_P(MemPathTest, DisablingL2MakesMissesCostMemory)
+{
+    SystemConfig config = tinyCaches(GetParam());
+    config.l2Enabled = false;
+    core::System sys(config);
+    auto &kernel = sys.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    sys.load(base); // map + fill
+    const u64 mark = sys.cycles().count();
+    sys.load(base + 64); // same page, new line -> memory
+    EXPECT_GE(sys.cycles().count() - mark, sys.costs().memory.count());
+}
+
+TEST_P(MemPathTest, UnmapFlushesBothLevels)
+{
+    core::System sys(tinyCaches(GetParam()));
+    auto &kernel = sys.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    sys.store(base);
+    hw::DataCache *l2 = l2Of(sys);
+    ASSERT_GT(l2->occupancy(), 0u);
+    kernel.unmapPage(vm::pageOf(base));
+    EXPECT_EQ(l2->occupancy(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, MemPathTest,
+                         ::testing::Values(ModelKind::Plb,
+                                           ModelKind::PageGroup,
+                                           ModelKind::Conventional),
+                         [](const ::testing::TestParamInfo<ModelKind> &i) {
+                             switch (i.param) {
+                               case ModelKind::Plb:
+                                 return "plb";
+                               case ModelKind::PageGroup:
+                                 return "pg";
+                               default:
+                                 return "conv";
+                             }
+                         });
+
+// ---------------------------------------------------------------------
+// Multiple-address-space VIVT baseline (flush on switch)
+
+TEST(FlushingVcacheTest, PresetFlushesAndPurges)
+{
+    const SystemConfig config = SystemConfig::flushingVcacheSystem();
+    EXPECT_EQ(config.model, ModelKind::Conventional);
+    EXPECT_EQ(config.cache.org, hw::CacheOrg::Vivt);
+    EXPECT_TRUE(config.flushCacheOnSwitch);
+    EXPECT_TRUE(config.purgeTlbOnSwitch);
+}
+
+TEST(FlushingVcacheTest, SwitchEmptiesTheCache)
+{
+    core::System sys(SystemConfig::flushingVcacheSystem());
+    auto &kernel = sys.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId b = kernel.createDomain("b");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(a, seg, vm::Access::ReadWrite);
+    kernel.attach(b, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    kernel.switchTo(a);
+    sys.touchRange(base, 4 * vm::kPageBytes);
+    auto &cache = sys.conventionalSystem()->cache();
+    EXPECT_GT(cache.occupancy(), 0u);
+    kernel.switchTo(b);
+    EXPECT_EQ(cache.occupancy(), 0u);
+    EXPECT_EQ(sys.conventionalSystem()->switchCacheFlushes.value(), 1u);
+    EXPECT_GT(sys.account().byCategory(CostCategory::Flush).count(), 0u);
+}
+
+TEST(FlushingVcacheTest, SasosVivtKeepsCacheAcrossSwitches)
+{
+    // The contrast: the PLB system's VIVT cache survives switches.
+    core::System sys(SystemConfig::plbSystem());
+    auto &kernel = sys.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId b = kernel.createDomain("b");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(a, seg, vm::Access::ReadWrite);
+    kernel.attach(b, seg, vm::Access::Read);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    kernel.switchTo(a);
+    sys.touchRange(base, 4 * vm::kPageBytes);
+    const std::size_t occupancy = sys.plbSystem()->cache().occupancy();
+    kernel.switchTo(b);
+    EXPECT_EQ(sys.plbSystem()->cache().occupancy(), occupancy);
+    // And b hits a's lines directly.
+    const u64 misses = sys.plbSystem()->cache().misses.value();
+    sys.load(base);
+    EXPECT_EQ(sys.plbSystem()->cache().misses.value(), misses);
+}
+
+TEST(FlushingVcacheTest, FlushingMachineStillEnforcesProtection)
+{
+    core::System sys(SystemConfig::flushingVcacheSystem());
+    auto &kernel = sys.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId b = kernel.createDomain("b");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(a, seg, vm::Access::ReadWrite);
+    kernel.attach(b, seg, vm::Access::Read);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    kernel.switchTo(a);
+    EXPECT_TRUE(sys.store(base));
+    kernel.switchTo(b);
+    EXPECT_FALSE(sys.store(base));
+    EXPECT_TRUE(sys.load(base));
+}

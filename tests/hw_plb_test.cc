@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for the Protection Lookaside Buffer: per-(domain, page)
+ * entries, multi-size protection blocks, indexed and scan purges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/plb.hh"
+#include "sim/stats.hh"
+
+using namespace sasos;
+using namespace sasos::hw;
+
+namespace
+{
+
+PlbConfig
+smallPlb(std::size_t ways = 16, std::vector<int> shifts = {vm::kPageShift})
+{
+    PlbConfig config;
+    config.sets = 1;
+    config.ways = ways;
+    config.sizeShifts = std::move(shifts);
+    return config;
+}
+
+vm::VAddr
+pageAddr(u64 page, u64 offset = 0)
+{
+    return vm::VAddr(page * vm::kPageBytes + offset);
+}
+
+} // namespace
+
+TEST(PlbTest, MissThenInsertThenHit)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    EXPECT_FALSE(plb.lookup(1, pageAddr(5)).has_value());
+    plb.insert(1, pageAddr(5), vm::kPageShift, vm::Access::Read);
+    auto match = plb.lookup(1, pageAddr(5, 128));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->rights, vm::Access::Read);
+    EXPECT_EQ(plb.hits.value(), 1u);
+    EXPECT_EQ(plb.misses.value(), 1u);
+}
+
+TEST(PlbTest, EntriesArePerDomain)
+{
+    // The defining property of the domain-page model: two domains
+    // sharing a page use two PLB entries with independent rights.
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(5), vm::kPageShift, vm::Access::ReadWrite);
+    plb.insert(2, pageAddr(5), vm::kPageShift, vm::Access::Read);
+    EXPECT_EQ(plb.occupancy(), 2u);
+    EXPECT_EQ(plb.lookup(1, pageAddr(5))->rights, vm::Access::ReadWrite);
+    EXPECT_EQ(plb.lookup(2, pageAddr(5))->rights, vm::Access::Read);
+    EXPECT_FALSE(plb.lookup(3, pageAddr(5)).has_value());
+}
+
+TEST(PlbTest, NoneRightsIsAHitNotAMiss)
+{
+    // An entry with rights None is an explicit deny; the lookup hits
+    // and the caller raises a protection fault without a refill.
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(5), vm::kPageShift, vm::Access::None);
+    auto match = plb.lookup(1, pageAddr(5));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->rights, vm::Access::None);
+}
+
+TEST(PlbTest, InsertUpdatesInPlace)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(5), vm::kPageShift, vm::Access::Read);
+    plb.insert(1, pageAddr(5), vm::kPageShift, vm::Access::ReadWrite);
+    EXPECT_EQ(plb.occupancy(), 1u);
+    EXPECT_EQ(plb.updates.value(), 1u);
+    EXPECT_EQ(plb.lookup(1, pageAddr(5))->rights, vm::Access::ReadWrite);
+}
+
+TEST(PlbTest, UpdateRightsOnCachedEntry)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(5), vm::kPageShift, vm::Access::ReadWrite);
+    EXPECT_TRUE(plb.updateRights(1, pageAddr(5), vm::Access::Read));
+    EXPECT_EQ(plb.peek(1, pageAddr(5))->rights, vm::Access::Read);
+    EXPECT_FALSE(plb.updateRights(1, pageAddr(6), vm::Access::Read));
+}
+
+TEST(PlbTest, SuperPageEntryCoversWholeBlock)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(16, {vm::kPageShift, 16}), &root); // 4K and 64K
+    // One 64 KB entry covers 16 pages.
+    plb.insert(1, vm::VAddr(0x100000), 16, vm::Access::ReadWrite);
+    for (u64 page = 0; page < 16; ++page) {
+        auto match = plb.lookup(1, vm::VAddr(0x100000 + page * 0x1000));
+        ASSERT_TRUE(match.has_value()) << "page " << page;
+        EXPECT_EQ(match->sizeShift, 16);
+    }
+    EXPECT_FALSE(plb.lookup(1, vm::VAddr(0x110000)).has_value());
+    EXPECT_EQ(plb.occupancy(), 1u);
+}
+
+TEST(PlbTest, MostSpecificEntryWins)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(16, {vm::kPageShift, 16}), &root);
+    plb.insert(1, vm::VAddr(0x100000), 16, vm::Access::ReadWrite);
+    // A page-grain override inside the super-page must take
+    // precedence (Section 4.3: overrides are more specific).
+    plb.insert(1, vm::VAddr(0x102000), vm::kPageShift, vm::Access::None);
+    EXPECT_EQ(plb.lookup(1, vm::VAddr(0x102000))->rights,
+              vm::Access::None);
+    EXPECT_EQ(plb.lookup(1, vm::VAddr(0x103000))->rights,
+              vm::Access::ReadWrite);
+}
+
+TEST(PlbTest, SubPageProtectionBlocks)
+{
+    // Section 4.3: protection granularity finer than the translation
+    // page, like the 801's 128-byte lock granules.
+    stats::Group root("t");
+    Plb plb(smallPlb(16, {7, vm::kPageShift}), &root);
+    plb.insert(1, vm::VAddr(0x1000), 7, vm::Access::ReadWrite);
+    plb.insert(1, vm::VAddr(0x1080), 7, vm::Access::Read);
+    EXPECT_EQ(plb.lookup(1, vm::VAddr(0x1000 + 0x40))->rights,
+              vm::Access::ReadWrite);
+    EXPECT_EQ(plb.lookup(1, vm::VAddr(0x1080 + 0x40))->rights,
+              vm::Access::Read);
+    EXPECT_FALSE(plb.lookup(1, vm::VAddr(0x1100)).has_value());
+}
+
+TEST(PlbTest, InvalidateCoveringRemovesMostSpecific)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(16, {vm::kPageShift, 16}), &root);
+    plb.insert(1, vm::VAddr(0x100000), 16, vm::Access::ReadWrite);
+    plb.insert(1, vm::VAddr(0x102000), vm::kPageShift, vm::Access::None);
+    auto shift = plb.invalidateCovering(1, vm::VAddr(0x102000));
+    ASSERT_TRUE(shift.has_value());
+    EXPECT_EQ(*shift, vm::kPageShift);
+    // The super-page entry still covers the page now.
+    EXPECT_EQ(plb.lookup(1, vm::VAddr(0x102000))->sizeShift, 16);
+    EXPECT_FALSE(plb.invalidateCovering(2, vm::VAddr(0x102000))
+                     .has_value());
+}
+
+TEST(PlbTest, PurgeDomainScansEverything)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(1), vm::kPageShift, vm::Access::Read);
+    plb.insert(1, pageAddr(2), vm::kPageShift, vm::Access::Read);
+    plb.insert(2, pageAddr(1), vm::kPageShift, vm::Access::Read);
+    const PurgeResult result = plb.purgeDomain(1);
+    // The scan inspects every slot of the structure (the paper's
+    // "inspecting all the entries in the PLB" worst case).
+    EXPECT_EQ(result.scanned, plb.capacity());
+    EXPECT_EQ(result.invalidated, 2u);
+    EXPECT_EQ(plb.occupancy(), 1u);
+    EXPECT_EQ(plb.purgeScans.value(), plb.capacity());
+}
+
+TEST(PlbTest, PurgeRangeOneDomain)
+{
+    // The paper's detach worst case: inspect every entry, drop those
+    // for the (segment, domain) pair.
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(10), vm::kPageShift, vm::Access::Read);
+    plb.insert(1, pageAddr(11), vm::kPageShift, vm::Access::Read);
+    plb.insert(1, pageAddr(20), vm::kPageShift, vm::Access::Read);
+    plb.insert(2, pageAddr(10), vm::kPageShift, vm::Access::Read);
+    const PurgeResult result = plb.purgeRange(DomainId{1}, vm::Vpn(10), 5);
+    EXPECT_EQ(result.scanned, plb.capacity());
+    EXPECT_EQ(result.invalidated, 2u);
+    EXPECT_TRUE(plb.peek(2, pageAddr(10)).has_value());
+    EXPECT_TRUE(plb.peek(1, pageAddr(20)).has_value());
+}
+
+TEST(PlbTest, PurgeRangeAllDomains)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(10), vm::kPageShift, vm::Access::Read);
+    plb.insert(2, pageAddr(10), vm::kPageShift, vm::Access::Read);
+    const PurgeResult result =
+        plb.purgeRange(std::nullopt, vm::Vpn(10), 1);
+    EXPECT_EQ(result.invalidated, 2u);
+    EXPECT_EQ(plb.occupancy(), 0u);
+}
+
+TEST(PlbTest, PurgeRangeCatchesOverlappingSuperPages)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(16, {vm::kPageShift, 16}), &root);
+    plb.insert(1, vm::VAddr(0x100000), 16, vm::Access::Read);
+    // Purging one page inside the super-page must drop the whole
+    // covering entry.
+    const PurgeResult result = plb.purgeRange(
+        std::nullopt, vm::pageOf(vm::VAddr(0x103000)), 1);
+    EXPECT_EQ(result.invalidated, 1u);
+    EXPECT_FALSE(plb.peek(1, vm::VAddr(0x100000)).has_value());
+}
+
+TEST(PlbTest, UpdateRightsRangeMarksEntries)
+{
+    // The paper's GC-flip operation: inspect each entry, mark those
+    // in the range.
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(10), vm::kPageShift, vm::Access::ReadWrite);
+    plb.insert(1, pageAddr(11), vm::kPageShift, vm::Access::ReadWrite);
+    plb.insert(2, pageAddr(10), vm::kPageShift, vm::Access::ReadWrite);
+    const PurgeResult result = plb.updateRightsRange(
+        DomainId{1}, vm::Vpn(10), 4, vm::Access::None);
+    EXPECT_EQ(result.scanned, plb.capacity());
+    EXPECT_EQ(plb.peek(1, pageAddr(10))->rights, vm::Access::None);
+    EXPECT_EQ(plb.peek(1, pageAddr(11))->rights, vm::Access::None);
+    EXPECT_EQ(plb.peek(2, pageAddr(10))->rights, vm::Access::ReadWrite);
+}
+
+TEST(PlbTest, UpdateRightsRangeInvalidatesPartialSuperPages)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(16, {vm::kPageShift, 16}), &root);
+    plb.insert(1, vm::VAddr(0x100000), 16, vm::Access::ReadWrite);
+    // Changing rights on a sub-range: the super-page entry can no
+    // longer carry one value and must go.
+    const PurgeResult result = plb.updateRightsRange(
+        DomainId{1}, vm::pageOf(vm::VAddr(0x102000)), 2,
+        vm::Access::Read);
+    EXPECT_EQ(result.invalidated, 1u);
+    EXPECT_FALSE(plb.peek(1, vm::VAddr(0x100000)).has_value());
+}
+
+TEST(PlbTest, IntersectRightsRangeOnlyRemoves)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(10), vm::kPageShift, vm::Access::ReadWrite);
+    plb.insert(2, pageAddr(10), vm::kPageShift, vm::Access::Read);
+    plb.intersectRightsRange(vm::Vpn(10), 1, vm::Access::Read);
+    EXPECT_EQ(plb.peek(1, pageAddr(10))->rights, vm::Access::Read);
+    EXPECT_EQ(plb.peek(2, pageAddr(10))->rights, vm::Access::Read);
+    plb.intersectRightsRange(vm::Vpn(10), 1, vm::Access::None);
+    EXPECT_EQ(plb.peek(1, pageAddr(10))->rights, vm::Access::None);
+}
+
+TEST(PlbTest, PurgeAll)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    plb.insert(1, pageAddr(1), vm::kPageShift, vm::Access::Read);
+    plb.insert(2, pageAddr(2), vm::kPageShift, vm::Access::Read);
+    EXPECT_EQ(plb.purgeAll(), 2u);
+    EXPECT_EQ(plb.occupancy(), 0u);
+}
+
+TEST(PlbTest, LruEvictionWhenFull)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(2), &root);
+    plb.insert(1, pageAddr(1), vm::kPageShift, vm::Access::Read);
+    plb.insert(1, pageAddr(2), vm::kPageShift, vm::Access::Read);
+    plb.lookup(1, pageAddr(1)); // page 2 becomes LRU
+    plb.insert(1, pageAddr(3), vm::kPageShift, vm::Access::Read);
+    EXPECT_EQ(plb.evictions.value(), 1u);
+    EXPECT_FALSE(plb.peek(1, pageAddr(2)).has_value());
+    EXPECT_TRUE(plb.peek(1, pageAddr(1)).has_value());
+}
+
+TEST(PlbDeathTest, UnsupportedSizeShiftPanics)
+{
+    stats::Group root("t");
+    Plb plb(smallPlb(), &root);
+    EXPECT_DEATH(plb.insert(1, pageAddr(1), 16, vm::Access::Read),
+                 "size shift");
+}
+
+TEST(PlbTest, ReplicationGrowsWithSharingDomains)
+{
+    // Section 4: "the PLB requires multiple entries for shared pages
+    // where the page-group TLB would have only one."
+    stats::Group root("t");
+    Plb plb(smallPlb(64), &root);
+    for (DomainId d = 1; d <= 8; ++d)
+        plb.insert(d, pageAddr(42), vm::kPageShift, vm::Access::Read);
+    EXPECT_EQ(plb.occupancy(), 8u);
+}

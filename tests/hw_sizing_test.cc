@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the analytic geometry model against the paper's stated
+ * numbers: Figure 1 field widths, the ~10% virtually tagged cache
+ * overhead, and the ~25% smaller PLB entry.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/tag_sizing.hh"
+
+using namespace sasos;
+using namespace sasos::hw::sizing;
+
+TEST(SizingTest, Figure1FieldWidths)
+{
+    // Figure 1: 64-bit addresses, 4 KB pages, fully associative PLB
+    // => VPN 52 bits, PD-ID 16 bits, Rights 3 bits.
+    SizingParams params;
+    const EntryLayout plb = plbEntry(params);
+    EXPECT_EQ(plb.bitsOf("vpn"), 52u);
+    EXPECT_EQ(plb.bitsOf("pdid"), 16u);
+    EXPECT_EQ(plb.bitsOf("rights"), 3u);
+    EXPECT_EQ(plb.totalBits(), 71u);
+}
+
+TEST(SizingTest, SetAssociativePlbNeedsFewerTagBits)
+{
+    // The figure's caption: "fewer [VPN bits] would be needed with a
+    // direct-mapped or associative organization."
+    SizingParams params;
+    params.sets = 64;
+    EXPECT_EQ(plbEntry(params).bitsOf("vpn"), 52u - 6u);
+}
+
+TEST(SizingTest, PageGroupTlbEntryContents)
+{
+    SizingParams params;
+    const EntryLayout entry = pageGroupTlbEntry(params);
+    EXPECT_EQ(entry.bitsOf("vpn"), 52u);
+    EXPECT_EQ(entry.bitsOf("pfn"), 24u); // 36 - 12
+    EXPECT_EQ(entry.bitsOf("aid"), 16u);
+    EXPECT_EQ(entry.bitsOf("rights"), 3u);
+    EXPECT_EQ(entry.bitsOf("dirty"), 1u);
+    EXPECT_EQ(entry.bitsOf("referenced"), 1u);
+}
+
+TEST(SizingTest, PlbEntryAboutQuarterSmallerThanPageGroupTlb)
+{
+    // Section 4: "PLB entries are smaller than page-group TLB entries
+    // (about 25% ...) since they don't contain virtual-to-physical
+    // translations."
+    SizingParams params;
+    const double ratio =
+        static_cast<double>(plbEntry(params).totalBits()) /
+        static_cast<double>(pageGroupTlbEntry(params).totalBits());
+    EXPECT_NEAR(1.0 - ratio, 0.25, 0.03);
+}
+
+TEST(SizingTest, MorePlbEntriesInSameSilicon)
+{
+    SizingParams params;
+    const u64 entries = entriesInSameArea(
+        plbEntry(params), pageGroupTlbEntry(params), 128);
+    EXPECT_GT(entries, 128u * 5 / 4); // at least 25% more
+}
+
+TEST(SizingTest, TranslationOnlyTlbIsSmallest)
+{
+    SizingParams params;
+    EXPECT_LT(translationTlbEntry(params).totalBits(),
+              pageGroupTlbEntry(params).totalBits());
+    EXPECT_LT(translationTlbEntry(params).totalBits(),
+              conventionalTlbEntry(params).totalBits());
+}
+
+TEST(SizingTest, ConventionalEntryCarriesAsid)
+{
+    SizingParams params;
+    const EntryLayout entry = conventionalTlbEntry(params);
+    EXPECT_EQ(entry.bitsOf("asid"), 16u);
+    EXPECT_GT(entry.totalBits(), translationTlbEntry(params).totalBits());
+}
+
+TEST(SizingTest, VirtualTagOverheadNearTenPercent)
+{
+    // Section 3.2.1: "in a system with 64-bit virtual addresses,
+    // 36-bit physical addresses and 32 byte cache lines, a virtually
+    // tagged cache would be about 10% larger."
+    CacheSizing cache;
+    cache.sizeBytes = 64 * 1024;
+    cache.lineBytes = 32;
+    cache.ways = 1;
+    const double overhead = virtualTagOverhead(cache);
+    EXPECT_NEAR(overhead, 1.10, 0.015);
+}
+
+TEST(SizingTest, OverheadShrinksWithLargerLines)
+{
+    CacheSizing small;
+    small.lineBytes = 32;
+    CacheSizing large;
+    large.lineBytes = 128;
+    EXPECT_GT(virtualTagOverhead(small), virtualTagOverhead(large));
+}
+
+TEST(SizingTest, CacheLineBitsDecomposition)
+{
+    CacheSizing cache;
+    cache.sizeBytes = 64 * 1024;
+    cache.lineBytes = 32;
+    cache.ways = 1;
+    // 2048 lines, 11 index bits, 5 offset bits.
+    // Virtual tag: 64 - 16 = 48; physical: 36 - 16 = 20.
+    EXPECT_EQ(cacheLineBits(cache, Tagging::Virtual), 256u + 48u + 2u);
+    EXPECT_EQ(cacheLineBits(cache, Tagging::Physical), 256u + 20u + 2u);
+}
+
+TEST(SizingTest, AssociativityRaisesTagBits)
+{
+    CacheSizing direct;
+    CacheSizing assoc;
+    assoc.ways = 4;
+    EXPECT_GT(cacheLineBits(assoc, Tagging::Physical),
+              cacheLineBits(direct, Tagging::Physical));
+}
+
+TEST(SizingTest, TotalBitsScaleWithSize)
+{
+    CacheSizing small;
+    small.sizeBytes = 16 * 1024;
+    CacheSizing big;
+    big.sizeBytes = 64 * 1024;
+    EXPECT_GT(cacheTotalBits(big, Tagging::Virtual),
+              3 * cacheTotalBits(small, Tagging::Virtual));
+}
+
+TEST(SizingTest, LayoutTotalSumsFields)
+{
+    EntryLayout layout{{{"a", 3}, {"b", 4}}};
+    EXPECT_EQ(layout.totalBits(), 7u);
+    EXPECT_EQ(layout.bitsOf("a"), 3u);
+    EXPECT_EQ(layout.bitsOf("missing"), 0u);
+}
+
+TEST(SizingTest, LargerPagesShrinkVpnAndPfn)
+{
+    SizingParams small;
+    SizingParams large;
+    large.pageShift = 16; // 64 KB pages
+    EXPECT_EQ(plbEntry(large).bitsOf("vpn"), 48u);
+    EXPECT_LT(pageGroupTlbEntry(large).totalBits(),
+              pageGroupTlbEntry(small).totalBits());
+}

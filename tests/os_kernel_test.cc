@@ -1,0 +1,355 @@
+/**
+ * @file
+ * Kernel and pager tests, run against the full System for each
+ * protection model where behaviour must be model-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "os/pager.hh"
+
+using namespace sasos;
+using namespace sasos::core;
+
+namespace
+{
+
+SystemConfig
+configFor(ModelKind kind)
+{
+    SystemConfig config = SystemConfig::forModel(kind);
+    config.frames = 64;
+    return config;
+}
+
+} // namespace
+
+class KernelModelTest : public ::testing::TestWithParam<ModelKind>
+{
+  protected:
+    KernelModelTest() : sys_(configFor(GetParam())) {}
+
+    core::System sys_;
+};
+
+TEST_P(KernelModelTest, FirstDomainBecomesCurrent)
+{
+    const os::DomainId d = sys_.kernel().createDomain("first");
+    EXPECT_EQ(sys_.kernel().currentDomain(), d);
+}
+
+TEST_P(KernelModelTest, SwitchChangesCurrentAndCounts)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId b = kernel.createDomain("b");
+    kernel.switchTo(b);
+    EXPECT_EQ(kernel.currentDomain(), b);
+    kernel.switchTo(b); // no-op
+    kernel.switchTo(a);
+    EXPECT_EQ(kernel.domainSwitches.value(), 2u);
+}
+
+TEST_P(KernelModelTest, DemandZeroMappingOnFirstTouch)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+
+    EXPECT_FALSE(kernel.isMapped(vm::pageOf(base)));
+    EXPECT_TRUE(sys_.load(base));
+    EXPECT_TRUE(kernel.isMapped(vm::pageOf(base)));
+    EXPECT_EQ(kernel.demandMaps.value(), 1u);
+    EXPECT_EQ(kernel.translationFaults.value(), 1u);
+}
+
+TEST_P(KernelModelTest, AccessOutsideSegmentsFails)
+{
+    auto &kernel = sys_.kernel();
+    kernel.createDomain("d");
+    EXPECT_FALSE(sys_.load(vm::VAddr(0x10)));
+    EXPECT_EQ(kernel.exceptions.value(), 1u);
+    EXPECT_EQ(sys_.failedReferences.value(), 1u);
+}
+
+TEST_P(KernelModelTest, RightsEnforced)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::Read);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+
+    EXPECT_TRUE(sys_.load(base));
+    EXPECT_FALSE(sys_.store(base));
+    EXPECT_GE(kernel.protectionFaults.value(), 1u);
+}
+
+TEST_P(KernelModelTest, ExecuteRightsDistinct)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId code = kernel.createSegment("code", 2);
+    kernel.attach(d, code, vm::Access::ReadExecute);
+    const vm::VAddr base = sys_.state().segments.find(code)->base();
+    EXPECT_TRUE(sys_.ifetch(base));
+    EXPECT_TRUE(sys_.load(base));
+    EXPECT_FALSE(sys_.store(base));
+}
+
+TEST_P(KernelModelTest, PageOverrideChangesOneDomainOnly)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId b = kernel.createDomain("b");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(a, seg, vm::Access::ReadWrite);
+    kernel.attach(b, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    const vm::Vpn vpn = vm::pageOf(base);
+
+    kernel.switchTo(a);
+    EXPECT_TRUE(sys_.store(base));
+    kernel.setPageRights(a, vpn, vm::Access::Read);
+    EXPECT_FALSE(sys_.store(base));
+    EXPECT_TRUE(sys_.load(base));
+    kernel.switchTo(b);
+    EXPECT_TRUE(sys_.store(base));
+
+    kernel.clearPageRights(a, vpn);
+    kernel.switchTo(a);
+    EXPECT_TRUE(sys_.store(base));
+}
+
+TEST_P(KernelModelTest, SegmentRightsChangeApplies)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    EXPECT_TRUE(sys_.store(base));
+    kernel.setSegmentRights(d, seg, vm::Access::Read);
+    EXPECT_FALSE(sys_.store(base));
+    EXPECT_FALSE(sys_.store(base + vm::kPageBytes));
+    EXPECT_TRUE(sys_.load(base));
+}
+
+TEST_P(KernelModelTest, DetachRevokesEverything)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    EXPECT_TRUE(sys_.store(base));
+    kernel.detach(d, seg);
+    EXPECT_FALSE(sys_.load(base));
+}
+
+TEST_P(KernelModelTest, RestrictPageExcludesAllDomains)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId b = kernel.createDomain("b");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(a, seg, vm::Access::ReadWrite);
+    kernel.attach(b, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    const vm::Vpn vpn = vm::pageOf(base);
+
+    kernel.switchTo(a);
+    EXPECT_TRUE(sys_.store(base));
+    kernel.restrictPage(vpn, vm::Access::None);
+    EXPECT_FALSE(sys_.load(base));
+    kernel.switchTo(b);
+    EXPECT_FALSE(sys_.load(base));
+    kernel.unrestrictPage(vpn);
+    EXPECT_TRUE(sys_.store(base));
+    kernel.switchTo(a);
+    EXPECT_TRUE(sys_.store(base));
+}
+
+TEST_P(KernelModelTest, RestrictExemptDomainKeepsAccess)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const os::DomainId server = kernel.createDomain("server");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(a, seg, vm::Access::ReadWrite);
+    kernel.attach(server, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+
+    kernel.switchTo(a);
+    EXPECT_TRUE(sys_.store(base));
+    kernel.restrictPage(vm::pageOf(base), vm::Access::None, server);
+    EXPECT_FALSE(sys_.load(base));
+    kernel.switchTo(server);
+    EXPECT_TRUE(sys_.store(base));
+}
+
+TEST_P(KernelModelTest, UnmapFlushesAndFaultsNextAccess)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    EXPECT_TRUE(sys_.store(base));
+    const u64 unmaps_before = kernel.unmaps.value();
+    kernel.unmapPage(vm::pageOf(base));
+    EXPECT_EQ(kernel.unmaps.value(), unmaps_before + 1);
+    EXPECT_FALSE(kernel.isMapped(vm::pageOf(base)));
+    // Next access demand-maps a fresh page.
+    EXPECT_TRUE(sys_.load(base));
+    EXPECT_TRUE(kernel.isMapped(vm::pageOf(base)));
+}
+
+TEST_P(KernelModelTest, DestroySegmentUnmapsAndRevokes)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    sys_.touchRange(base, 4 * vm::kPageBytes);
+    const u64 in_use = sys_.state().frameAllocator.inUse();
+    kernel.destroySegment(seg);
+    EXPECT_EQ(sys_.state().frameAllocator.inUse(), in_use - 4);
+    EXPECT_FALSE(sys_.load(base));
+}
+
+TEST_P(KernelModelTest, KernelOpsChargeCycles)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    const u64 before = sys_.cycles().count();
+    kernel.attach(d, seg, vm::Access::Read);
+    EXPECT_GT(sys_.cycles().count(), before);
+}
+
+TEST_P(KernelModelTest, CanonicalRightsReflectTables)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId d = kernel.createDomain("d");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::Read);
+    const vm::Vpn vpn = sys_.state().segments.find(seg)->firstPage;
+    EXPECT_EQ(kernel.canonicalRights(d, vpn), vm::Access::Read);
+    kernel.setPageRights(d, vpn, vm::Access::ReadWrite);
+    EXPECT_EQ(kernel.canonicalRights(d, vpn), vm::Access::ReadWrite);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, KernelModelTest,
+                         ::testing::Values(ModelKind::Plb,
+                                           ModelKind::PageGroup,
+                                           ModelKind::Conventional),
+                         [](const ::testing::TestParamInfo<ModelKind> &i) {
+                             switch (i.param) {
+                               case ModelKind::Plb:
+                                 return "plb";
+                               case ModelKind::PageGroup:
+                                 return "pg";
+                               default:
+                                 return "conv";
+                             }
+                         });
+
+// ---------------------------------------------------------------------
+// Pager
+
+class PagerTest : public ::testing::TestWithParam<ModelKind>
+{
+  protected:
+    PagerTest() : sys_(configFor(GetParam())) {}
+
+    core::System sys_;
+};
+
+TEST_P(PagerTest, PageOutThenInRestoresAccess)
+{
+    auto &kernel = sys_.kernel();
+    os::Pager &pager = sys_.makePager(os::PagerConfig{true});
+    const os::DomainId d = kernel.createDomain("app");
+    const vm::SegmentId seg = kernel.createSegment("s", 2);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    kernel.attach(pager.domainId(), seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    kernel.switchTo(d);
+    EXPECT_TRUE(sys_.store(base));
+
+    const vm::Vpn vpn = vm::pageOf(base);
+    pager.pageOut(vpn);
+    EXPECT_FALSE(kernel.isMapped(vpn));
+    EXPECT_TRUE(kernel.isOnDisk(vpn));
+
+    // The app's next touch faults the page back in transparently.
+    EXPECT_TRUE(sys_.load(base));
+    EXPECT_TRUE(kernel.isMapped(vpn));
+    EXPECT_FALSE(kernel.isOnDisk(vpn));
+    EXPECT_EQ(pager.pageIns.value(), 1u);
+}
+
+TEST_P(PagerTest, EvictionUnderFramePressure)
+{
+    SystemConfig config = configFor(GetParam());
+    config.frames = 8;
+    core::System sys(config);
+    auto &kernel = sys.kernel();
+    os::Pager &pager = sys.makePager(os::PagerConfig{false});
+    const os::DomainId d = kernel.createDomain("app");
+    const vm::SegmentId seg = kernel.createSegment("s", 16);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    kernel.attach(pager.domainId(), seg, vm::Access::ReadWrite);
+    kernel.switchTo(d);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+
+    // Touch twice as many pages as there are frames.
+    for (u64 p = 0; p < 16; ++p)
+        EXPECT_TRUE(sys.store(base + p * vm::kPageBytes));
+    EXPECT_GE(pager.evictions.value(), 8u);
+    EXPECT_LE(sys.state().frameAllocator.inUse(), 8u);
+    // Everything is still accessible (paged back in on demand).
+    for (u64 p = 0; p < 16; ++p)
+        EXPECT_TRUE(sys.load(base + p * vm::kPageBytes));
+}
+
+TEST_P(PagerTest, CompressionChargesIo)
+{
+    auto &kernel = sys_.kernel();
+    os::Pager &pager = sys_.makePager(os::PagerConfig{true});
+    const os::DomainId d = kernel.createDomain("app");
+    const vm::SegmentId seg = kernel.createSegment("s", 1);
+    kernel.attach(d, seg, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(seg)->base();
+    kernel.switchTo(d);
+    sys_.store(base);
+
+    const u64 io_before =
+        sys_.account().byCategory(CostCategory::Io).count();
+    pager.pageOut(vm::pageOf(base));
+    const u64 io_after =
+        sys_.account().byCategory(CostCategory::Io).count();
+    EXPECT_GE(io_after - io_before,
+              sys_.costs().diskAccess.count() +
+                  sys_.costs().compressPage.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PagerTest,
+                         ::testing::Values(ModelKind::Plb,
+                                           ModelKind::PageGroup,
+                                           ModelKind::Conventional),
+                         [](const ::testing::TestParamInfo<ModelKind> &i) {
+                             switch (i.param) {
+                               case ModelKind::Plb:
+                                 return "plb";
+                               case ModelKind::PageGroup:
+                                 return "pg";
+                               default:
+                                 return "conv";
+                             }
+                         });

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the canonical VM state: domains, reverse indexes, masks
+ * and rights vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/vm_state.hh"
+
+using namespace sasos;
+using namespace sasos::os;
+
+class VmStateTest : public ::testing::Test
+{
+  protected:
+    VmStateTest() : state_(1024)
+    {
+        a_ = state_.createDomain("a").id;
+        b_ = state_.createDomain("b").id;
+        seg_ = state_.segments.create("seg", 8);
+        first_ = state_.segments.find(seg_)->firstPage;
+    }
+
+    void
+    attach(DomainId d, vm::Access rights)
+    {
+        state_.domain(d).prot.attachSegment(seg_, rights);
+        state_.noteAttached(d, seg_);
+    }
+
+    VmState state_;
+    DomainId a_ = 0;
+    DomainId b_ = 0;
+    vm::SegmentId seg_ = 0;
+    vm::Vpn first_;
+};
+
+TEST_F(VmStateTest, DomainLifecycle)
+{
+    EXPECT_NE(a_, b_);
+    EXPECT_NE(state_.findDomain(a_), nullptr);
+    state_.destroyDomain(a_);
+    EXPECT_EQ(state_.findDomain(a_), nullptr);
+    EXPECT_NE(state_.findDomain(b_), nullptr);
+}
+
+TEST_F(VmStateTest, AttachedDomainsIndex)
+{
+    attach(a_, vm::Access::ReadWrite);
+    attach(b_, vm::Access::Read);
+    const auto &attached = state_.attachedDomains(seg_);
+    EXPECT_EQ(attached.size(), 2u);
+    state_.noteDetached(a_, seg_);
+    EXPECT_EQ(state_.attachedDomains(seg_).size(), 1u);
+    EXPECT_TRUE(state_.attachedDomains(999).empty());
+}
+
+TEST_F(VmStateTest, DestroyDomainCleansIndexes)
+{
+    attach(a_, vm::Access::ReadWrite);
+    state_.notePageOverride(a_, first_);
+    state_.destroyDomain(a_);
+    EXPECT_TRUE(state_.attachedDomains(seg_).empty());
+    EXPECT_TRUE(state_.overrideDomains(first_).empty());
+}
+
+TEST_F(VmStateTest, EffectiveRightsWithoutMask)
+{
+    attach(a_, vm::Access::ReadWrite);
+    EXPECT_EQ(state_.effectiveRights(a_, first_), vm::Access::ReadWrite);
+    EXPECT_EQ(state_.effectiveRights(b_, first_), vm::Access::None);
+    EXPECT_EQ(state_.effectiveRights(999, first_), vm::Access::None);
+}
+
+TEST_F(VmStateTest, MaskIntersectsEveryone)
+{
+    attach(a_, vm::Access::ReadWrite);
+    attach(b_, vm::Access::Read);
+    state_.setPageMask(first_, vm::Access::Read);
+    EXPECT_EQ(state_.effectiveRights(a_, first_), vm::Access::Read);
+    EXPECT_EQ(state_.effectiveRights(b_, first_), vm::Access::Read);
+    state_.clearPageMask(first_);
+    EXPECT_EQ(state_.effectiveRights(a_, first_), vm::Access::ReadWrite);
+}
+
+TEST_F(VmStateTest, MaskExemptsThePager)
+{
+    attach(a_, vm::Access::ReadWrite);
+    attach(b_, vm::Access::ReadWrite);
+    state_.setPageMask(first_, vm::Access::None, b_);
+    EXPECT_EQ(state_.effectiveRights(a_, first_), vm::Access::None);
+    EXPECT_EQ(state_.effectiveRights(b_, first_), vm::Access::ReadWrite);
+}
+
+TEST_F(VmStateTest, MaskOnlyAffectsItsPage)
+{
+    attach(a_, vm::Access::ReadWrite);
+    state_.setPageMask(first_, vm::Access::None);
+    EXPECT_EQ(state_.effectiveRights(a_, first_ + 1),
+              vm::Access::ReadWrite);
+}
+
+TEST_F(VmStateTest, RightsVectorCollectsNonNoneDomains)
+{
+    attach(a_, vm::Access::ReadWrite);
+    attach(b_, vm::Access::Read);
+    const RightsVector vector = state_.rightsVector(first_);
+    ASSERT_EQ(vector.size(), 2u);
+    EXPECT_EQ(vector[0].first, a_);
+    EXPECT_EQ(vector[0].second, vm::Access::ReadWrite);
+    EXPECT_EQ(vector[1].first, b_);
+    EXPECT_EQ(vector[1].second, vm::Access::Read);
+}
+
+TEST_F(VmStateTest, RightsVectorDropsNoneGrants)
+{
+    attach(a_, vm::Access::None);
+    attach(b_, vm::Access::Read);
+    const RightsVector vector = state_.rightsVector(first_);
+    ASSERT_EQ(vector.size(), 1u);
+    EXPECT_EQ(vector[0].first, b_);
+}
+
+TEST_F(VmStateTest, RightsVectorSeesOverrides)
+{
+    attach(a_, vm::Access::Read);
+    state_.domain(a_).prot.setPageRights(first_, vm::Access::ReadWrite);
+    state_.notePageOverride(a_, first_);
+    const RightsVector vector = state_.rightsVector(first_);
+    ASSERT_EQ(vector.size(), 1u);
+    EXPECT_EQ(vector[0].second, vm::Access::ReadWrite);
+}
+
+TEST_F(VmStateTest, RightsVectorEmptyOutsideSegments)
+{
+    EXPECT_TRUE(state_.rightsVector(vm::Vpn(3)).empty());
+}
+
+TEST_F(VmStateTest, SegmentDefaultVectorIgnoresOverridesAndMasks)
+{
+    attach(a_, vm::Access::ReadWrite);
+    state_.domain(a_).prot.setPageRights(first_, vm::Access::None);
+    state_.notePageOverride(a_, first_);
+    state_.setPageMask(first_ + 1, vm::Access::None);
+    const RightsVector vector = state_.segmentDefaultVector(seg_);
+    ASSERT_EQ(vector.size(), 1u);
+    EXPECT_EQ(vector[0].second, vm::Access::ReadWrite);
+}
+
+TEST_F(VmStateTest, PagesWithStateFindsOverridesAndMasks)
+{
+    attach(a_, vm::Access::ReadWrite);
+    state_.notePageOverride(a_, first_ + 2);
+    state_.setPageMask(first_ + 5, vm::Access::None);
+    const auto pages = state_.pagesWithStateIn(first_, 8);
+    ASSERT_EQ(pages.size(), 2u);
+    EXPECT_EQ(pages[0], first_ + 2);
+    EXPECT_EQ(pages[1], first_ + 5);
+    EXPECT_TRUE(state_.pagesWithStateIn(first_ + 6, 2).empty());
+}
+
+TEST_F(VmStateTest, ForgetOverridesInRange)
+{
+    state_.notePageOverride(a_, first_);
+    state_.notePageOverride(b_, first_);
+    state_.notePageOverride(a_, first_ + 1);
+    state_.forgetOverridesIn(first_, 8, a_);
+    EXPECT_EQ(state_.overrideDomains(first_).size(), 1u);
+    EXPECT_TRUE(state_.overrideDomains(first_ + 1).empty());
+    state_.forgetOverridesIn(first_, 8, std::nullopt);
+    EXPECT_TRUE(state_.overrideDomains(first_).empty());
+}
+
+TEST_F(VmStateTest, OverrideIndexClearedPerPage)
+{
+    state_.notePageOverride(a_, first_);
+    state_.notePageOverrideCleared(a_, first_);
+    EXPECT_TRUE(state_.overrideDomains(first_).empty());
+}

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Property-based tests: randomized operation soups over every
+ * protection model, checking the invariants that must hold no matter
+ * what sequence of kernel operations and references occurs.
+ *
+ *  - Safety: a reference completes iff the canonical tables allow it
+ *    at that moment (no segment servers installed, so faults cannot
+ *    change rights). Hardware caching (PLB/TLB/page-group state) must
+ *    never leak access.
+ *  - Oracle consistency: the model's effectiveRights never exceeds
+ *    canonical rights.
+ *  - Structural sanity: occupancies within capacity; frames conserved.
+ *  - Determinism: identical seeds give identical cycle totals.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/system.hh"
+#include "sim/random.hh"
+
+using namespace sasos;
+using namespace sasos::core;
+
+namespace
+{
+
+struct SoupParam
+{
+    ModelKind model;
+    bool purgeOnSwitch;
+    bool superPage;
+    u64 seed;
+};
+
+std::string
+soupName(const ::testing::TestParamInfo<SoupParam> &info)
+{
+    std::string name;
+    switch (info.param.model) {
+      case ModelKind::Plb:
+        name = "plb";
+        break;
+      case ModelKind::PageGroup:
+        name = "pg";
+        break;
+      case ModelKind::Conventional:
+        name = "conv";
+        break;
+    }
+    if (info.param.purgeOnSwitch)
+        name += "Purge";
+    if (!info.param.superPage)
+        name += "NoSuper";
+    name += "Seed" + std::to_string(info.param.seed);
+    return name;
+}
+
+constexpr vm::Access kGrantChoices[] = {
+    vm::Access::None,       vm::Access::Read,  vm::Access::ReadWrite,
+    vm::Access::ReadExecute, vm::Access::All,
+};
+
+} // namespace
+
+class OpSoupTest : public ::testing::TestWithParam<SoupParam>
+{
+};
+
+TEST_P(OpSoupTest, SafetyInvariantHoldsUnderRandomOperations)
+{
+    const SoupParam param = GetParam();
+    SystemConfig config = SystemConfig::forModel(param.model);
+    config.purgeTlbOnSwitch = param.purgeOnSwitch;
+    config.superPagePlb = param.superPage;
+    if (!param.superPage)
+        config.plb.sizeShifts = {vm::kPageShift};
+    // Small structures put maximum pressure on refill paths.
+    config.plb.ways = 16;
+    config.tlb.ways = 16;
+    config.pgCache.entries = 4;
+    config.cache.sizeBytes = 4096;
+    core::System sys(config);
+    auto &kernel = sys.kernel();
+    Rng rng(param.seed);
+
+    constexpr int kDomains = 4;
+    constexpr int kSegments = 4;
+    constexpr u64 kPagesPerSegment = 8;
+
+    std::vector<os::DomainId> domains;
+    for (int d = 0; d < kDomains; ++d)
+        domains.push_back(kernel.createDomain("d" + std::to_string(d)));
+
+    std::vector<vm::SegmentId> segments;
+    std::vector<vm::VAddr> bases;
+    for (int s = 0; s < kSegments; ++s) {
+        segments.push_back(
+            kernel.createSegment("s" + std::to_string(s),
+                                 kPagesPerSegment));
+        bases.push_back(
+            sys.state().segments.find(segments[s])->base());
+    }
+
+    auto random_domain = [&] {
+        return domains[rng.nextBelow(domains.size())];
+    };
+    auto random_segment_index = [&] {
+        return static_cast<std::size_t>(rng.nextBelow(segments.size()));
+    };
+    auto random_page = [&](std::size_t s) {
+        return vm::pageOf(bases[s]) + rng.nextBelow(kPagesPerSegment);
+    };
+    auto random_grant = [&] {
+        return kGrantChoices[rng.nextBelow(std::size(kGrantChoices))];
+    };
+
+    u64 completed = 0, denied = 0;
+    for (int op = 0; op < 6000; ++op) {
+        switch (rng.nextBelow(10)) {
+          case 0: { // attach (re-attach allowed: replaces the grant)
+            kernel.attach(random_domain(),
+                          segments[random_segment_index()],
+                          random_grant());
+            break;
+          }
+          case 1: { // detach if attached
+            const os::DomainId d = random_domain();
+            const vm::SegmentId seg = segments[random_segment_index()];
+            if (sys.state().domain(d).prot.isAttached(seg))
+                kernel.detach(d, seg);
+            break;
+          }
+          case 2: { // per-domain page override
+            kernel.setPageRights(random_domain(),
+                                 random_page(random_segment_index()),
+                                 random_grant());
+            break;
+          }
+          case 3: { // clear override (if any)
+            const os::DomainId d = random_domain();
+            const vm::Vpn vpn = random_page(random_segment_index());
+            if (sys.state().domain(d).prot.hasPageOverride(vpn))
+                kernel.clearPageRights(d, vpn);
+            break;
+          }
+          case 4: { // segment-level rights change (if attached)
+            const os::DomainId d = random_domain();
+            const vm::SegmentId seg = segments[random_segment_index()];
+            if (sys.state().domain(d).prot.isAttached(seg))
+                kernel.setSegmentRights(d, seg, random_grant());
+            break;
+          }
+          case 5: { // restrict / unrestrict a page globally
+            const vm::Vpn vpn = random_page(random_segment_index());
+            if (sys.state().hasPageMask(vpn))
+                kernel.unrestrictPage(vpn);
+            else
+                kernel.restrictPage(vpn, rng.bernoulli(0.5)
+                                             ? vm::Access::None
+                                             : vm::Access::Read);
+            break;
+          }
+          case 6: { // domain switch
+            kernel.switchTo(random_domain());
+            break;
+          }
+          case 7: { // unmap a mapped page
+            const vm::Vpn vpn = random_page(random_segment_index());
+            if (kernel.isMapped(vpn))
+                kernel.unmapPage(vpn);
+            break;
+          }
+          default: { // a burst of references
+            for (int r = 0; r < 8; ++r) {
+                const std::size_t s = random_segment_index();
+                const vm::VAddr va =
+                    bases[s] +
+                    rng.nextBelow(kPagesPerSegment * vm::kPageBytes);
+                const vm::AccessType type =
+                    rng.bernoulli(0.4)
+                        ? vm::AccessType::Store
+                        : (rng.bernoulli(0.2) ? vm::AccessType::IFetch
+                                              : vm::AccessType::Load);
+                const os::DomainId current = kernel.currentDomain();
+                const vm::Access canonical_before =
+                    kernel.canonicalRights(current, vm::pageOf(va));
+                const bool ok = sys.access(va, type);
+                // No servers exist, so faults cannot change rights:
+                // success must match the canonical tables exactly.
+                const bool expected = vm::includes(
+                    canonical_before, vm::requiredRight(type));
+                ASSERT_EQ(ok, expected)
+                    << "op " << op << " domain " << current << " va 0x"
+                    << std::hex << va.raw() << std::dec << " type "
+                    << vm::toString(type) << " canonical "
+                    << vm::toString(canonical_before);
+                (ok ? completed : denied) += 1;
+            }
+            break;
+          }
+        }
+
+        // Oracle check on a random sample point.
+        const os::DomainId d = random_domain();
+        const vm::Vpn vpn = random_page(random_segment_index());
+        const vm::Access hw = sys.model().effectiveRights(d, vpn);
+        const vm::Access canonical = kernel.canonicalRights(d, vpn);
+        ASSERT_TRUE(vm::includes(canonical, hw))
+            << "hardware over-grants: hw=" << vm::toString(hw)
+            << " canonical=" << vm::toString(canonical);
+    }
+
+    // The soup must genuinely exercise both outcomes.
+    EXPECT_GT(completed, 100u);
+    EXPECT_GT(denied, 100u);
+
+    // Frames conserved: every mapped page holds exactly one frame.
+    EXPECT_EQ(sys.state().frameAllocator.inUse(),
+              sys.state().pageTable.size());
+}
+
+TEST_P(OpSoupTest, DeterministicCycleTotals)
+{
+    const SoupParam param = GetParam();
+    u64 totals[2];
+    for (int run = 0; run < 2; ++run) {
+        SystemConfig config = SystemConfig::forModel(param.model);
+        config.purgeTlbOnSwitch = param.purgeOnSwitch;
+        core::System sys(config);
+        auto &kernel = sys.kernel();
+        Rng rng(param.seed);
+        const os::DomainId a = kernel.createDomain("a");
+        const os::DomainId b = kernel.createDomain("b");
+        const vm::SegmentId seg = kernel.createSegment("s", 8);
+        kernel.attach(a, seg, vm::Access::ReadWrite);
+        kernel.attach(b, seg, vm::Access::Read);
+        const vm::VAddr base = sys.state().segments.find(seg)->base();
+        for (int i = 0; i < 500; ++i) {
+            kernel.switchTo(rng.bernoulli(0.5) ? a : b);
+            const vm::VAddr va =
+                base + rng.nextBelow(8 * vm::kPageBytes);
+            if (rng.bernoulli(0.3))
+                sys.store(va);
+            else
+                sys.load(va);
+        }
+        totals[run] = sys.cycles().count();
+    }
+    EXPECT_EQ(totals[0], totals[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Soups, OpSoupTest,
+    ::testing::Values(
+        SoupParam{ModelKind::Plb, false, true, 1},
+        SoupParam{ModelKind::Plb, false, true, 2},
+        SoupParam{ModelKind::Plb, false, false, 3},
+        SoupParam{ModelKind::PageGroup, false, true, 1},
+        SoupParam{ModelKind::PageGroup, false, true, 2},
+        SoupParam{ModelKind::PageGroup, false, true, 4},
+        SoupParam{ModelKind::Conventional, false, true, 1},
+        SoupParam{ModelKind::Conventional, false, true, 2},
+        SoupParam{ModelKind::Conventional, true, true, 1},
+        SoupParam{ModelKind::Conventional, true, true, 5}),
+    soupName);

@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Integration tests: every application workload runs on every
+ * protection model, completes, and exhibits the dynamics the paper
+ * attributes to it. Also checks determinism (same seed, same cycles).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/system.hh"
+#include "workload/address_stream.hh"
+#include "workload/attach_churn.hh"
+#include "workload/checkpoint.hh"
+#include "workload/comppage.hh"
+#include "workload/dvm.hh"
+#include "workload/gc.hh"
+#include "workload/rpc.hh"
+#include "workload/sharing.hh"
+#include "workload/txvm.hh"
+
+using namespace sasos;
+using namespace sasos::core;
+
+namespace
+{
+
+const char *
+modelName(const ::testing::TestParamInfo<ModelKind> &info)
+{
+    switch (info.param) {
+      case ModelKind::Plb:
+        return "plb";
+      case ModelKind::PageGroup:
+        return "pg";
+      default:
+        return "conv";
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Address streams
+
+TEST(AddressStreamTest, SequentialWrapsAround)
+{
+    Rng rng(1);
+    wl::SequentialStream stream(vm::VAddr(0x1000), 32, 8);
+    EXPECT_EQ(stream.next(rng).raw(), 0x1000u);
+    EXPECT_EQ(stream.next(rng).raw(), 0x1008u);
+    for (int i = 0; i < 2; ++i)
+        stream.next(rng);
+    EXPECT_EQ(stream.next(rng).raw(), 0x1000u); // wrapped
+}
+
+TEST(AddressStreamTest, UniformStaysInRange)
+{
+    Rng rng(2);
+    wl::UniformStream stream(vm::VAddr(0x1000), 0x2000);
+    for (int i = 0; i < 1000; ++i) {
+        const u64 raw = stream.next(rng).raw();
+        EXPECT_GE(raw, 0x1000u);
+        EXPECT_LT(raw, 0x3000u);
+        EXPECT_EQ(raw % 8, 0u);
+    }
+}
+
+TEST(AddressStreamTest, ZipfConcentratesOnHotPages)
+{
+    Rng rng(3);
+    wl::ZipfPageStream stream(vm::VAddr(0), 64, 1.0, 55);
+    std::map<u64, int> page_counts;
+    for (int i = 0; i < 20000; ++i)
+        ++page_counts[stream.next(rng).raw() / vm::kPageBytes];
+    // The hottest page should dominate the coldest by a wide margin.
+    int max_count = 0, min_count = 1 << 30;
+    for (const auto &[page, count] : page_counts) {
+        max_count = std::max(max_count, count);
+        min_count = std::min(min_count, count);
+    }
+    EXPECT_GT(max_count, 10 * std::max(min_count, 1));
+}
+
+TEST(AddressStreamTest, WorkingSetConfinesReferences)
+{
+    Rng rng(4);
+    wl::WorkingSetStream stream(vm::VAddr(0), 1024, 4, 100);
+    std::set<u64> pages;
+    for (int i = 0; i < 100; ++i)
+        pages.insert(stream.next(rng).raw() / vm::kPageBytes);
+    EXPECT_LE(pages.size(), 4u); // one phase: at most ws pages
+}
+
+// ---------------------------------------------------------------------
+// Workloads x models
+
+class WorkloadModelTest : public ::testing::TestWithParam<ModelKind>
+{
+  protected:
+    SystemConfig
+    config() const
+    {
+        return SystemConfig::forModel(GetParam());
+    }
+};
+
+TEST_P(WorkloadModelTest, RpcCompletesAndSwitches)
+{
+    core::System sys(config());
+    wl::RpcConfig rpc_config;
+    rpc_config.calls = 50;
+    const wl::RpcResult result = wl::RpcWorkload(rpc_config).run(sys);
+    EXPECT_EQ(result.calls, 50u);
+    EXPECT_GE(result.domainSwitches, 2 * result.calls - 1);
+    EXPECT_GT(result.cyclesPerCall(), 0.0);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+}
+
+TEST_P(WorkloadModelTest, AttachChurnCompletesCleanly)
+{
+    core::System sys(config());
+    wl::AttachChurnConfig churn_config;
+    churn_config.episodes = 30;
+    const wl::AttachChurnResult result =
+        wl::AttachChurnWorkload(churn_config).run(sys);
+    EXPECT_EQ(result.episodes, 30u);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+    EXPECT_EQ(sys.kernel().attaches.value(), 30u);
+    EXPECT_EQ(sys.kernel().detaches.value(), 30u);
+}
+
+TEST_P(WorkloadModelTest, SharingCompletes)
+{
+    core::System sys(config());
+    wl::SharingConfig sharing_config;
+    sharing_config.quanta = 40;
+    sharing_config.refsPerQuantum = 50;
+    const wl::SharingResult result =
+        wl::SharingWorkload(sharing_config).run(sys);
+    EXPECT_EQ(result.references, 40u * 50u);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+    EXPECT_GT(result.occupancyEntries, 0u);
+}
+
+TEST_P(WorkloadModelTest, GcScansEveryTouchedPageExactlyOnce)
+{
+    core::System sys(config());
+    wl::GcConfig gc_config;
+    gc_config.collections = 3;
+    gc_config.spacePages = 16;
+    gc_config.allocsPerCollection = 64;
+    const wl::GcResult result = wl::GcWorkload(gc_config).run(sys);
+    EXPECT_EQ(result.flips, 3u);
+    // Each flip forces at most spacePages scans; with refs spread
+    // over the space, nearly all pages fault once per collection.
+    EXPECT_GT(result.scanFaults, 0u);
+    EXPECT_LE(result.scanFaults, 3u * 16u);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+}
+
+TEST_P(WorkloadModelTest, DvmEpisodesBalance)
+{
+    core::System sys(config());
+    wl::DvmConfig dvm_config;
+    dvm_config.quanta = 40;
+    dvm_config.refsPerQuantum = 40;
+    const wl::DvmResult result = wl::DvmWorkload(dvm_config).run(sys);
+    EXPECT_GT(result.readFaults, 0u);
+    EXPECT_GT(result.writeFaults, 0u);
+    // Invalidations only happen when a writer displaces readers.
+    EXPECT_LE(result.invalidations,
+              result.writeFaults * dvm_config.nodes);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+}
+
+TEST_P(WorkloadModelTest, TxvmCommitsRequested)
+{
+    core::System sys(config());
+    wl::TxvmConfig tx_config;
+    tx_config.commits = 20;
+    const wl::TxvmResult result = wl::TxvmWorkload(tx_config).run(sys);
+    EXPECT_EQ(result.commits, 20u);
+    EXPECT_GT(result.lockReadGrants + result.lockWriteGrants, 0u);
+    // Aborted references are the only legitimate failures.
+    EXPECT_EQ(sys.failedReferences.value(), result.aborts);
+}
+
+TEST_P(WorkloadModelTest, CheckpointsCoverAllPages)
+{
+    core::System sys(config());
+    wl::CheckpointConfig ckpt_config;
+    ckpt_config.checkpoints = 2;
+    ckpt_config.dataPages = 32;
+    ckpt_config.refsBetween = 500;
+    const wl::CheckpointResult result =
+        wl::CheckpointWorkload(ckpt_config).run(sys);
+    EXPECT_EQ(result.checkpoints, 2u);
+    // Every page is checkpointed exactly once per checkpoint, either
+    // by a copy-on-write fault or by the sweeper.
+    EXPECT_EQ(result.copyOnWriteFaults + result.sweptPages, 2u * 32u);
+    EXPECT_GT(result.copyOnWriteFaults, 0u);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+}
+
+TEST_P(WorkloadModelTest, CompressionPagingPagesInAndOut)
+{
+    SystemConfig sys_config = config();
+    wl::CompPageConfig cp_config;
+    cp_config.dataPages = 64;
+    cp_config.frames = 32;
+    cp_config.references = 3000;
+    sys_config.frames = cp_config.frames;
+    core::System sys(sys_config);
+    const wl::CompPageResult result =
+        wl::CompPageWorkload(cp_config).run(sys);
+    EXPECT_GT(result.pageOuts, 0u);
+    EXPECT_GT(result.pageIns, 0u);
+    EXPECT_EQ(sys.failedReferences.value(), 0u);
+    EXPECT_LE(sys.state().frameAllocator.inUse(), cp_config.frames);
+}
+
+TEST_P(WorkloadModelTest, DeterministicAcrossRuns)
+{
+    // Every workload must give bit-identical cycle totals for the
+    // same seed and configuration.
+    auto run_all = [&](core::System &sys) {
+        u64 total = 0;
+        {
+            wl::RpcConfig c;
+            c.calls = 20;
+            total += wl::RpcWorkload(c).run(sys).cycles.total().count();
+        }
+        {
+            wl::DvmConfig c;
+            c.quanta = 20;
+            total += wl::DvmWorkload(c).run(sys).cycles.total().count();
+        }
+        {
+            wl::TxvmConfig c;
+            c.commits = 8;
+            total += wl::TxvmWorkload(c).run(sys).cycles.total().count();
+        }
+        {
+            wl::GcConfig c;
+            c.collections = 2;
+            c.spacePages = 8;
+            c.allocsPerCollection = 16;
+            total += wl::GcWorkload(c).run(sys).cycles.total().count();
+        }
+        {
+            wl::SharingConfig c;
+            c.quanta = 12;
+            c.protChangePeriod = 3;
+            total +=
+                wl::SharingWorkload(c).run(sys).cycles.total().count();
+        }
+        {
+            wl::CheckpointConfig c;
+            c.checkpoints = 1;
+            c.dataPages = 8;
+            c.refsBetween = 100;
+            total += wl::CheckpointWorkload(c)
+                         .run(sys)
+                         .cycles.total()
+                         .count();
+        }
+        return total;
+    };
+    u64 first_cycles = 0;
+    for (int run = 0; run < 2; ++run) {
+        core::System sys(config());
+        const u64 total = run_all(sys);
+        if (run == 0)
+            first_cycles = total;
+        else
+            EXPECT_EQ(total, first_cycles);
+    }
+}
+
+TEST(ModelContrastTest, SameReferencesFailOnEveryModel)
+{
+    // The *set* of canonically denied references is a property of the
+    // kernel state, not of the protection hardware: replaying one
+    // deterministic scenario on each machine must fail the same
+    // references. (TxVM aborts are the scenario: lock conflicts.)
+    wl::TxvmConfig tx_config;
+    tx_config.commits = 25;
+    tx_config.theta = 0.9; // high contention -> aborts
+    std::vector<u64> fails;
+    for (ModelKind kind : {ModelKind::Plb, ModelKind::PageGroup,
+                           ModelKind::Conventional}) {
+        core::System sys(SystemConfig::forModel(kind));
+        const wl::TxvmResult result =
+            wl::TxvmWorkload(tx_config).run(sys);
+        fails.push_back(result.aborts);
+        EXPECT_EQ(sys.failedReferences.value(), result.aborts);
+    }
+    EXPECT_EQ(fails[0], fails[1]);
+    EXPECT_EQ(fails[1], fails[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, WorkloadModelTest,
+                         ::testing::Values(ModelKind::Plb,
+                                           ModelKind::PageGroup,
+                                           ModelKind::Conventional),
+                         modelName);
+
+// ---------------------------------------------------------------------
+// Model-contrast assertions: the paper's qualitative predictions.
+
+TEST(ModelContrastTest, PlbSharingReplicatesButPageGroupDoesNot)
+{
+    wl::SharingConfig sharing_config;
+    sharing_config.domains = 6;
+    sharing_config.sharedSegments = 2;
+    sharing_config.sharedPages = 16;
+    sharing_config.quanta = 60;
+    sharing_config.sharedFraction = 1.0;
+    sharing_config.privatePages = 1;
+
+    SystemConfig plb_config = SystemConfig::plbSystem();
+    plb_config.superPagePlb = false;
+    plb_config.plb.sizeShifts = {vm::kPageShift};
+    core::System plb_sys(plb_config);
+    const wl::SharingResult plb_result =
+        wl::SharingWorkload(sharing_config).run(plb_sys);
+
+    core::System pg_sys(SystemConfig::pageGroupSystem());
+    const wl::SharingResult pg_result =
+        wl::SharingWorkload(sharing_config).run(pg_sys);
+
+    // Section 4: the PLB holds one entry per (domain, page); the
+    // page-group TLB holds one per page.
+    EXPECT_GT(plb_result.occupancyEntries,
+              2 * pg_result.occupancyEntries / 2);
+    EXPECT_GT(plb_result.occupancyEntries, pg_result.occupancyEntries);
+}
+
+TEST(ModelContrastTest, PurgingConventionalPaysMoreForSwitches)
+{
+    wl::RpcConfig rpc_config;
+    rpc_config.calls = 100;
+
+    core::System asid_sys(SystemConfig::conventionalSystem());
+    const wl::RpcResult asid =
+        wl::RpcWorkload(rpc_config).run(asid_sys);
+
+    core::System purge_sys(SystemConfig::purgingConventionalSystem());
+    const wl::RpcResult purge =
+        wl::RpcWorkload(rpc_config).run(purge_sys);
+
+    EXPECT_GT(purge.cyclesPerCall(), asid.cyclesPerCall());
+}
+
+TEST(ModelContrastTest, PageGroupSplitsOnlyUnderPerDomainChanges)
+{
+    // Static sharing: no splits. Transactional locking: splits.
+    wl::SharingConfig static_config;
+    static_config.quanta = 40;
+    static_config.protChangePeriod = 0;
+    core::System static_sys(SystemConfig::pageGroupSystem());
+    wl::SharingWorkload(static_config).run(static_sys);
+    EXPECT_EQ(static_sys.pageGroupSystem()->manager().splits.value(), 0u);
+
+    wl::TxvmConfig tx_config;
+    tx_config.commits = 20;
+    core::System tx_sys(SystemConfig::pageGroupSystem());
+    wl::TxvmWorkload(tx_config).run(tx_sys);
+    EXPECT_GT(tx_sys.pageGroupSystem()->manager().splits.value(), 0u);
+}
+
+TEST(ModelContrastTest, GcFlipCheaperOnPageGroupModel)
+{
+    // Table 1 flip: page-group swaps group ids (O(1)); the PLB model
+    // scans. Compare kernel work during the whole GC run.
+    wl::GcConfig gc_config;
+    gc_config.collections = 4;
+    gc_config.spacePages = 32;
+
+    core::System plb_sys(SystemConfig::plbSystem());
+    const wl::GcResult plb = wl::GcWorkload(gc_config).run(plb_sys);
+
+    core::System pg_sys(SystemConfig::pageGroupSystem());
+    const wl::GcResult pg = wl::GcWorkload(gc_config).run(pg_sys);
+
+    EXPECT_LT(pg.flipCycles, plb.flipCycles);
+}
