@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_page_tables.dir/bench_page_tables.cc.o"
+  "CMakeFiles/bench_page_tables.dir/bench_page_tables.cc.o.d"
+  "bench_page_tables"
+  "bench_page_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_page_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

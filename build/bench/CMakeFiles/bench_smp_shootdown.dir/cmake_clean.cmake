@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smp_shootdown.dir/bench_smp_shootdown.cc.o"
+  "CMakeFiles/bench_smp_shootdown.dir/bench_smp_shootdown.cc.o.d"
+  "bench_smp_shootdown"
+  "bench_smp_shootdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp_shootdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

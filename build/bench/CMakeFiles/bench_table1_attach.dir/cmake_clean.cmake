@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_attach.dir/bench_table1_attach.cc.o"
+  "CMakeFiles/bench_table1_attach.dir/bench_table1_attach.cc.o.d"
+  "bench_table1_attach"
+  "bench_table1_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_checkpoint.dir/bench_table1_checkpoint.cc.o"
+  "CMakeFiles/bench_table1_checkpoint.dir/bench_table1_checkpoint.cc.o.d"
+  "bench_table1_checkpoint"
+  "bench_table1_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_comppage.dir/bench_table1_comppage.cc.o"
+  "CMakeFiles/bench_table1_comppage.dir/bench_table1_comppage.cc.o.d"
+  "bench_table1_comppage"
+  "bench_table1_comppage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_comppage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dvm.dir/bench_table1_dvm.cc.o"
+  "CMakeFiles/bench_table1_dvm.dir/bench_table1_dvm.cc.o.d"
+  "bench_table1_dvm"
+  "bench_table1_dvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

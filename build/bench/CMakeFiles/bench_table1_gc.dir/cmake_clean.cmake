@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_gc.dir/bench_table1_gc.cc.o"
+  "CMakeFiles/bench_table1_gc.dir/bench_table1_gc.cc.o.d"
+  "bench_table1_gc"
+  "bench_table1_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_txvm.dir/bench_table1_txvm.cc.o"
+  "CMakeFiles/bench_table1_txvm.dir/bench_table1_txvm.cc.o.d"
+  "bench_table1_txvm"
+  "bench_table1_txvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_txvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vcache_flush.dir/bench_vcache_flush.cc.o"
+  "CMakeFiles/bench_vcache_flush.dir/bench_vcache_flush.cc.o.d"
+  "bench_vcache_flush"
+  "bench_vcache_flush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vcache_flush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

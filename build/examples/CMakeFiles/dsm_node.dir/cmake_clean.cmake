@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_node.dir/dsm_node.cc.o"
+  "CMakeFiles/dsm_node.dir/dsm_node.cc.o.d"
+  "dsm_node"
+  "dsm_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

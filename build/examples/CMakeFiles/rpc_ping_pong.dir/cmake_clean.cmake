@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_ping_pong.dir/rpc_ping_pong.cc.o"
+  "CMakeFiles/rpc_ping_pong.dir/rpc_ping_pong.cc.o.d"
+  "rpc_ping_pong"
+  "rpc_ping_pong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_ping_pong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rpc_ping_pong.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_server.dir/segment_server.cc.o"
+  "CMakeFiles/segment_server.dir/segment_server.cc.o.d"
+  "segment_server"
+  "segment_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

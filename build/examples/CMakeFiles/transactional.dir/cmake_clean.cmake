@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional.dir/transactional.cc.o"
+  "CMakeFiles/transactional.dir/transactional.cc.o.d"
+  "transactional"
+  "transactional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

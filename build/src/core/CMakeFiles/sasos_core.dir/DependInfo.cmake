@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/conventional_system.cc" "src/core/CMakeFiles/sasos_core.dir/conventional_system.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/conventional_system.cc.o.d"
+  "/root/repo/src/core/mem_path.cc" "src/core/CMakeFiles/sasos_core.dir/mem_path.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/mem_path.cc.o.d"
+  "/root/repo/src/core/pagegroup_system.cc" "src/core/CMakeFiles/sasos_core.dir/pagegroup_system.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/pagegroup_system.cc.o.d"
+  "/root/repo/src/core/plb_system.cc" "src/core/CMakeFiles/sasos_core.dir/plb_system.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/plb_system.cc.o.d"
+  "/root/repo/src/core/smp.cc" "src/core/CMakeFiles/sasos_core.dir/smp.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/smp.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/sasos_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/system.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/core/CMakeFiles/sasos_core.dir/system_config.cc.o" "gcc" "src/core/CMakeFiles/sasos_core.dir/system_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/sasos_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sasos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sasos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sasos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

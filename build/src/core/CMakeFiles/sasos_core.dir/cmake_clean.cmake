@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_core.dir/conventional_system.cc.o"
+  "CMakeFiles/sasos_core.dir/conventional_system.cc.o.d"
+  "CMakeFiles/sasos_core.dir/mem_path.cc.o"
+  "CMakeFiles/sasos_core.dir/mem_path.cc.o.d"
+  "CMakeFiles/sasos_core.dir/pagegroup_system.cc.o"
+  "CMakeFiles/sasos_core.dir/pagegroup_system.cc.o.d"
+  "CMakeFiles/sasos_core.dir/plb_system.cc.o"
+  "CMakeFiles/sasos_core.dir/plb_system.cc.o.d"
+  "CMakeFiles/sasos_core.dir/smp.cc.o"
+  "CMakeFiles/sasos_core.dir/smp.cc.o.d"
+  "CMakeFiles/sasos_core.dir/system.cc.o"
+  "CMakeFiles/sasos_core.dir/system.cc.o.d"
+  "CMakeFiles/sasos_core.dir/system_config.cc.o"
+  "CMakeFiles/sasos_core.dir/system_config.cc.o.d"
+  "libsasos_core.a"
+  "libsasos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/data_cache.cc" "src/hw/CMakeFiles/sasos_hw.dir/data_cache.cc.o" "gcc" "src/hw/CMakeFiles/sasos_hw.dir/data_cache.cc.o.d"
+  "/root/repo/src/hw/pagegroup_cache.cc" "src/hw/CMakeFiles/sasos_hw.dir/pagegroup_cache.cc.o" "gcc" "src/hw/CMakeFiles/sasos_hw.dir/pagegroup_cache.cc.o.d"
+  "/root/repo/src/hw/plb.cc" "src/hw/CMakeFiles/sasos_hw.dir/plb.cc.o" "gcc" "src/hw/CMakeFiles/sasos_hw.dir/plb.cc.o.d"
+  "/root/repo/src/hw/replacement.cc" "src/hw/CMakeFiles/sasos_hw.dir/replacement.cc.o" "gcc" "src/hw/CMakeFiles/sasos_hw.dir/replacement.cc.o.d"
+  "/root/repo/src/hw/tag_sizing.cc" "src/hw/CMakeFiles/sasos_hw.dir/tag_sizing.cc.o" "gcc" "src/hw/CMakeFiles/sasos_hw.dir/tag_sizing.cc.o.d"
+  "/root/repo/src/hw/tlb.cc" "src/hw/CMakeFiles/sasos_hw.dir/tlb.cc.o" "gcc" "src/hw/CMakeFiles/sasos_hw.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/sasos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sasos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

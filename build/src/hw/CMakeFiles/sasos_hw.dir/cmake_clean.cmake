@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_hw.dir/data_cache.cc.o"
+  "CMakeFiles/sasos_hw.dir/data_cache.cc.o.d"
+  "CMakeFiles/sasos_hw.dir/pagegroup_cache.cc.o"
+  "CMakeFiles/sasos_hw.dir/pagegroup_cache.cc.o.d"
+  "CMakeFiles/sasos_hw.dir/plb.cc.o"
+  "CMakeFiles/sasos_hw.dir/plb.cc.o.d"
+  "CMakeFiles/sasos_hw.dir/replacement.cc.o"
+  "CMakeFiles/sasos_hw.dir/replacement.cc.o.d"
+  "CMakeFiles/sasos_hw.dir/tag_sizing.cc.o"
+  "CMakeFiles/sasos_hw.dir/tag_sizing.cc.o.d"
+  "CMakeFiles/sasos_hw.dir/tlb.cc.o"
+  "CMakeFiles/sasos_hw.dir/tlb.cc.o.d"
+  "libsasos_hw.a"
+  "libsasos_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

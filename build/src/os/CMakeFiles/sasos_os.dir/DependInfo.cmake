@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/sasos_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/sasos_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/page_group_manager.cc" "src/os/CMakeFiles/sasos_os.dir/page_group_manager.cc.o" "gcc" "src/os/CMakeFiles/sasos_os.dir/page_group_manager.cc.o.d"
+  "/root/repo/src/os/pager.cc" "src/os/CMakeFiles/sasos_os.dir/pager.cc.o" "gcc" "src/os/CMakeFiles/sasos_os.dir/pager.cc.o.d"
+  "/root/repo/src/os/protection_model.cc" "src/os/CMakeFiles/sasos_os.dir/protection_model.cc.o" "gcc" "src/os/CMakeFiles/sasos_os.dir/protection_model.cc.o.d"
+  "/root/repo/src/os/vm_state.cc" "src/os/CMakeFiles/sasos_os.dir/vm_state.cc.o" "gcc" "src/os/CMakeFiles/sasos_os.dir/vm_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/sasos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sasos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sasos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_os.dir/kernel.cc.o"
+  "CMakeFiles/sasos_os.dir/kernel.cc.o.d"
+  "CMakeFiles/sasos_os.dir/page_group_manager.cc.o"
+  "CMakeFiles/sasos_os.dir/page_group_manager.cc.o.d"
+  "CMakeFiles/sasos_os.dir/pager.cc.o"
+  "CMakeFiles/sasos_os.dir/pager.cc.o.d"
+  "CMakeFiles/sasos_os.dir/protection_model.cc.o"
+  "CMakeFiles/sasos_os.dir/protection_model.cc.o.d"
+  "CMakeFiles/sasos_os.dir/vm_state.cc.o"
+  "CMakeFiles/sasos_os.dir/vm_state.cc.o.d"
+  "libsasos_os.a"
+  "libsasos_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

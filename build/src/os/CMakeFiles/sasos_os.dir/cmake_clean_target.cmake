@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsasos_os.a"
+)

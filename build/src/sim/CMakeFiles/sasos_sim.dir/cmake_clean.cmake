@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_sim.dir/cost_model.cc.o"
+  "CMakeFiles/sasos_sim.dir/cost_model.cc.o.d"
+  "CMakeFiles/sasos_sim.dir/cycle_account.cc.o"
+  "CMakeFiles/sasos_sim.dir/cycle_account.cc.o.d"
+  "CMakeFiles/sasos_sim.dir/logging.cc.o"
+  "CMakeFiles/sasos_sim.dir/logging.cc.o.d"
+  "CMakeFiles/sasos_sim.dir/options.cc.o"
+  "CMakeFiles/sasos_sim.dir/options.cc.o.d"
+  "CMakeFiles/sasos_sim.dir/random.cc.o"
+  "CMakeFiles/sasos_sim.dir/random.cc.o.d"
+  "CMakeFiles/sasos_sim.dir/stats.cc.o"
+  "CMakeFiles/sasos_sim.dir/stats.cc.o.d"
+  "CMakeFiles/sasos_sim.dir/table.cc.o"
+  "CMakeFiles/sasos_sim.dir/table.cc.o.d"
+  "libsasos_sim.a"
+  "libsasos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

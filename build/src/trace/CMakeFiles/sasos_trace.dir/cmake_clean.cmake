@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_trace.dir/trace.cc.o"
+  "CMakeFiles/sasos_trace.dir/trace.cc.o.d"
+  "libsasos_trace.a"
+  "libsasos_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/linear_page_table.cc" "src/vm/CMakeFiles/sasos_vm.dir/linear_page_table.cc.o" "gcc" "src/vm/CMakeFiles/sasos_vm.dir/linear_page_table.cc.o.d"
+  "/root/repo/src/vm/page_table.cc" "src/vm/CMakeFiles/sasos_vm.dir/page_table.cc.o" "gcc" "src/vm/CMakeFiles/sasos_vm.dir/page_table.cc.o.d"
+  "/root/repo/src/vm/phys_mem.cc" "src/vm/CMakeFiles/sasos_vm.dir/phys_mem.cc.o" "gcc" "src/vm/CMakeFiles/sasos_vm.dir/phys_mem.cc.o.d"
+  "/root/repo/src/vm/prot_table.cc" "src/vm/CMakeFiles/sasos_vm.dir/prot_table.cc.o" "gcc" "src/vm/CMakeFiles/sasos_vm.dir/prot_table.cc.o.d"
+  "/root/repo/src/vm/segment.cc" "src/vm/CMakeFiles/sasos_vm.dir/segment.cc.o" "gcc" "src/vm/CMakeFiles/sasos_vm.dir/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sasos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_vm.dir/linear_page_table.cc.o"
+  "CMakeFiles/sasos_vm.dir/linear_page_table.cc.o.d"
+  "CMakeFiles/sasos_vm.dir/page_table.cc.o"
+  "CMakeFiles/sasos_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/sasos_vm.dir/phys_mem.cc.o"
+  "CMakeFiles/sasos_vm.dir/phys_mem.cc.o.d"
+  "CMakeFiles/sasos_vm.dir/prot_table.cc.o"
+  "CMakeFiles/sasos_vm.dir/prot_table.cc.o.d"
+  "CMakeFiles/sasos_vm.dir/segment.cc.o"
+  "CMakeFiles/sasos_vm.dir/segment.cc.o.d"
+  "libsasos_vm.a"
+  "libsasos_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/address_stream.cc" "src/workload/CMakeFiles/sasos_workload.dir/address_stream.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/address_stream.cc.o.d"
+  "/root/repo/src/workload/attach_churn.cc" "src/workload/CMakeFiles/sasos_workload.dir/attach_churn.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/attach_churn.cc.o.d"
+  "/root/repo/src/workload/checkpoint.cc" "src/workload/CMakeFiles/sasos_workload.dir/checkpoint.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/checkpoint.cc.o.d"
+  "/root/repo/src/workload/comppage.cc" "src/workload/CMakeFiles/sasos_workload.dir/comppage.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/comppage.cc.o.d"
+  "/root/repo/src/workload/dvm.cc" "src/workload/CMakeFiles/sasos_workload.dir/dvm.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/dvm.cc.o.d"
+  "/root/repo/src/workload/gc.cc" "src/workload/CMakeFiles/sasos_workload.dir/gc.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/gc.cc.o.d"
+  "/root/repo/src/workload/rpc.cc" "src/workload/CMakeFiles/sasos_workload.dir/rpc.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/rpc.cc.o.d"
+  "/root/repo/src/workload/sharing.cc" "src/workload/CMakeFiles/sasos_workload.dir/sharing.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/sharing.cc.o.d"
+  "/root/repo/src/workload/txvm.cc" "src/workload/CMakeFiles/sasos_workload.dir/txvm.cc.o" "gcc" "src/workload/CMakeFiles/sasos_workload.dir/txvm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sasos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/sasos_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/sasos_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/sasos_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sasos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

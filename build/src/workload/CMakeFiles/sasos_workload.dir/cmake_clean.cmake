@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sasos_workload.dir/address_stream.cc.o"
+  "CMakeFiles/sasos_workload.dir/address_stream.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/attach_churn.cc.o"
+  "CMakeFiles/sasos_workload.dir/attach_churn.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/checkpoint.cc.o"
+  "CMakeFiles/sasos_workload.dir/checkpoint.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/comppage.cc.o"
+  "CMakeFiles/sasos_workload.dir/comppage.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/dvm.cc.o"
+  "CMakeFiles/sasos_workload.dir/dvm.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/gc.cc.o"
+  "CMakeFiles/sasos_workload.dir/gc.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/rpc.cc.o"
+  "CMakeFiles/sasos_workload.dir/rpc.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/sharing.cc.o"
+  "CMakeFiles/sasos_workload.dir/sharing.cc.o.d"
+  "CMakeFiles/sasos_workload.dir/txvm.cc.o"
+  "CMakeFiles/sasos_workload.dir/txvm.cc.o.d"
+  "libsasos_workload.a"
+  "libsasos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sasos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pg_test.dir/core_pg_test.cc.o"
+  "CMakeFiles/core_pg_test.dir/core_pg_test.cc.o.d"
+  "core_pg_test"
+  "core_pg_test.pdb"
+  "core_pg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

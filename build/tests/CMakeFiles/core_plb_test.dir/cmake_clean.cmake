@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_plb_test.dir/core_plb_test.cc.o"
+  "CMakeFiles/core_plb_test.dir/core_plb_test.cc.o.d"
+  "core_plb_test"
+  "core_plb_test.pdb"
+  "core_plb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_plb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_smp_test.dir/core_smp_test.cc.o"
+  "CMakeFiles/core_smp_test.dir/core_smp_test.cc.o.d"
+  "core_smp_test"
+  "core_smp_test.pdb"
+  "core_smp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_smp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_plb_test.dir/hw_plb_test.cc.o"
+  "CMakeFiles/hw_plb_test.dir/hw_plb_test.cc.o.d"
+  "hw_plb_test"
+  "hw_plb_test.pdb"
+  "hw_plb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_plb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

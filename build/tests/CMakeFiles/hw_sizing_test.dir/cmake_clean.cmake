@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_sizing_test.dir/hw_sizing_test.cc.o"
+  "CMakeFiles/hw_sizing_test.dir/hw_sizing_test.cc.o.d"
+  "hw_sizing_test"
+  "hw_sizing_test.pdb"
+  "hw_sizing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_sizing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

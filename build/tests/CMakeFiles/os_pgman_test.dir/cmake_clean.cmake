@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_pgman_test.dir/os_pgman_test.cc.o"
+  "CMakeFiles/os_pgman_test.dir/os_pgman_test.cc.o.d"
+  "os_pgman_test"
+  "os_pgman_test.pdb"
+  "os_pgman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_pgman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

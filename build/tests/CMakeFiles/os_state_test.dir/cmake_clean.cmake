@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_state_test.dir/os_state_test.cc.o"
+  "CMakeFiles/os_state_test.dir/os_state_test.cc.o.d"
+  "os_state_test"
+  "os_state_test.pdb"
+  "os_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

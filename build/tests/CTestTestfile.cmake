@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_tlb_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_plb_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_sizing_test[1]_include.cmake")
+include("/root/repo/build/tests/os_state_test[1]_include.cmake")
+include("/root/repo/build/tests/os_pgman_test[1]_include.cmake")
+include("/root/repo/build/tests/os_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_plb_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pg_test[1]_include.cmake")
+include("/root/repo/build/tests/core_conv_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_mem_test[1]_include.cmake")
+include("/root/repo/build/tests/core_smp_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/accounting_test[1]_include.cmake")
