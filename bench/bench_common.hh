@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -71,13 +72,36 @@ printHeader(const std::string &artifact, const std::string &claim)
     std::cout << "\n";
 }
 
-/** Per-mille-accurate ratio string ("1.00x" baseline). */
+/** Per-mille-accurate ratio string ("1.00x" baseline); "-" whenever
+ * the ratio is not finite (zero, NaN or infinite baseline/value), so
+ * a model recording zero cycles cannot leak NaN/inf into tables. */
 inline std::string
 normalized(double value, double baseline)
 {
     if (baseline == 0.0)
         return "-";
-    return TextTable::ratio(value / baseline, 2);
+    const double ratio = value / baseline;
+    if (!std::isfinite(ratio))
+        return "-";
+    return TextTable::ratio(ratio, 2);
+}
+
+/** Host-side throughput: simulated references per wall-clock second. */
+inline double
+refsPerSecond(u64 references, double wall_seconds)
+{
+    if (wall_seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(references) / wall_seconds;
+}
+
+/** Simulated cycles per reference; 0 when nothing was issued. */
+inline double
+cyclesPerRef(u64 cycles, u64 references)
+{
+    if (references == 0)
+        return 0.0;
+    return static_cast<double>(cycles) / static_cast<double>(references);
 }
 
 } // namespace sasos::bench

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The parallel sweep engine bench: every (architecture x reference
+ * stream x seed) cell of a design-space sweep run twice, serially and
+ * across the work-stealing pool, verifying bit-identical simulated
+ * results and reporting the wall-clock speedup and per-cell
+ * throughput (refs/sec, simulated cycles/ref).
+ *
+ * Emits BENCH_sweep.json (schema in sweep_runner.hh) so the perf
+ * trajectory of the driver layer is tracked across changes.
+ *
+ * Keys: threads= (default: hardware concurrency), seeds=, refs=,
+ * pages=, json=, compare= (0 skips the serial reference run).
+ */
+
+#include "bench_common.hh"
+#include "sweep_runner.hh"
+
+#include <chrono>
+
+using namespace sasos;
+
+namespace
+{
+
+std::vector<bench::SweepCell>
+buildCells(const Options &options)
+{
+    const u64 seeds = options.getU64("seeds", 4);
+    const u64 refs = options.getU64("refs", 200'000);
+    const u64 pages = options.getU64("pages", 256);
+    std::vector<bench::SweepCell> cells;
+    for (const auto &model : bench::standardModels(options)) {
+        for (const auto &[name, factory] : bench::standardStreams()) {
+            for (u64 seed = 1; seed <= seeds; ++seed) {
+                bench::SweepCell cell;
+                cell.model = model.label;
+                cell.workload = name;
+                cell.seed = seed;
+                cell.config = model.config;
+                cell.pages = pages;
+                cell.references = refs;
+                cell.makeStream = factory;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    return cells;
+}
+
+double
+timedSweep(unsigned threads, const std::vector<bench::SweepCell> &cells,
+           std::vector<bench::CellResult> &results)
+{
+    const auto start = std::chrono::steady_clock::now();
+    bench::SweepRunner runner(threads);
+    results = runner.run(cells);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+int
+runSweep(const Options &options)
+{
+    const unsigned threads = options.threads();
+    const bool compare = options.getBool("compare", true) && threads > 1;
+    const std::string json_path =
+        options.getString("json", "BENCH_sweep.json");
+    const auto cells = buildCells(options);
+
+    bench::printHeader(
+        "Parallel sweep engine: models x streams x seeds",
+        "Each cell is one self-contained System; the pool runs cells "
+        "concurrently and the batched issue loop runs references "
+        "within a cell. Simulated results are bit-identical to the "
+        "serial run.");
+
+    std::vector<bench::CellResult> serial;
+    double serial_wall = 0.0;
+    if (compare || threads <= 1)
+        serial_wall = timedSweep(1, cells, serial);
+
+    std::vector<bench::CellResult> parallel;
+    double parallel_wall = 0.0;
+    if (threads > 1) {
+        parallel_wall = timedSweep(threads, cells, parallel);
+    } else {
+        parallel = serial;
+        parallel_wall = serial_wall;
+    }
+
+    bool identical = true;
+    if (compare) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (serial[i].statsDump != parallel[i].statsDump ||
+                serial[i].simCycles != parallel[i].simCycles) {
+                identical = false;
+                std::cout << "MISMATCH: cell " << i << " ("
+                          << cells[i].model << "/" << cells[i].workload
+                          << "/seed=" << cells[i].seed
+                          << ") differs between threads=1 and threads="
+                          << threads << "\n";
+            }
+        }
+    }
+
+    // Per (model, workload) aggregate over seeds.
+    TextTable table({"model", "workload", "cells", "cycles/ref",
+                     "Mrefs/s", "cell wall (ms)"});
+    std::string last_model;
+    for (const auto &model : bench::standardModels(options)) {
+        for (const auto &[name, factory] : bench::standardStreams()) {
+            u64 refs = 0, cycles = 0, count = 0;
+            double wall = 0.0;
+            for (const auto &cell : parallel) {
+                if (cell.model != model.label || cell.workload != name)
+                    continue;
+                refs += cell.references;
+                cycles += cell.simCycles;
+                wall += cell.wallSeconds;
+                ++count;
+            }
+            table.addRow({model.label == last_model ? "" : model.label,
+                          name, TextTable::num(count),
+                          TextTable::num(bench::cyclesPerRef(cycles, refs),
+                                         2),
+                          TextTable::num(
+                              bench::refsPerSecond(refs, wall) / 1e6, 2),
+                          TextTable::num(wall * 1e3 /
+                                             static_cast<double>(count),
+                                         1)});
+            last_model = model.label;
+        }
+    }
+    table.print(std::cout);
+
+    u64 total_refs = 0;
+    for (const auto &cell : parallel)
+        total_refs += cell.references;
+    std::cout << "\ncells=" << cells.size() << " threads=" << threads
+              << " wall=" << TextTable::num(parallel_wall, 2) << "s"
+              << " throughput="
+              << TextTable::num(
+                     bench::refsPerSecond(total_refs, parallel_wall) / 1e6,
+                     2)
+              << " Mrefs/s\n";
+    if (compare) {
+        std::cout << "serial wall=" << TextTable::num(serial_wall, 2)
+                  << "s speedup="
+                  << TextTable::ratio(serial_wall / parallel_wall, 2)
+                  << " results "
+                  << (identical ? "bit-identical" : "MISMATCH") << "\n";
+    }
+
+    writeSweepJson(json_path, parallel, threads, parallel_wall,
+                   serial_wall);
+    std::cout << "wrote " << json_path << "\n";
+    return identical ? 0 : 1;
+}
+
+/** Host time of the batched fast path vs per-call access(): the same
+ * references through System::run and through a access() loop. */
+void
+BM_BatchedRun(benchmark::State &state, core::ModelKind kind)
+{
+    core::System sys(core::SystemConfig::forModel(kind));
+    const os::DomainId app = sys.kernel().createDomain("app");
+    const vm::SegmentId seg = sys.kernel().createSegment("heap", 256);
+    sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+    sys.kernel().switchTo(app);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    wl::ZipfPageStream stream(base, 256, 0.8, 7);
+    Rng rng(7);
+    u64 refs = 0;
+    for (auto _ : state) {
+        sys.run(stream, 10'000, rng);
+        refs += 10'000;
+    }
+    state.counters["refsPerSec"] = benchmark::Counter(
+        static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+
+void
+BM_PerCallAccess(benchmark::State &state, core::ModelKind kind)
+{
+    core::System sys(core::SystemConfig::forModel(kind));
+    const os::DomainId app = sys.kernel().createDomain("app");
+    const vm::SegmentId seg = sys.kernel().createSegment("heap", 256);
+    sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+    sys.kernel().switchTo(app);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    wl::ZipfPageStream stream(base, 256, 0.8, 7);
+    Rng rng(7);
+    u64 refs = 0;
+    for (auto _ : state) {
+        for (u64 i = 0; i < 10'000; ++i)
+            sys.load(stream.next(rng));
+        refs += 10'000;
+    }
+    state.counters["refsPerSec"] = benchmark::Counter(
+        static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_BatchedRun, plb, core::ModelKind::Plb);
+BENCHMARK_CAPTURE(BM_PerCallAccess, plb, core::ModelKind::Plb);
+BENCHMARK_CAPTURE(BM_BatchedRun, pagegroup, core::ModelKind::PageGroup);
+BENCHMARK_CAPTURE(BM_PerCallAccess, pagegroup, core::ModelKind::PageGroup);
+BENCHMARK_CAPTURE(BM_BatchedRun, conventional, core::ModelKind::Conventional);
+BENCHMARK_CAPTURE(BM_PerCallAccess, conventional,
+                  core::ModelKind::Conventional);
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.parseArgs(argc, argv);
+    if (options.getBool("help", false)) {
+        std::cout << Options::helpText();
+        return 0;
+    }
+
+    const int status = runSweep(options);
+    std::cout << "\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return status;
+}

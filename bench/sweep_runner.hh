@@ -1,0 +1,248 @@
+/**
+ * @file
+ * The parallel sweep driver: (model x workload x seed) cells over the
+ * work-stealing pool.
+ *
+ * Each cell owns a complete core::System -- its VmState, kernel and
+ * cycle account live inside the System object -- so cells share no
+ * mutable state and run on any thread. Results are written into a
+ * slot indexed by cell position, and every cell draws from its own
+ * Rng seeded by the cell's seed, so a sweep's output (including the
+ * full stats dump) is bit-identical whatever the thread count.
+ *
+ * Wall-clock time is the only nondeterministic field; it feeds the
+ * refs/sec throughput report and the BENCH_sweep.json perf artifact,
+ * never the simulated results.
+ */
+
+#ifndef SASOS_BENCH_SWEEP_RUNNER_HH
+#define SASOS_BENCH_SWEEP_RUNNER_HH
+
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sasos.hh"
+#include "sim/parallel.hh"
+#include "workload/address_stream.hh"
+
+namespace sasos::bench
+{
+
+/** Factory for a cell's reference stream over its heap segment. */
+using StreamFactory = std::function<std::unique_ptr<wl::AddressStream>(
+    vm::VAddr base, u64 pages, u64 seed)>;
+
+/** One independent simulation cell of a sweep. */
+struct SweepCell
+{
+    std::string model;
+    std::string workload;
+    u64 seed = 0;
+    core::SystemConfig config;
+    /** Heap segment size the stream ranges over. */
+    u64 pages = 256;
+    /** References to issue through the batched fast path. */
+    u64 references = 200'000;
+    vm::AccessType type = vm::AccessType::Load;
+    StreamFactory makeStream;
+};
+
+/** What one cell produced. Everything except the wall-clock fields is
+ * deterministic for a given cell definition. */
+struct CellResult
+{
+    std::string model;
+    std::string workload;
+    u64 seed = 0;
+    u64 references = 0;
+    u64 completed = 0;
+    u64 failed = 0;
+    u64 simCycles = 0;
+    /** Full stats + cycle-breakdown dump, for bit-identity checks. */
+    std::string statsDump;
+    double wallSeconds = 0.0;
+    double refsPerSec = 0.0;
+};
+
+/** Runs sweep cells across a thread pool, deterministically. */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 1 runs inline on the caller. */
+    explicit SweepRunner(unsigned threads) : pool_(threads) {}
+
+    unsigned threadCount() const { return pool_.threadCount(); }
+
+    /** Run one cell start to finish on the calling thread. */
+    static CellResult
+    runCell(const SweepCell &cell)
+    {
+        const auto start = std::chrono::steady_clock::now();
+        core::System sys(cell.config);
+        const os::DomainId app = sys.kernel().createDomain("app");
+        const vm::SegmentId seg =
+            sys.kernel().createSegment("heap", cell.pages);
+        sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+        sys.kernel().switchTo(app);
+        const vm::VAddr base = sys.state().segments.find(seg)->base();
+
+        Rng rng(cell.seed);
+        std::unique_ptr<wl::AddressStream> stream =
+            cell.makeStream(base, cell.pages, cell.seed);
+        const core::RunResult run =
+            sys.run(*stream, cell.references, rng, cell.type);
+        const auto stop = std::chrono::steady_clock::now();
+
+        CellResult result;
+        result.model = cell.model;
+        result.workload = cell.workload;
+        result.seed = cell.seed;
+        result.references = cell.references;
+        result.completed = run.completed;
+        result.failed = run.failed;
+        result.simCycles = sys.cycles().count();
+        std::ostringstream dump;
+        sys.dumpStats(dump);
+        result.statsDump = dump.str();
+        result.wallSeconds =
+            std::chrono::duration<double>(stop - start).count();
+        result.refsPerSec = result.wallSeconds > 0.0
+                                ? static_cast<double>(cell.references) /
+                                      result.wallSeconds
+                                : 0.0;
+        return result;
+    }
+
+    /** Run every cell; results come back in cell order regardless of
+     * which thread ran what. */
+    std::vector<CellResult>
+    run(const std::vector<SweepCell> &cells)
+    {
+        std::vector<CellResult> results(cells.size());
+        parallelFor(pool_, cells.size(),
+                    [&](u64 i) { results[i] = runCell(cells[i]); });
+        return results;
+    }
+
+  private:
+    ThreadPool pool_;
+};
+
+namespace detail
+{
+
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace detail
+
+/**
+ * Emit the machine-readable sweep artifact. Schema:
+ *
+ *   { "bench": "sweep", "threads": N,
+ *     "wallSeconds": W, "serialWallSeconds": S, "speedup": S/W,
+ *     "totals": { "cells": N, "references": R, "simCycles": C,
+ *                 "refsPerSec": R/W },
+ *     "cells": [ { "model", "workload", "seed", "references",
+ *                  "completed", "failed", "simCycles",
+ *                  "simCyclesPerRef", "wallSeconds", "refsPerSec" } ] }
+ *
+ * serialWallSeconds/speedup are 0 when no threads=1 reference run was
+ * taken.
+ */
+inline void
+writeSweepJson(const std::string &path,
+               const std::vector<CellResult> &results, unsigned threads,
+               double wall_seconds, double serial_wall_seconds = 0.0)
+{
+    u64 total_refs = 0;
+    u64 total_cycles = 0;
+    for (const CellResult &cell : results) {
+        total_refs += cell.references;
+        total_cycles += cell.simCycles;
+    }
+    std::ofstream os(path);
+    os << "{\n";
+    os << "  \"bench\": \"sweep\",\n";
+    os << "  \"threads\": " << threads << ",\n";
+    os << "  \"wallSeconds\": " << wall_seconds << ",\n";
+    os << "  \"serialWallSeconds\": " << serial_wall_seconds << ",\n";
+    os << "  \"speedup\": "
+       << (wall_seconds > 0.0 ? serial_wall_seconds / wall_seconds : 0.0)
+       << ",\n";
+    os << "  \"totals\": { \"cells\": " << results.size()
+       << ", \"references\": " << total_refs
+       << ", \"simCycles\": " << total_cycles << ", \"refsPerSec\": "
+       << (wall_seconds > 0.0
+               ? static_cast<double>(total_refs) / wall_seconds
+               : 0.0)
+       << " },\n";
+    os << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CellResult &cell = results[i];
+        os << "    { \"model\": \"" << detail::jsonEscape(cell.model)
+           << "\", \"workload\": \"" << detail::jsonEscape(cell.workload)
+           << "\", \"seed\": " << cell.seed
+           << ", \"references\": " << cell.references
+           << ", \"completed\": " << cell.completed
+           << ", \"failed\": " << cell.failed
+           << ", \"simCycles\": " << cell.simCycles
+           << ", \"simCyclesPerRef\": "
+           << (cell.references
+                   ? static_cast<double>(cell.simCycles) /
+                         static_cast<double>(cell.references)
+                   : 0.0)
+           << ", \"wallSeconds\": " << cell.wallSeconds
+           << ", \"refsPerSec\": " << cell.refsPerSec << " }"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+/** The sweep benches' standard stream recipes. */
+inline std::vector<std::pair<std::string, StreamFactory>>
+standardStreams()
+{
+    return {
+        {"sequential",
+         [](vm::VAddr base, u64 pages, u64) {
+             return std::make_unique<wl::SequentialStream>(
+                 base, pages * vm::kPageBytes, 64);
+         }},
+        {"uniform",
+         [](vm::VAddr base, u64 pages, u64) {
+             return std::make_unique<wl::UniformStream>(
+                 base, pages * vm::kPageBytes);
+         }},
+        {"zipf",
+         [](vm::VAddr base, u64 pages, u64 seed) {
+             return std::make_unique<wl::ZipfPageStream>(base, pages, 0.8,
+                                                         seed);
+         }},
+        {"working-set",
+         [](vm::VAddr base, u64 pages, u64) {
+             return std::make_unique<wl::WorkingSetStream>(
+                 base, pages, pages / 8 ? pages / 8 : 1, 4096);
+         }},
+    };
+}
+
+} // namespace sasos::bench
+
+#endif // SASOS_BENCH_SWEEP_RUNNER_HH

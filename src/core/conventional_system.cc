@@ -88,6 +88,21 @@ ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
     return {true, os::FaultKind::None};
 }
 
+os::BatchOutcome
+ConventionalSystem::accessBatch(os::DomainId domain, const vm::VAddr *vas,
+                                u64 n, vm::AccessType type)
+{
+    // The batched hot path: a direct (inlinable) call per reference,
+    // one virtual dispatch per batch.
+    for (u64 i = 0; i < n; ++i) {
+        const os::AccessResult result =
+            ConventionalSystem::access(domain, vas[i], type);
+        if (!result.completed)
+            return {i, result};
+    }
+    return {n, {}};
+}
+
 void
 ConventionalSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
                              vm::Access rights)

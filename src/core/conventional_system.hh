@@ -48,6 +48,9 @@ class ConventionalSystem : public os::ProtectionModel
     os::AccessResult access(os::DomainId domain, vm::VAddr va,
                             vm::AccessType type) override;
 
+    os::BatchOutcome accessBatch(os::DomainId domain, const vm::VAddr *vas,
+                                 u64 n, vm::AccessType type) override;
+
     void onAttach(os::DomainId domain, const vm::Segment &seg,
                   vm::Access rights) override;
     void onDetach(os::DomainId domain, const vm::Segment &seg) override;

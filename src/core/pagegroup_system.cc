@@ -119,6 +119,21 @@ PageGroupSystem::access(os::DomainId domain, vm::VAddr va,
     return {true, os::FaultKind::None};
 }
 
+os::BatchOutcome
+PageGroupSystem::accessBatch(os::DomainId domain, const vm::VAddr *vas,
+                             u64 n, vm::AccessType type)
+{
+    // The batched hot path: a direct (inlinable) call per reference,
+    // one virtual dispatch per batch.
+    for (u64 i = 0; i < n; ++i) {
+        const os::AccessResult result =
+            PageGroupSystem::access(domain, vas[i], type);
+        if (!result.completed)
+            return {i, result};
+    }
+    return {n, {}};
+}
+
 void
 PageGroupSystem::syncTlbEntry(vm::Vpn vpn, const os::PageGroupState &st)
 {

@@ -125,6 +125,21 @@ PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
     return {true, os::FaultKind::None};
 }
 
+os::BatchOutcome
+PlbSystem::accessBatch(os::DomainId domain, const vm::VAddr *vas, u64 n,
+                      vm::AccessType type)
+{
+    // The batched hot path: a direct (inlinable) call per reference,
+    // one virtual dispatch per batch.
+    for (u64 i = 0; i < n; ++i) {
+        const os::AccessResult result =
+            PlbSystem::access(domain, vas[i], type);
+        if (!result.completed)
+            return {i, result};
+    }
+    return {n, {}};
+}
+
 std::optional<vm::Pfn>
 PlbSystem::translateOffChip(vm::Vpn vpn)
 {

@@ -1,6 +1,12 @@
 #include "core/system.hh"
 
+#include <algorithm>
+#include <array>
+
 #include "sim/logging.hh"
+// Header-only use of the stream interface: core never constructs a
+// stream, so this adds no link dependency on the workload library.
+#include "workload/address_stream.hh"
 
 namespace sasos::core
 {
@@ -47,14 +53,24 @@ System::access(vm::VAddr va, vm::AccessType type)
     ++references;
     const os::DomainId domain = kernel_->currentDomain();
     SASOS_ASSERT(domain != 0, "no current domain; create one first");
+    const os::AccessResult result = model_->access(domain, va, type);
+    if (result.completed)
+        return true;
+    return resolveAndRetry(domain, va, type, result);
+}
+
+bool
+System::resolveAndRetry(os::DomainId domain, vm::VAddr va,
+                        vm::AccessType type, os::AccessResult result)
+{
     // A bounded retry loop: each fault either resolves (retry) or
     // becomes an exception. A single reference can legitimately fault
     // a handful of times (protection upcall, then page-in, then a
     // structure refill), but endless repetition is a model bug.
-    for (int attempt = 0; attempt < 8; ++attempt) {
-        const os::AccessResult result = model_->access(domain, va, type);
-        if (result.completed)
-            return true;
+    // `result` is the non-completed outcome of the first attempt; at
+    // most 7 further attempts are made (8 in total, as one reference
+    // can never legitimately need more).
+    for (int attempt = 1; ; ++attempt) {
         bool retry = false;
         switch (result.fault) {
           case os::FaultKind::Protection:
@@ -70,9 +86,56 @@ System::access(vm::VAddr va, vm::AccessType type)
             ++failedReferences;
             return false;
         }
+        if (attempt >= 8) {
+            SASOS_PANIC("livelock resolving faults at address ", va.raw(),
+                        " in domain ", domain);
+        }
+        result = model_->access(domain, va, type);
+        if (result.completed)
+            return true;
     }
-    SASOS_PANIC("livelock resolving faults at address ", va.raw(),
-                " in domain ", domain);
+}
+
+RunResult
+System::run(wl::AddressStream &stream, u64 n, Rng &rng, vm::AccessType type)
+{
+    SASOS_ASSERT(kernel_->currentDomain() != 0,
+                 "no current domain; create one first");
+    // Addresses are generated a chunk at a time and issued through
+    // the model's devirtualized batch loop; only references whose
+    // first attempt faults fall back to the kernel's per-reference
+    // resolution path. The stats counter is bumped once per chunk.
+    constexpr u64 kChunk = 512;
+    std::array<vm::VAddr, kChunk> buffer;
+    RunResult tally;
+    for (u64 left = n; left > 0;) {
+        const u64 chunk = std::min(left, kChunk);
+        for (u64 i = 0; i < chunk; ++i)
+            buffer[i] = stream.next(rng);
+        references += chunk;
+        u64 i = 0;
+        while (i < chunk) {
+            // Re-read the domain after every excursion through the
+            // kernel: fault handling may have switched domains, and
+            // access() picks up the current one per reference.
+            const os::DomainId domain = kernel_->currentDomain();
+            const os::BatchOutcome outcome = model_->accessBatch(
+                domain, buffer.data() + i, chunk - i, type);
+            tally.completed += outcome.completed;
+            i += outcome.completed;
+            if (i == chunk)
+                break;
+            // buffer[i] made its first attempt inside the batch and
+            // faulted; finish it exactly as access() would.
+            if (resolveAndRetry(domain, buffer[i], type, outcome.faulted))
+                ++tally.completed;
+            else
+                ++tally.failed;
+            ++i;
+        }
+        left -= chunk;
+    }
+    return tally;
 }
 
 void

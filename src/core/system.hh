@@ -20,9 +20,24 @@
 #include "core/system_config.hh"
 #include "os/kernel.hh"
 #include "os/pager.hh"
+#include "sim/random.hh"
+
+namespace sasos::wl
+{
+class AddressStream;
+}
 
 namespace sasos::core
 {
+
+/** Tally of one batched System::run() call. */
+struct RunResult
+{
+    /** References that completed (possibly after resolved faults). */
+    u64 completed = 0;
+    /** References that ended in an exception. */
+    u64 failed = 0;
+};
 
 /** One simulated machine running the SASOS kernel. */
 class System
@@ -48,6 +63,18 @@ class System
 
     /** Touch every page of a range once (load). */
     void touchRange(vm::VAddr base, u64 bytes);
+
+    /**
+     * Issue `n` references drawn from `stream` through the batched
+     * fast path. Simulated cycles and statistics are bit-identical to
+     * calling access(stream.next(rng), type) n times, but the
+     * fault-free path runs inside the model's devirtualized inner
+     * loop with one stats update per chunk, which is several times
+     * cheaper in host time. The kernel resolves faults exactly as in
+     * access().
+     */
+    RunResult run(wl::AddressStream &stream, u64 n, Rng &rng,
+                  vm::AccessType type = vm::AccessType::Load);
     /// @}
 
     /** Create a pager (registers itself with the kernel). */
@@ -73,6 +100,14 @@ class System
     void dumpStats(std::ostream &os);
 
   private:
+    /**
+     * Resolve the fault of a reference's first attempt through the
+     * kernel, retrying bounded-many times; bumps failedReferences and
+     * returns false if the fault became an exception.
+     */
+    bool resolveAndRetry(os::DomainId domain, vm::VAddr va,
+                         vm::AccessType type, os::AccessResult result);
+
     SystemConfig config_;
     stats::Group statsRoot_;
 

@@ -48,6 +48,16 @@ struct AccessResult
     FaultKind fault = FaultKind::None;
 };
 
+/** Outcome of a batched issue through accessBatch(). */
+struct BatchOutcome
+{
+    /** References that completed without any fault. */
+    u64 completed = 0;
+    /** When completed < n: the first-attempt result of the reference
+     * at index `completed`, which faulted and stopped the batch. */
+    AccessResult faulted;
+};
+
 /** Abstract protection architecture. */
 class ProtectionModel
 {
@@ -64,6 +74,16 @@ class ProtectionModel
      */
     virtual AccessResult access(DomainId domain, vm::VAddr va,
                                 vm::AccessType type) = 0;
+
+    /**
+     * Issue up to `n` references, stopping after the first one whose
+     * initial attempt faults. Semantically identical to calling
+     * access() in a loop; concrete models override it with a
+     * devirtualized inner loop so the fault-free hit path pays one
+     * virtual dispatch per batch instead of per reference.
+     */
+    virtual BatchOutcome accessBatch(DomainId domain, const vm::VAddr *vas,
+                                     u64 n, vm::AccessType type);
 
     /** @name Kernel-driven maintenance hooks
      * Called *after* the kernel has updated the canonical protection

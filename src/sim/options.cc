@@ -5,6 +5,7 @@
 
 #include "sim/cost_model.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace sasos
 {
@@ -113,6 +114,30 @@ Options::getBool(const std::string &key, bool def) const
     if (v == "0" || v == "false" || v == "no")
         return false;
     SASOS_FATAL("option '", key, "': '", v, "' is not a bool");
+}
+
+unsigned
+Options::threads() const
+{
+    const u64 value = getU64("threads", 0);
+    if (value != 0)
+        return static_cast<unsigned>(value);
+    return ThreadPool::defaultThreads();
+}
+
+const char *
+Options::helpText()
+{
+    return "common options (key=value or --sasos-key=value):\n"
+           "  model=plb|pg|conv      protection architecture preset\n"
+           "  threads=N              sweep worker threads (default:\n"
+           "                         hardware concurrency; 1 = serial)\n"
+           "  seed=N                 top-level simulation seed\n"
+           "  frames=N               physical memory frames\n"
+           "  cacheKB= lineBytes= cacheWays= cacheOrg=   data cache\n"
+           "  tlbEntries= tlbWays= plbEntries= pgEntries=  structures\n"
+           "  eagerPg= purgeOnSwitch= flushOnSwitch= superPage=\n"
+           "  cost.<name>=<cycles>   cost-model override\n";
 }
 
 void

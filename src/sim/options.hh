@@ -51,6 +51,16 @@ class Options
     bool getBool(const std::string &key, bool def) const;
 
     /**
+     * The `threads=` key: worker count for parallel sweep drivers.
+     * Defaults to the hardware concurrency; `threads=1` forces the
+     * serial path (the determinism baseline).
+     */
+    unsigned threads() const;
+
+    /** One line per common key, for benches' usage text. */
+    static const char *helpText();
+
+    /**
      * Apply every `cost.<name>=<value>` option to a cost model.
      * Unknown cost names are fatal (user error).
      */

@@ -22,17 +22,30 @@ GlobalPageTable::unmap(Vpn vpn)
     auto it = entries_.find(vpn);
     SASOS_ASSERT(it != entries_.end(), "unmapping unmapped page ",
                  vpn.number());
+    lastTranslation_ = nullptr; // the memo may point at the dead node
     const Pfn pfn = it->second.pfn;
     entries_.erase(it);
     reverse_.erase(pfn);
     return pfn;
 }
 
+Translation *
+GlobalPageTable::cachedFind(Vpn vpn)
+{
+    if (lastTranslation_ != nullptr && lastVpn_ == vpn)
+        return lastTranslation_;
+    auto it = entries_.find(vpn);
+    if (it == entries_.end())
+        return nullptr;
+    lastVpn_ = vpn;
+    lastTranslation_ = &it->second;
+    return lastTranslation_;
+}
+
 const Translation *
 GlobalPageTable::lookup(Vpn vpn) const
 {
-    auto it = entries_.find(vpn);
-    return it == entries_.end() ? nullptr : &it->second;
+    return const_cast<GlobalPageTable *>(this)->cachedFind(vpn);
 }
 
 std::optional<Vpn>
@@ -47,30 +60,30 @@ GlobalPageTable::pageOfFrame(Pfn pfn) const
 void
 GlobalPageTable::markDirty(Vpn vpn)
 {
-    auto it = entries_.find(vpn);
-    SASOS_ASSERT(it != entries_.end(), "dirtying unmapped page ",
+    Translation *translation = cachedFind(vpn);
+    SASOS_ASSERT(translation != nullptr, "dirtying unmapped page ",
                  vpn.number());
-    it->second.dirty = true;
-    it->second.referenced = true;
+    translation->dirty = true;
+    translation->referenced = true;
 }
 
 void
 GlobalPageTable::markReferenced(Vpn vpn)
 {
-    auto it = entries_.find(vpn);
-    SASOS_ASSERT(it != entries_.end(), "referencing unmapped page ",
+    Translation *translation = cachedFind(vpn);
+    SASOS_ASSERT(translation != nullptr, "referencing unmapped page ",
                  vpn.number());
-    it->second.referenced = true;
+    translation->referenced = true;
 }
 
 void
 GlobalPageTable::clearUsage(Vpn vpn)
 {
-    auto it = entries_.find(vpn);
-    SASOS_ASSERT(it != entries_.end(), "clearing unmapped page ",
+    Translation *translation = cachedFind(vpn);
+    SASOS_ASSERT(translation != nullptr, "clearing unmapped page ",
                  vpn.number());
-    it->second.dirty = false;
-    it->second.referenced = false;
+    translation->dirty = false;
+    translation->referenced = false;
 }
 
 } // namespace sasos::vm

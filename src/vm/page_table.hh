@@ -80,8 +80,17 @@ class GlobalPageTable
     }
 
   private:
+    /** Memoized find: the reference stream touches the same page in
+     * runs, so a one-entry MRU cache short-circuits most of the hash
+     * lookups on the simulator's per-reference hot path. Node-based
+     * map references are stable across inserts; unmap() drops the
+     * memo before erasing. */
+    Translation *cachedFind(Vpn vpn);
+
     std::unordered_map<Vpn, Translation> entries_;
     std::unordered_map<Pfn, Vpn> reverse_;
+    Vpn lastVpn_{};
+    Translation *lastTranslation_ = nullptr;
 };
 
 } // namespace sasos::vm

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine and the batched reference fast
+ * path: the thread pool executes everything exactly once, a sweep's
+ * simulated results are bit-identical whatever the thread count, and
+ * System::run charges exactly the cycles a per-call access() loop
+ * would.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "sim/parallel.hh"
+#include "sweep_runner.hh"
+#include "workload/address_stream.hh"
+
+using namespace sasos;
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    constexpr int kTasks = 200;
+    std::vector<std::atomic<int>> runs(kTasks);
+    for (int i = 0; i < kTasks; ++i)
+        pool.submit([&runs, i] { ++runs[i]; });
+    pool.wait();
+    for (int i = 0; i < kTasks; ++i)
+        EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+}
+
+TEST(ThreadPoolTest, WaitWithNothingPendingReturns)
+{
+    ThreadPool pool(2);
+    pool.wait();
+    pool.submit([] {});
+    pool.wait();
+}
+
+TEST(ThreadPoolTest, TasksMaySpawnSubtasks)
+{
+    ThreadPool pool(3);
+    std::atomic<int> total{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&pool, &total] {
+            ++total;
+            for (int j = 0; j < 4; ++j)
+                pool.submit([&total] { ++total; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(total.load(), 8 * 5);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex)
+{
+    ThreadPool pool(4);
+    constexpr u64 kN = 500;
+    std::vector<std::atomic<int>> hits(kN);
+    parallelFor(pool, kN, [&](u64 i) { ++hits[i]; });
+    for (u64 i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne)
+{
+    EXPECT_GE(ThreadPool::defaultThreads(), 1u);
+}
+
+TEST(OptionsTest, ThreadsKeyDefaultsToHardwareConcurrency)
+{
+    Options options;
+    EXPECT_EQ(options.threads(), ThreadPool::defaultThreads());
+    options.set("threads", "3");
+    EXPECT_EQ(options.threads(), 3u);
+}
+
+TEST(BenchCommonTest, NormalizedGuardsNonFiniteRatios)
+{
+    EXPECT_EQ(bench::normalized(5.0, 0.0), "-");
+    EXPECT_EQ(bench::normalized(std::numeric_limits<double>::quiet_NaN(),
+                                2.0),
+              "-");
+    EXPECT_EQ(bench::normalized(std::numeric_limits<double>::infinity(),
+                                2.0),
+              "-");
+    EXPECT_EQ(bench::normalized(2.0, 1.0), TextTable::ratio(2.0, 2));
+}
+
+namespace
+{
+
+/** The acceptance sweep: 3 models x 4 seeds, one zipf stream each. */
+std::vector<bench::SweepCell>
+testCells()
+{
+    Options options;
+    std::vector<bench::SweepCell> cells;
+    for (const auto &model : bench::standardModels(options)) {
+        for (u64 seed = 1; seed <= 4; ++seed) {
+            bench::SweepCell cell;
+            cell.model = model.label;
+            cell.workload = "zipf";
+            cell.seed = seed;
+            cell.config = model.config;
+            cell.pages = 64;
+            cell.references = 20'000;
+            cell.makeStream = [](vm::VAddr base, u64 pages, u64 seed_) {
+                return std::make_unique<wl::ZipfPageStream>(base, pages,
+                                                            0.8, seed_);
+            };
+            cells.push_back(std::move(cell));
+        }
+    }
+    return cells;
+}
+
+} // namespace
+
+TEST(SweepRunnerTest, ParallelSweepIsBitIdenticalToSerial)
+{
+    const auto cells = testCells();
+    const auto serial = bench::SweepRunner(1).run(cells);
+    const auto parallel = bench::SweepRunner(4).run(cells);
+    ASSERT_EQ(serial.size(), cells.size());
+    ASSERT_EQ(parallel.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(serial[i].model, parallel[i].model) << "cell " << i;
+        EXPECT_EQ(serial[i].seed, parallel[i].seed) << "cell " << i;
+        EXPECT_EQ(serial[i].simCycles, parallel[i].simCycles)
+            << "cell " << i;
+        EXPECT_EQ(serial[i].completed, parallel[i].completed)
+            << "cell " << i;
+        EXPECT_EQ(serial[i].failed, parallel[i].failed) << "cell " << i;
+        // The whole stats tree, byte for byte.
+        EXPECT_EQ(serial[i].statsDump, parallel[i].statsDump)
+            << "cell " << i;
+    }
+}
+
+TEST(SweepRunnerTest, DistinctSeedsProduceDistinctStreams)
+{
+    const auto cells = testCells();
+    const auto results = bench::SweepRunner(1).run(cells);
+    // Same model, different seed: the zipf page shuffle differs, so
+    // the simulated cycle totals should too (equality would suggest
+    // the seed is ignored).
+    EXPECT_NE(results[0].simCycles, results[1].simCycles);
+}
+
+namespace
+{
+
+struct TwinSystems
+{
+    explicit TwinSystems(core::ModelKind kind)
+        : perCall(core::SystemConfig::forModel(kind)),
+          batched(core::SystemConfig::forModel(kind))
+    {
+        setUp(perCall);
+        setUp(batched);
+    }
+
+    void
+    setUp(core::System &sys)
+    {
+        const os::DomainId app = sys.kernel().createDomain("app");
+        const vm::SegmentId seg = sys.kernel().createSegment("heap", 64);
+        sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+        sys.kernel().switchTo(app);
+        base = sys.state().segments.find(seg)->base();
+    }
+
+    std::string
+    dump(core::System &sys)
+    {
+        std::ostringstream os;
+        sys.dumpStats(os);
+        return os.str();
+    }
+
+    core::System perCall;
+    core::System batched;
+    vm::VAddr base;
+};
+
+} // namespace
+
+class BatchedRunTest : public ::testing::TestWithParam<core::ModelKind>
+{
+};
+
+TEST_P(BatchedRunTest, MatchesPerCallAccessCycleForCycle)
+{
+    TwinSystems twins(GetParam());
+    constexpr u64 kRefs = 30'000;
+
+    // Identical streams and rngs on both sides; the systems start
+    // cold, so demand-map translation faults exercise the slow path.
+    wl::ZipfPageStream stream_a(twins.base, 64, 0.8, 11);
+    wl::ZipfPageStream stream_b(twins.base, 64, 0.8, 11);
+    Rng rng_a(11);
+    Rng rng_b(11);
+
+    u64 completed_per_call = 0;
+    for (u64 i = 0; i < kRefs; ++i)
+        completed_per_call += twins.perCall.access(stream_a.next(rng_a),
+                                                   vm::AccessType::Load);
+    const core::RunResult result =
+        twins.batched.run(stream_b, kRefs, rng_b, vm::AccessType::Load);
+
+    EXPECT_EQ(result.completed, completed_per_call);
+    EXPECT_EQ(result.completed + result.failed, kRefs);
+    EXPECT_EQ(twins.batched.cycles().count(),
+              twins.perCall.cycles().count());
+    EXPECT_EQ(twins.batched.references.value(),
+              twins.perCall.references.value());
+    EXPECT_EQ(twins.batched.failedReferences.value(),
+              twins.perCall.failedReferences.value());
+    EXPECT_EQ(twins.dump(twins.batched), twins.dump(twins.perCall));
+}
+
+TEST_P(BatchedRunTest, MatchesPerCallWhenReferencesFail)
+{
+    // Read-only heap + stores: every reference protection-faults and,
+    // with no segment server, becomes an exception -- the batch loop
+    // must take the slow path every time and count failures the same.
+    core::System per_call(core::SystemConfig::forModel(GetParam()));
+    core::System batched(core::SystemConfig::forModel(GetParam()));
+    vm::VAddr base;
+    for (core::System *sys : {&per_call, &batched}) {
+        const os::DomainId app = sys->kernel().createDomain("app");
+        const vm::SegmentId seg = sys->kernel().createSegment("ro", 8);
+        sys->kernel().attach(app, seg, vm::Access::Read);
+        sys->kernel().switchTo(app);
+        base = sys->state().segments.find(seg)->base();
+    }
+    constexpr u64 kRefs = 64;
+    wl::SequentialStream stream_a(base, 8 * vm::kPageBytes, 64);
+    wl::SequentialStream stream_b(base, 8 * vm::kPageBytes, 64);
+    Rng rng_a(3);
+    Rng rng_b(3);
+    for (u64 i = 0; i < kRefs; ++i)
+        per_call.access(stream_a.next(rng_a), vm::AccessType::Store);
+    const core::RunResult result =
+        batched.run(stream_b, kRefs, rng_b, vm::AccessType::Store);
+    EXPECT_EQ(result.failed, kRefs);
+    EXPECT_EQ(batched.cycles().count(), per_call.cycles().count());
+    EXPECT_EQ(batched.failedReferences.value(),
+              per_call.failedReferences.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BatchedRunTest,
+    ::testing::Values(core::ModelKind::Plb, core::ModelKind::PageGroup,
+                      core::ModelKind::Conventional),
+    [](const ::testing::TestParamInfo<core::ModelKind> &info) {
+        switch (info.param) {
+          case core::ModelKind::Plb:
+            return "plb";
+          case core::ModelKind::PageGroup:
+            return "pagegroup";
+          case core::ModelKind::Conventional:
+            return "conventional";
+        }
+        return "unknown";
+    });
