@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The fault-injection differential oracle bench.
+ *
+ * Runs seeded fault campaigns (src/fault/oracle.hh) at several
+ * injection rates. Each campaign replays one synthesized reference
+ * trace against all three architectures, clean and under injection,
+ * and checks that allow/deny decisions and final canonical rights are
+ * bit-identical everywhere -- faults may only cost cycles, never
+ * change an outcome. The bench refuses to write BENCH_faults.json
+ * unless every campaign passes, so the JSON doubles as a proof
+ * artifact.
+ *
+ * The table and JSON report what injection *is* allowed to change:
+ * per-model recovery cost (extra cycles per injected event) and
+ * total fault overhead.
+ *
+ * Keys: refs= (default 20000), seed=, rate= (run one rate instead of
+ * the standard ladder), gap=, json=, trace=.
+ */
+
+#include "bench_common.hh"
+
+#include <fstream>
+
+#include "fault/oracle.hh"
+#include "workload/address_stream.hh"
+
+using namespace sasos;
+
+namespace
+{
+
+struct CampaignRow
+{
+    double rate = 0.0;
+    fault::CampaignResult result;
+};
+
+fault::CampaignConfig
+makeConfig(const Options &options, double rate)
+{
+    fault::CampaignConfig config;
+    config.scenarioSeed = options.getU64("seed", 1);
+    config.references = options.getU64("refs", 20'000);
+    config.faults.seed = options.getU64("fault_seed", 7);
+    config.faults.rate = rate;
+    config.faults.transientGap = options.getU64("gap", 64);
+    return config;
+}
+
+/** Extra cycles each injected event cost, on average. */
+double
+recoveryCost(const fault::RunOutcome &clean,
+             const fault::RunOutcome &injected)
+{
+    if (injected.injectedEvents == 0)
+        return 0.0;
+    const double extra = static_cast<double>(injected.simCycles) -
+                         static_cast<double>(clean.simCycles);
+    return extra / static_cast<double>(injected.injectedEvents);
+}
+
+void
+writeFaultsJson(const std::string &path,
+                const std::vector<CampaignRow> &rows)
+{
+    std::ofstream os(path);
+    os << "{\n";
+    os << "  \"bench\": \"faults\",\n";
+    os << "  \"oraclePassed\": true,\n";
+    os << "  \"campaigns\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const CampaignRow &row = rows[i];
+        os << "    { \"rate\": " << row.rate << ", \"references\": "
+           << row.result.references << ", \"runs\": [\n";
+        for (std::size_t j = 0; j < row.result.runs.size(); ++j) {
+            const fault::RunOutcome &run = row.result.runs[j];
+            const fault::RunOutcome *clean =
+                row.result.find(run.model, false);
+            os << "      { \"model\": \"" << run.model
+               << "\", \"injected\": " << (run.injected ? "true" : "false")
+               << ", \"completed\": " << run.completed
+               << ", \"failed\": " << run.failed
+               << ", \"simCycles\": " << run.simCycles
+               << ", \"protectionFaults\": " << run.protectionFaults
+               << ", \"translationFaults\": " << run.translationFaults
+               << ", \"staleFaults\": " << run.staleFaults
+               << ", \"faultRetries\": " << run.faultRetries
+               << ", \"injectedEvents\": " << run.injectedEvents
+               << ", \"transients\": " << run.transients
+               << ", \"recoveryCyclesPerEvent\": "
+               << (run.injected && clean != nullptr
+                       ? recoveryCost(*clean, run)
+                       : 0.0)
+               << ", \"overhead\": "
+               << (run.injected && clean != nullptr && clean->simCycles > 0
+                       ? static_cast<double>(run.simCycles) /
+                                 static_cast<double>(clean->simCycles) -
+                             1.0
+                       : 0.0)
+               << " }" << (j + 1 < row.result.runs.size() ? "," : "")
+               << "\n";
+        }
+        os << "    ] }" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+int
+runCampaigns(const Options &options)
+{
+    const std::string json_path =
+        options.getString("json", "BENCH_faults.json");
+    const std::string trace_path =
+        options.getString("trace", "oracle_campaign.trace");
+
+    std::vector<double> rates = {0.001, 0.01, 0.05, 0.2};
+    if (options.has("rate"))
+        rates = {options.getDouble("rate", 0.01)};
+
+    bench::printHeader(
+        "Fault-injection differential oracle",
+        "Same trace, three architectures, clean vs injected. Faults "
+        "(spurious evictions, flushes, delayed fills, transient "
+        "protection faults) may change cycle costs only: every "
+        "allow/deny decision and the final canonical rights must be "
+        "bit-identical across all six runs of a campaign.");
+
+    std::vector<CampaignRow> rows;
+    bool all_passed = true;
+    TextTable table({"rate", "model", "events", "transients", "retries",
+                     "clean cyc/ref", "faulty cyc/ref", "recovery cyc/evt",
+                     "overhead", "oracle"});
+    for (double rate : rates) {
+        CampaignRow row;
+        row.rate = rate;
+        row.result = fault::runCampaign(makeConfig(options, rate),
+                                        trace_path);
+        all_passed = all_passed && row.result.passed;
+        for (const fault::RunOutcome &run : row.result.runs) {
+            if (!run.injected)
+                continue;
+            const fault::RunOutcome *clean =
+                row.result.find(run.model, false);
+            const double refs =
+                static_cast<double>(row.result.references);
+            table.addRow(
+                {TextTable::num(rate, 3), run.model,
+                 TextTable::num(run.injectedEvents),
+                 TextTable::num(run.transients),
+                 TextTable::num(run.faultRetries -
+                                (clean != nullptr ? clean->faultRetries
+                                                  : 0)),
+                 TextTable::num(clean != nullptr
+                                    ? static_cast<double>(
+                                          clean->simCycles) /
+                                          refs
+                                    : 0.0,
+                                2),
+                 TextTable::num(
+                     static_cast<double>(run.simCycles) / refs, 2),
+                 TextTable::num(clean != nullptr
+                                    ? recoveryCost(*clean, run)
+                                    : 0.0,
+                                1),
+                 TextTable::ratio(
+                     clean != nullptr && clean->simCycles > 0
+                         ? static_cast<double>(run.simCycles) /
+                               static_cast<double>(clean->simCycles)
+                         : 1.0,
+                     3),
+                 row.result.passed ? "pass" : "FAIL"});
+        }
+        for (const std::string &violation : row.result.violations)
+            std::cout << "ORACLE VIOLATION (rate=" << rate
+                      << "): " << violation << "\n";
+        rows.push_back(std::move(row));
+    }
+    table.print(std::cout);
+
+    if (!all_passed) {
+        std::cout << "\noracle FAILED; not writing " << json_path << "\n";
+        return 1;
+    }
+    writeFaultsJson(json_path, rows);
+    std::cout << "\noracle passed at every rate; wrote " << json_path
+              << "\n";
+    return 0;
+}
+
+/** Host cost of the injection hook itself: the same reference loop
+ * with the injector disabled vs drawing at a real rate. */
+void
+BM_InjectionOverhead(benchmark::State &state, core::ModelKind kind,
+                     bool faults)
+{
+    core::SystemConfig config = core::SystemConfig::forModel(kind);
+    config.faults.enabled = faults;
+    config.faults.rate = 0.01;
+    core::System sys(config);
+    const os::DomainId app = sys.kernel().createDomain("app");
+    const vm::SegmentId seg = sys.kernel().createSegment("heap", 256);
+    sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+    sys.kernel().switchTo(app);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    wl::ZipfPageStream stream(base, 256, 0.8, 7);
+    Rng rng(7);
+    u64 refs = 0;
+    for (auto _ : state) {
+        sys.run(stream, 10'000, rng);
+        refs += 10'000;
+    }
+    state.counters["refsPerSec"] = benchmark::Counter(
+        static_cast<double>(refs), benchmark::Counter::kIsRate);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_InjectionOverhead, plb_clean, core::ModelKind::Plb,
+                  false);
+BENCHMARK_CAPTURE(BM_InjectionOverhead, plb_faults, core::ModelKind::Plb,
+                  true);
+BENCHMARK_CAPTURE(BM_InjectionOverhead, pagegroup_faults,
+                  core::ModelKind::PageGroup, true);
+BENCHMARK_CAPTURE(BM_InjectionOverhead, conventional_faults,
+                  core::ModelKind::Conventional, true);
+
+int
+main(int argc, char **argv)
+{
+    Options options;
+    options.parseArgs(argc, argv);
+    if (options.getBool("help", false)) {
+        std::cout << Options::helpText();
+        return 0;
+    }
+
+    const int status = runCampaigns(options);
+    std::cout << "\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return status;
+}

@@ -38,10 +38,39 @@ ConventionalSystem::tagOf(os::DomainId domain) const
     return config_.purgeTlbOnSwitch ? 0 : domain;
 }
 
+bool
+ConventionalSystem::applyPerturbation(const fault::Perturbation &p)
+{
+    Rng &rng = injector_->rng();
+    // The combined TLB holds protection and translation together, so
+    // both eviction flavors land on it.
+    if (p.evictProtection)
+        tlb_.evictOne(rng);
+    if (p.evictTranslation)
+        tlb_.evictOne(rng);
+    if (p.evictData) {
+        if (auto victim = mem_.l1().evictRandomLine(rng); victim &&
+            victim->dirty) {
+            charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+    if (p.flushProtection)
+        tlb_.purgeAll();
+    if (p.delayFill)
+        charge(CostCategory::Refill, config_.costs.faultDelay);
+    return p.transientFault;
+}
+
 os::AccessResult
 ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
                            vm::AccessType type)
 {
+    if (injector_ != nullptr) {
+        const fault::Perturbation p = injector_->tick();
+        if (p.any() && applyPerturbation(p))
+            return {false, os::FaultKind::Protection};
+    }
+
     const vm::Vpn vpn = vm::pageOf(va);
     const bool store = type == vm::AccessType::Store;
     const hw::DomainId asid = tagOf(domain);

@@ -87,6 +87,10 @@ class ConventionalSystem : public os::ProtectionModel
   private:
     void charge(CostCategory category, Cycles cycles);
 
+    /** Apply one injected perturbation to this machine's structures.
+     * @return true if the reference must raise a transient fault. */
+    bool applyPerturbation(const fault::Perturbation &p);
+
     /** The ASID used to tag entries (0 in purge-on-switch mode). */
     hw::DomainId tagOf(os::DomainId domain) const;
 

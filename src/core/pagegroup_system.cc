@@ -44,10 +44,39 @@ PageGroupSystem::charge(CostCategory category, Cycles cycles)
     account_.charge(category, cycles);
 }
 
+bool
+PageGroupSystem::applyPerturbation(const fault::Perturbation &p)
+{
+    Rng &rng = injector_->rng();
+    if (p.evictProtection)
+        pgCache_.evictOne(rng);
+    if (p.evictTranslation)
+        tlb_.evictOne(rng);
+    if (p.evictData) {
+        if (auto victim = mem_.l1().evictRandomLine(rng); victim &&
+            victim->dirty) {
+            charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+    if (p.flushProtection)
+        pgCache_.purgeAll();
+    if (p.delayFill)
+        charge(CostCategory::Refill, config_.costs.faultDelay);
+    return p.transientFault;
+}
+
 os::AccessResult
 PageGroupSystem::access(os::DomainId domain, vm::VAddr va,
                         vm::AccessType type)
 {
+    if (injector_ != nullptr) {
+        const fault::Perturbation p = injector_->tick();
+        if (p.any() && applyPerturbation(p)) {
+            current_ = domain;
+            return {false, os::FaultKind::Protection};
+        }
+    }
+
     const vm::Vpn vpn = vm::pageOf(va);
     const bool store = type == vm::AccessType::Store;
     current_ = domain;

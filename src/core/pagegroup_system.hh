@@ -89,6 +89,10 @@ class PageGroupSystem : public os::ProtectionModel
   private:
     void charge(CostCategory category, Cycles cycles);
 
+    /** Apply one injected perturbation to this machine's structures.
+     * @return true if the reference must raise a transient fault. */
+    bool applyPerturbation(const fault::Perturbation &p);
+
     /** Current domain, tracked from switch hooks for membership. */
     os::DomainId current_ = 0;
 

@@ -60,9 +60,42 @@ PlbSystem::refillShift(os::DomainId domain, vm::Vpn vpn,
     return shift;
 }
 
+bool
+PlbSystem::applyPerturbation(const fault::Perturbation &p)
+{
+    Rng &rng = injector_->rng();
+    if (p.evictProtection)
+        plb_.evictOne(rng);
+    if (p.evictTranslation)
+        tlb_.evictOne(rng);
+    if (p.evictData) {
+        // A displaced dirty line is written back; the data survives,
+        // only its cache residency is lost.
+        if (auto victim = mem_.l1().evictRandomLine(rng); victim &&
+            victim->dirty) {
+            charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+    if (p.flushProtection)
+        plb_.purgeAll();
+    if (p.delayFill)
+        charge(CostCategory::Refill, config_.costs.faultDelay);
+    return p.transientFault;
+}
+
 os::AccessResult
 PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
 {
+    if (injector_ != nullptr) {
+        const fault::Perturbation p = injector_->tick();
+        if (p.any() && applyPerturbation(p)) {
+            // Transient protection fault: resolved by the kernel like
+            // any stale-entry deny, so the retried reference reaches
+            // the clean run's outcome.
+            return {false, os::FaultKind::Protection};
+        }
+    }
+
     const vm::Vpn vpn = vm::pageOf(va);
     const bool store = type == vm::AccessType::Store;
 

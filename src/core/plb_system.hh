@@ -90,6 +90,10 @@ class PlbSystem : public os::ProtectionModel
   private:
     void charge(CostCategory category, Cycles cycles);
 
+    /** Apply one injected perturbation to this machine's structures.
+     * @return true if the reference must raise a transient fault. */
+    bool applyPerturbation(const fault::Perturbation &p);
+
     /** Resolve a virtual address through the off-chip TLB; nullopt if
      * the page is unmapped. Charges lookup + refill costs. */
     std::optional<vm::Pfn> translateOffChip(vm::Vpn vpn);

@@ -43,6 +43,11 @@ System::System(const SystemConfig &config)
         break;
       }
     }
+    if (config_.faults.enabled) {
+        injector_ = std::make_unique<fault::FaultInjector>(config_.faults,
+                                                           &statsRoot_);
+        model_->setInjector(injector_.get());
+    }
     kernel_ = std::make_unique<os::Kernel>(state_, *model_, config_.costs,
                                            account_, &statsRoot_);
 }

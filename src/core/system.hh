@@ -18,6 +18,7 @@
 #include "core/pagegroup_system.hh"
 #include "core/plb_system.hh"
 #include "core/system_config.hh"
+#include "fault/fault.hh"
 #include "os/kernel.hh"
 #include "os/pager.hh"
 #include "sim/random.hh"
@@ -91,6 +92,9 @@ class System
     PageGroupSystem *pageGroupSystem() { return pageGroup_; }
     ConventionalSystem *conventionalSystem() { return conventional_; }
 
+    /** The fault injector, or null when `faults=` is off. */
+    fault::FaultInjector *injector() { return injector_.get(); }
+
     /** Total simulated cycles so far. */
     Cycles cycles() const { return account_.total(); }
 
@@ -121,6 +125,7 @@ class System
   private:
     CycleAccount account_;
     os::VmState state_;
+    std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<os::ProtectionModel> model_;
     PlbSystem *plb_ = nullptr;
     PageGroupSystem *pageGroup_ = nullptr;

@@ -199,6 +199,15 @@ SystemConfig::fromOptions(const Options &options, const SystemConfig &base)
     config.plb.seed = config.seed + 2;
     config.pgCache.seed = config.seed + 3;
 
+    config.faults.enabled = options.getBool("faults", config.faults.enabled);
+    config.faults.seed = options.getU64("fault_seed", config.faults.seed);
+    config.faults.rate = options.getDouble("fault_rate", config.faults.rate);
+    if (config.faults.rate < 0.0 || config.faults.rate > 1.0)
+        SASOS_FATAL("fault_rate must be in [0, 1], got ",
+                    config.faults.rate);
+    config.faults.transientGap =
+        options.getU64("fault_gap", config.faults.transientGap);
+
     options.applyCostOverrides(config.costs);
     return config;
 }

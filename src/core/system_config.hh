@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "fault/fault.hh"
 #include "hw/data_cache.hh"
 #include "hw/pagegroup_cache.hh"
 #include "hw/plb.hh"
@@ -69,6 +70,9 @@ struct SystemConfig
     u64 frames = u64{1} << 18; // 1 GB of 4 KB frames
     u64 seed = 42;
 
+    /** Deterministic fault-injection schedule (off by default). */
+    fault::FaultConfig faults;
+
     CostModel costs;
 
     /** Preset for the paper's PLB system (Figure 1). */
@@ -94,8 +98,8 @@ struct SystemConfig
      * Apply option overrides (model=, cacheKB=, lineBytes=,
      * cacheWays=, cacheOrg=, tlbEntries=, tlbWays=, plbEntries=,
      * pgEntries=, eagerPg=, purgeOnSwitch=, superPage=, frames=,
-     * seed=, cost.* ...). Starts from the preset for `model=` if
-     * given, else from *this.
+     * seed=, faults=, fault_seed=, fault_rate=, cost.* ...). Starts
+     * from the preset for `model=` if given, else from *this.
      */
     static SystemConfig fromOptions(const Options &options,
                                     const SystemConfig &base);

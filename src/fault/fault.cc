@@ -1,0 +1,69 @@
+#include "fault/fault.hh"
+
+namespace sasos::fault
+{
+
+FaultInjector::FaultInjector(const FaultConfig &config,
+                             stats::Group *parent)
+    : statsGroup(parent, "faults"),
+      ticks(&statsGroup, "ticks", "schedule ticks (references seen)"),
+      injected(&statsGroup, "injected", "perturbations injected"),
+      evictions(&statsGroup, "evictions", "spurious evictions scheduled"),
+      flushes(&statsGroup, "flushes", "capacity-pressure flushes"),
+      delays(&statsGroup, "delays", "delayed fills"),
+      transients(&statsGroup, "transients",
+                 "transient protection faults raised"),
+      config_(config), rng_(config.seed)
+{
+}
+
+Perturbation
+FaultInjector::tick()
+{
+    Perturbation p;
+    ++tick_;
+    ++ticks;
+    if (!config_.enabled || !rng_.bernoulli(config_.rate))
+        return p;
+
+    ++injected;
+    switch (rng_.nextBelow(6)) {
+      case 0:
+        p.evictProtection = true;
+        ++evictions;
+        break;
+      case 1:
+        p.evictTranslation = true;
+        ++evictions;
+        break;
+      case 2:
+        p.evictData = true;
+        ++evictions;
+        break;
+      case 3:
+        p.flushProtection = true;
+        ++flushes;
+        break;
+      case 4:
+        p.delayFill = true;
+        ++delays;
+        break;
+      case 5:
+        // A transient fault consumes a retry attempt; keep them far
+        // enough apart that the bounded retry loop sees at most one
+        // per reference. A blocked transient degrades to an eviction
+        // so the schedule still perturbs something.
+        if (tick_ >= nextTransientOk_) {
+            p.transientFault = true;
+            nextTransientOk_ = tick_ + config_.transientGap;
+            ++transients;
+        } else {
+            p.evictProtection = true;
+            ++evictions;
+        }
+        break;
+    }
+    return p;
+}
+
+} // namespace sasos::fault

@@ -1,0 +1,347 @@
+#include "fault/oracle.hh"
+
+#include <sstream>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "trace/trace.hh"
+#include "vm/address.hh"
+
+namespace sasos::fault
+{
+
+namespace
+{
+
+/** Rights values the scenario draws grants and churn from. */
+constexpr vm::Access kPalette[] = {
+    vm::Access::None,       vm::Access::Read, vm::Access::ReadWrite,
+    vm::Access::ReadExecute, vm::Access::All,
+};
+constexpr u64 kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+/** One mid-stream rights manipulation, applied after reference
+ * `afterRef` completes. Kinds: 0 setPageRights, 1 setSegmentRights,
+ * 2 restrictPage(Read), 3 unrestrictPage. */
+struct ChurnOp
+{
+    u64 afterRef = 0;
+    int kind = 0;
+    u32 domainIdx = 0;
+    u32 segIdx = 0;
+    u64 pageIdx = 0;
+    vm::Access rights = vm::Access::None;
+};
+
+/** The seed-derived scenario, fixed before any system runs. Every
+ * decision the campaign makes is recorded here (never taken from a
+ * running system), so all six runs see identical operation streams. */
+struct Scenario
+{
+    /** grants[domainIdx][segIdx]; None means not attached. */
+    std::vector<std::vector<vm::Access>> grants;
+    std::vector<ChurnOp> churn;
+};
+
+/** Per-system handles, identical across runs by construction. */
+struct Layout
+{
+    std::vector<os::DomainId> domains;
+    std::vector<vm::SegmentId> segs;
+    /** First vpn of each segment. */
+    std::vector<u64> firstPage;
+};
+
+Scenario
+buildScenario(const CampaignConfig &config)
+{
+    Scenario scenario;
+    Rng rng(config.scenarioSeed);
+    scenario.grants.resize(config.domains);
+    for (u32 d = 0; d < config.domains; ++d) {
+        scenario.grants[d].resize(config.segments);
+        for (u32 s = 0; s < config.segments; ++s) {
+            // Mostly real grants, some None so deny/exception paths
+            // run too.
+            scenario.grants[d][s] =
+                rng.bernoulli(0.15)
+                    ? vm::Access::None
+                    : kPalette[1 + rng.nextBelow(kPaletteSize - 1)];
+        }
+    }
+    // Every segment gets at least one attached domain, so churn's
+    // setSegmentRights always has a legal target.
+    for (u32 s = 0; s < config.segments; ++s) {
+        bool attached = false;
+        for (u32 d = 0; d < config.domains; ++d)
+            attached |= scenario.grants[d][s] != vm::Access::None;
+        if (!attached)
+            scenario.grants[0][s] = vm::Access::All;
+    }
+    if (config.rightsChurnEvery > 0) {
+        for (u64 at = config.rightsChurnEvery; at < config.references;
+             at += config.rightsChurnEvery) {
+            ChurnOp op;
+            op.afterRef = at;
+            op.kind = static_cast<int>(rng.nextBelow(4));
+            op.domainIdx = static_cast<u32>(rng.nextBelow(config.domains));
+            op.segIdx = static_cast<u32>(rng.nextBelow(config.segments));
+            op.pageIdx = rng.nextBelow(config.pagesPerSegment);
+            op.rights = kPalette[rng.nextBelow(kPaletteSize)];
+            // setSegmentRights on an unattached segment would be an
+            // implicit attach, bypassing the kernel's bookkeeping;
+            // degrade to a page override instead. The guard reads only
+            // the scenario, so every run degrades identically.
+            if (op.kind == 1 &&
+                scenario.grants[op.domainIdx][op.segIdx] ==
+                    vm::Access::None) {
+                op.kind = 0;
+            }
+            scenario.churn.push_back(op);
+        }
+    }
+    return scenario;
+}
+
+/** Create domains and segments and apply the grant matrix. */
+Layout
+setupSystem(core::System &sys, const CampaignConfig &config,
+            const Scenario &scenario)
+{
+    Layout layout;
+    for (u32 d = 0; d < config.domains; ++d) {
+        layout.domains.push_back(
+            sys.kernel().createDomain("dom" + std::to_string(d)));
+    }
+    for (u32 s = 0; s < config.segments; ++s) {
+        const vm::SegmentId seg = sys.kernel().createSegment(
+            "seg" + std::to_string(s), config.pagesPerSegment);
+        layout.segs.push_back(seg);
+        const vm::Segment *segment = sys.state().segments.find(seg);
+        SASOS_ASSERT(segment != nullptr, "campaign segment vanished");
+        layout.firstPage.push_back(segment->firstPage.number());
+    }
+    for (u32 d = 0; d < config.domains; ++d) {
+        for (u32 s = 0; s < config.segments; ++s) {
+            if (scenario.grants[d][s] != vm::Access::None) {
+                sys.kernel().attach(layout.domains[d], layout.segs[s],
+                                    scenario.grants[d][s]);
+            }
+        }
+    }
+    sys.kernel().switchTo(layout.domains[0]);
+    return layout;
+}
+
+/** Synthesize the reference stream into an on-disk trace. */
+void
+generateTrace(const CampaignConfig &config, const Layout &layout,
+              const std::string &path)
+{
+    trace::TraceWriter writer(path);
+    // Distinct stream so trace shape is independent of the grant rolls.
+    Rng rng(config.scenarioSeed ^ 0x9e3779b97f4a7c15ull);
+    u16 current = 0;
+    u64 refs = 0;
+    while (refs < config.references) {
+        if (rng.bernoulli(config.switchFraction)) {
+            current = static_cast<u16>(rng.nextBelow(config.domains));
+            writer.append(
+                trace::TraceRecord{trace::TraceOp::Switch, current, 0});
+            continue;
+        }
+        const u64 seg = rng.nextBelow(config.segments);
+        const u64 page = rng.nextBelow(config.pagesPerSegment);
+        const u64 offset = rng.nextBelow(vm::kPageBytes / 8) * 8;
+        const vm::Vpn vpn(layout.firstPage[seg] + page);
+        const u64 addr = vm::baseOf(vpn).raw() + offset;
+        const double p = rng.nextReal();
+        trace::TraceOp op = trace::TraceOp::Load;
+        if (p < config.storeFraction)
+            op = trace::TraceOp::Store;
+        else if (p < config.storeFraction + config.ifetchFraction)
+            op = trace::TraceOp::IFetch;
+        writer.append(trace::TraceRecord{op, current, addr});
+        ++refs;
+    }
+    writer.close();
+}
+
+void
+applyChurn(core::System &sys, const Layout &layout, const ChurnOp &op)
+{
+    const vm::Vpn vpn(layout.firstPage[op.segIdx] + op.pageIdx);
+    switch (op.kind) {
+      case 0:
+        sys.kernel().setPageRights(layout.domains[op.domainIdx], vpn,
+                                   op.rights);
+        break;
+      case 1:
+        sys.kernel().setSegmentRights(layout.domains[op.domainIdx],
+                                      layout.segs[op.segIdx], op.rights);
+        break;
+      case 2:
+        sys.kernel().restrictPage(vpn, vm::Access::Read);
+        break;
+      case 3:
+        sys.kernel().unrestrictPage(vpn);
+        break;
+    }
+}
+
+RunOutcome
+runOne(const CampaignConfig &config, const Scenario &scenario,
+       core::ModelKind kind, bool injected, const std::string &trace_path,
+       const Layout &expected)
+{
+    core::SystemConfig sc = core::SystemConfig::forModel(kind);
+    sc.faults = config.faults;
+    sc.faults.enabled = injected;
+    core::System sys(sc);
+    const Layout layout = setupSystem(sys, config, scenario);
+    SASOS_ASSERT(layout.firstPage == expected.firstPage &&
+                     layout.domains == expected.domains,
+                 "campaign layout diverged between systems");
+
+    std::map<u16, os::DomainId> domain_map;
+    for (u32 d = 0; d < config.domains; ++d)
+        domain_map[static_cast<u16>(d)] = layout.domains[d];
+
+    RunOutcome outcome;
+    outcome.model = core::toString(kind);
+    outcome.injected = injected;
+    outcome.decisions.reserve(config.references);
+
+    std::size_t next_churn = 0;
+    u64 ref_index = 0;
+    const trace::ReplayObserver observer =
+        [&](const trace::TraceRecord &, bool ok) {
+            outcome.decisions.push_back(ok ? 1 : 0);
+            ++ref_index;
+            while (next_churn < scenario.churn.size() &&
+                   scenario.churn[next_churn].afterRef == ref_index) {
+                applyChurn(sys, layout, scenario.churn[next_churn]);
+                ++next_churn;
+            }
+        };
+
+    trace::TraceReader reader(trace_path);
+    const trace::ReplayResult replayed =
+        trace::replay(sys, reader, domain_map, observer);
+
+    outcome.completed = replayed.references - replayed.failedReferences;
+    outcome.failed = replayed.failedReferences;
+    outcome.simCycles = sys.cycles().count();
+    outcome.protectionFaults = sys.kernel().protectionFaults.value();
+    outcome.translationFaults = sys.kernel().translationFaults.value();
+    outcome.staleFaults = sys.kernel().staleFaults.value();
+    outcome.faultRetries = sys.kernel().faultRetries.value();
+    if (sys.injector() != nullptr) {
+        outcome.injectedEvents = sys.injector()->injected.value();
+        outcome.transients = sys.injector()->transients.value();
+    }
+
+    // Final architectural state: canonical rights of every domain on
+    // every campaign page, plus the hardware-never-exceeds-canonical
+    // safety invariant.
+    std::ostringstream snapshot;
+    for (u32 d = 0; d < config.domains; ++d) {
+        for (u32 s = 0; s < config.segments; ++s) {
+            for (u64 page = 0; page < config.pagesPerSegment; ++page) {
+                const vm::Vpn vpn(layout.firstPage[s] + page);
+                const vm::Access canonical =
+                    sys.kernel().canonicalRights(layout.domains[d], vpn);
+                snapshot << static_cast<char>(
+                    '0' + static_cast<u8>(canonical));
+                const vm::Access hw =
+                    sys.model().effectiveRights(layout.domains[d], vpn);
+                if (!vm::includes(canonical, hw))
+                    outcome.hwWithinCanonical = false;
+            }
+        }
+    }
+    outcome.rightsSnapshot = snapshot.str();
+    return outcome;
+}
+
+std::string
+runName(const RunOutcome &run)
+{
+    return run.model + (run.injected ? "+faults" : "+clean");
+}
+
+} // namespace
+
+const RunOutcome *
+CampaignResult::find(const std::string &model, bool injected) const
+{
+    for (const RunOutcome &run : runs) {
+        if (run.model == model && run.injected == injected)
+            return &run;
+    }
+    return nullptr;
+}
+
+CampaignResult
+runCampaign(const CampaignConfig &config, const std::string &trace_path)
+{
+    const Scenario scenario = buildScenario(config);
+
+    // Probe system: fixes the segment layout (deterministic given the
+    // same creation sequence) so the trace can be generated before the
+    // measured runs; each run asserts it reproduced the layout.
+    Layout layout;
+    {
+        core::System probe(
+            core::SystemConfig::forModel(core::ModelKind::Plb));
+        layout = setupSystem(probe, config, scenario);
+    }
+    generateTrace(config, layout, trace_path);
+
+    CampaignResult result;
+    result.references = config.references;
+    const core::ModelKind kinds[] = {core::ModelKind::Plb,
+                                     core::ModelKind::PageGroup,
+                                     core::ModelKind::Conventional};
+    for (core::ModelKind kind : kinds) {
+        for (bool injected : {false, true}) {
+            result.runs.push_back(runOne(config, scenario, kind, injected,
+                                         trace_path, layout));
+        }
+    }
+
+    // The differential checks. Cycles are deliberately not compared.
+    const RunOutcome &baseline = result.runs.front();
+    for (const RunOutcome &run : result.runs) {
+        if (run.decisions.size() != config.references) {
+            result.violations.push_back(
+                runName(run) + ": replayed " +
+                std::to_string(run.decisions.size()) + " references, " +
+                "expected " + std::to_string(config.references));
+        }
+        if (!run.hwWithinCanonical) {
+            result.violations.push_back(
+                runName(run) +
+                ": hardware rights exceed canonical rights");
+        }
+        if (run.decisions != baseline.decisions) {
+            std::size_t at = 0;
+            const std::size_t limit =
+                std::min(run.decisions.size(), baseline.decisions.size());
+            while (at < limit && run.decisions[at] == baseline.decisions[at])
+                ++at;
+            result.violations.push_back(
+                runName(run) + ": allow/deny diverges from " +
+                runName(baseline) + " at reference " + std::to_string(at));
+        }
+        if (run.rightsSnapshot != baseline.rightsSnapshot) {
+            result.violations.push_back(
+                runName(run) + ": final canonical rights diverge from " +
+                runName(baseline));
+        }
+    }
+    result.passed = result.violations.empty();
+    return result;
+}
+
+} // namespace sasos::fault

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The cross-model differential oracle.
+ *
+ * The paper's central claim is that the PLB, page-group and
+ * conventional systems may differ in *cost* but never in *outcome*:
+ * every reference is allowed or denied identically, because all three
+ * derive their decisions from the same canonical protection state
+ * (PAPER.md Sections 3-4). The oracle turns that claim, plus the
+ * fault engine's contract (injection perturbs cached state only),
+ * into an executable check:
+ *
+ *   1. synthesize a deterministic scenario -- domains, segments, a
+ *      rights matrix, a reference trace with embedded domain switches
+ *      and mid-stream rights churn -- from one seed;
+ *   2. replay the identical trace against all three models, clean and
+ *      with fault injection enabled;
+ *   3. assert that per-reference allow/deny decision vectors and the
+ *      final canonical rights state are bit-identical across all six
+ *      runs, and that no model's hardware view ever exceeds the
+ *      canonical rights.
+ *
+ * Cycle costs legitimately differ (that difference is the paper); the
+ * oracle reports them as recovery-overhead numbers instead of
+ * checking them.
+ */
+
+#ifndef SASOS_FAULT_ORACLE_HH
+#define SASOS_FAULT_ORACLE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/system_config.hh"
+#include "fault/fault.hh"
+
+namespace sasos::fault
+{
+
+/** One differential campaign's shape. Everything is derived from
+ * `scenarioSeed`, so a campaign is reproducible bit for bit. */
+struct CampaignConfig
+{
+    u64 scenarioSeed = 1;
+    /** Schedule for the injected runs (enabled is forced on there and
+     * off in the clean runs). */
+    FaultConfig faults;
+    /** Reference records in the trace (switches are extra). */
+    u64 references = 20'000;
+    u32 domains = 3;
+    u32 segments = 4;
+    u64 pagesPerSegment = 32;
+    double storeFraction = 0.3;
+    double ifetchFraction = 0.1;
+    /** Probability that a record is a domain switch. */
+    double switchFraction = 0.02;
+    /** Apply one random rights-churn operation every N references
+     * (0 disables churn). */
+    u64 rightsChurnEvery = 256;
+};
+
+/** What one (model, injected?) run produced. */
+struct RunOutcome
+{
+    std::string model;
+    bool injected = false;
+    u64 completed = 0;
+    u64 failed = 0;
+    u64 simCycles = 0;
+    u64 protectionFaults = 0;
+    u64 translationFaults = 0;
+    u64 staleFaults = 0;
+    u64 faultRetries = 0;
+    /** Injector totals (0 in clean runs). */
+    u64 injectedEvents = 0;
+    u64 transients = 0;
+    /** Per-reference allow/deny decisions, in trace order. */
+    std::vector<u8> decisions;
+    /** Canonical rights of every (domain, page) after the run. */
+    std::string rightsSnapshot;
+    /** Hardware rights never exceeded canonical rights. */
+    bool hwWithinCanonical = true;
+};
+
+/** Verdict of one campaign. */
+struct CampaignResult
+{
+    bool passed = false;
+    /** Human-readable invariant violations (empty when passed). */
+    std::vector<std::string> violations;
+    /** Six runs: {plb, page-group, conventional} x {clean, injected}. */
+    std::vector<RunOutcome> runs;
+    /** References per run (identical for all runs). */
+    u64 references = 0;
+
+    /** The injected run for a model kind, for overhead reporting. */
+    const RunOutcome *find(const std::string &model, bool injected) const;
+};
+
+/**
+ * Run one differential campaign. The synthesized trace is written to
+ * `trace_path` (overwritten if present) and replayed via
+ * trace::replay against every run, so the stream each system sees is
+ * exactly the on-disk artifact.
+ */
+CampaignResult runCampaign(const CampaignConfig &config,
+                           const std::string &trace_path);
+
+} // namespace sasos::fault
+
+#endif // SASOS_FAULT_ORACLE_HH

@@ -167,6 +167,29 @@ class AssocCache
         return result;
     }
 
+    /**
+     * Invalidate the n-th valid entry in scan order (n < occupancy).
+     * This is the fault injector's handle for a spurious eviction: the
+     * victim index comes from the campaign Rng, so which entry dies is
+     * seeded, not host-dependent. Replacement state is left alone,
+     * like the purge paths. @return the dropped entry, or nullopt if
+     * n is out of range.
+     */
+    std::optional<Victim>
+    invalidateNth(std::size_t n)
+    {
+        for (Entry &entry : entries_) {
+            if (!entry.valid)
+                continue;
+            if (n-- == 0) {
+                entry.valid = false;
+                --occupancy_;
+                return Victim{entry.tag, entry.payload};
+            }
+        }
+        return std::nullopt;
+    }
+
     /** Flash-invalidate everything. @return entries dropped. */
     u64
     invalidateAll()

@@ -29,6 +29,8 @@ DataCache::DataCache(const DataCacheConfig &config, stats::Group *parent,
       writebacks(&statsGroup, "writebacks", "dirty lines written back"),
       flushedLines(&statsGroup, "flushedLines",
                    "valid lines removed by flush operations"),
+      injectedEvictions(&statsGroup, "injectedEvictions",
+                        "lines evicted by fault injection"),
       hitRate(&statsGroup, "hitRate", "fraction of accesses that hit",
               [this] {
                   return accesses.value()
@@ -189,6 +191,26 @@ DataCache::flushAll()
     });
     array_.invalidateAll();
     return result;
+}
+
+std::optional<CacheVictim>
+DataCache::evictRandomLine(Rng &rng)
+{
+    const std::size_t live = array_.occupancy();
+    if (live == 0)
+        return std::nullopt;
+    auto victim = array_.invalidateNth(
+        static_cast<std::size_t>(rng.nextBelow(live)));
+    if (!victim)
+        return std::nullopt;
+    ++injectedEvictions;
+    CacheVictim out;
+    out.vline = victim->payload.vline;
+    out.pline = victim->payload.pline;
+    out.dirty = victim->payload.dirty;
+    if (out.dirty)
+        ++writebacks;
+    return out;
 }
 
 bool

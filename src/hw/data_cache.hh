@@ -25,6 +25,7 @@
 #include <string>
 
 #include "hw/assoc_cache.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "vm/address.hh"
 
@@ -113,6 +114,13 @@ class DataCache
     /** Invalidate everything, writing back dirty lines. */
     FlushResult flushAll();
 
+    /**
+     * Fault injection: evict one valid line chosen by `rng`, writing
+     * it back if dirty (data is never lost, only displaced).
+     * @return the victim, or nullopt when the cache is empty.
+     */
+    std::optional<CacheVictim> evictRandomLine(Rng &rng);
+
     /** Valid lines currently present. */
     std::size_t occupancy() const { return array_.occupancy(); }
 
@@ -128,6 +136,7 @@ class DataCache
     stats::Scalar fills;
     stats::Scalar writebacks;
     stats::Scalar flushedLines;
+    stats::Scalar injectedEvictions;
     stats::Formula hitRate;
     /// @}
 

@@ -12,6 +12,8 @@ PageGroupCache::PageGroupCache(const PageGroupCacheConfig &config,
       misses(&statsGroup, "misses", "checks that missed"),
       insertions(&statsGroup, "insertions", "groups installed"),
       evictions(&statsGroup, "evictions", "valid groups evicted"),
+      injectedEvictions(&statsGroup, "injectedEvictions",
+                        "groups dropped by fault injection"),
       config_(config),
       array_(1, config.entries, config.policy, config.seed)
 {
@@ -69,6 +71,17 @@ u64
 PageGroupCache::purgeAll()
 {
     return array_.invalidateAll();
+}
+
+bool
+PageGroupCache::evictOne(Rng &rng)
+{
+    const std::size_t live = array_.occupancy();
+    if (live == 0)
+        return false;
+    array_.invalidateNth(static_cast<std::size_t>(rng.nextBelow(live)));
+    ++injectedEvictions;
+    return true;
 }
 
 u64

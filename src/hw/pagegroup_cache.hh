@@ -22,6 +22,7 @@
 
 #include "hw/assoc_cache.hh"
 #include "hw/tlb.hh" // GroupId
+#include "sim/random.hh"
 #include "sim/stats.hh"
 
 namespace sasos::hw
@@ -76,6 +77,13 @@ class PageGroupCache
      */
     u64 loadAll(std::span<const GroupId> groups);
 
+    /**
+     * Fault injection: drop one cached group chosen by `rng`; the
+     * kernel revalidates and reloads it on the next miss.
+     * @return true if an entry was dropped (false when empty).
+     */
+    bool evictOne(Rng &rng);
+
     std::size_t occupancy() const { return array_.occupancy(); }
     std::size_t capacity() const { return array_.capacity(); }
 
@@ -88,6 +96,7 @@ class PageGroupCache
     stats::Scalar misses;
     stats::Scalar insertions;
     stats::Scalar evictions;
+    stats::Scalar injectedEvictions;
     /// @}
 
   private:

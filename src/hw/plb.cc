@@ -18,6 +18,8 @@ Plb::Plb(const PlbConfig &config, stats::Group *parent)
                     "entries removed by purges"),
       purgeScans(&statsGroup, "purgeScans",
                  "entries inspected during purge scans"),
+      injectedEvictions(&statsGroup, "injectedEvictions",
+                        "entries dropped by fault injection"),
       hitRate(&statsGroup, "hitRate", "fraction of lookups that hit",
               [this] {
                   return lookups.value()
@@ -233,6 +235,17 @@ Plb::purgeAll()
     const u64 dropped = array_.invalidateAll();
     purgedEntries += dropped;
     return dropped;
+}
+
+bool
+Plb::evictOne(Rng &rng)
+{
+    const std::size_t live = array_.occupancy();
+    if (live == 0)
+        return false;
+    array_.invalidateNth(static_cast<std::size_t>(rng.nextBelow(live)));
+    ++injectedEvictions;
+    return true;
 }
 
 } // namespace sasos::hw

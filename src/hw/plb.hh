@@ -25,6 +25,7 @@
 
 #include "hw/assoc_cache.hh"
 #include "hw/tlb.hh" // DomainId
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "vm/address.hh"
 #include "vm/rights.hh"
@@ -140,6 +141,14 @@ class Plb
     /** Flash-invalidate. @return entries dropped. */
     u64 purgeAll();
 
+    /**
+     * Fault injection: drop one valid entry chosen by `rng`.
+     * Models a spurious (soft-error / pressure) eviction; the entry
+     * is simply refetched from kernel state on next use.
+     * @return true if an entry was dropped (false when empty).
+     */
+    bool evictOne(Rng &rng);
+
     std::size_t occupancy() const { return array_.occupancy(); }
     std::size_t capacity() const { return array_.capacity(); }
 
@@ -165,6 +174,7 @@ class Plb
     stats::Scalar updates;
     stats::Scalar purgedEntries;
     stats::Scalar purgeScans;
+    stats::Scalar injectedEvictions;
     stats::Formula hitRate;
     /// @}
 

@@ -29,6 +29,8 @@ Tlb::Tlb(const TlbConfig &config, stats::Group *parent,
       evictions(&statsGroup, "evictions", "valid entries evicted"),
       purgedEntries(&statsGroup, "purgedEntries",
                     "entries removed by purges"),
+      injectedEvictions(&statsGroup, "injectedEvictions",
+                        "entries dropped by fault injection"),
       hitRate(&statsGroup, "hitRate", "fraction of lookups that hit",
               [this] {
                   return lookups.value()
@@ -178,6 +180,17 @@ Tlb::purgeAll()
     const u64 dropped = array_.invalidateAll();
     purgedEntries += dropped;
     return dropped;
+}
+
+bool
+Tlb::evictOne(Rng &rng)
+{
+    const std::size_t live = array_.occupancy();
+    if (live == 0)
+        return false;
+    array_.invalidateNth(static_cast<std::size_t>(rng.nextBelow(live)));
+    ++injectedEvictions;
+    return true;
 }
 
 } // namespace sasos::hw

@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "hw/assoc_cache.hh"
+#include "sim/random.hh"
 #include "sim/stats.hh"
 #include "vm/address.hh"
 #include "vm/rights.hh"
@@ -126,6 +127,13 @@ class Tlb
     /** Flash-invalidate. @return entries dropped. */
     u64 purgeAll();
 
+    /**
+     * Fault injection: drop one valid entry chosen by `rng`; refilled
+     * from kernel page tables on next touch.
+     * @return true if an entry was dropped (false when empty).
+     */
+    bool evictOne(Rng &rng);
+
     std::size_t occupancy() const { return array_.occupancy(); }
     std::size_t capacity() const { return array_.capacity(); }
 
@@ -148,6 +156,7 @@ class Tlb
     stats::Scalar insertions;
     stats::Scalar evictions;
     stats::Scalar purgedEntries;
+    stats::Scalar injectedEvictions;
     stats::Formula hitRate;
     /// @}
 

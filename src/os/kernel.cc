@@ -28,6 +28,8 @@ Kernel::Kernel(VmState &state, ProtectionModel &model,
                  "faults delivered as exceptions"),
       demandMaps(&statsGroup, "demandMaps", "demand-zero page mappings"),
       unmaps(&statsGroup, "unmaps", "pages unmapped"),
+      faultRetries(&statsGroup, "faultRetries",
+                   "faults resolved so the reference retries"),
       state_(state), model_(model), costs_(costs), account_(account)
 {
 }
@@ -282,8 +284,10 @@ Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
         // was stale (e.g. a page-group assignment must follow the
         // faulting domain). Repair and retry.
         ++staleFaults;
-        if (model_.refreshAfterFault(domain, vpn))
+        if (model_.refreshAfterFault(domain, vpn)) {
+            ++faultRetries;
             return true;
+        }
         ++exceptions;
         return false;
     }
@@ -294,8 +298,10 @@ Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
         if (it != servers_.end()) {
             ++serverUpcalls;
             charge(CostCategory::Upcall, costs_.serverUpcall);
-            if (it->second->onProtectionFault(*this, domain, va, type))
+            if (it->second->onProtectionFault(*this, domain, va, type)) {
+                ++faultRetries;
                 return true;
+            }
         }
     }
     ++exceptions;
@@ -322,10 +328,12 @@ Kernel::handleTranslationFault(DomainId domain, vm::VAddr va,
     if (isOnDisk(vpn)) {
         SASOS_ASSERT(pager_ != nullptr, "on-disk page with no pager");
         pager_->pageIn(vpn);
+        ++faultRetries;
         return true;
     }
     ++demandMaps;
     mapPage(vpn);
+    ++faultRetries;
     return true;
 }
 

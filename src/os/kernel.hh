@@ -137,6 +137,10 @@ class Kernel
     stats::Scalar exceptions;
     stats::Scalar demandMaps;
     stats::Scalar unmaps;
+    /** Faults resolved so the reference retries (stale-state repairs,
+     * server grants, demand maps, page-ins) -- under fault injection,
+     * the recovery work the engine forced. */
+    stats::Scalar faultRetries;
     /// @}
 
   private:

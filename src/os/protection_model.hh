@@ -24,6 +24,11 @@
 #include "vm/rights.hh"
 #include "vm/segment.hh"
 
+namespace sasos::fault
+{
+class FaultInjector;
+}
+
 namespace sasos::os
 {
 
@@ -128,6 +133,23 @@ class ProtectionModel
      * kernel's canonical tables.
      */
     virtual vm::Access effectiveRights(DomainId domain, vm::Vpn vpn) = 0;
+
+    /**
+     * Attach a fault injector whose schedule each access() consults
+     * before issuing (null detaches). Injection only discards or
+     * delays *cached* state, so it perturbs costs, never outcomes;
+     * the differential oracle in src/fault enforces exactly that.
+     */
+    void setInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    fault::FaultInjector *injector() const { return injector_; }
+
+  protected:
+    /** Fault-injection schedule, or null when injection is off. */
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace sasos::os

@@ -28,6 +28,7 @@ CostModel::bindings()
         {"domainSwitchBase", &CostModel::domainSwitchBase},
         {"interProcessorInterrupt", &CostModel::interProcessorInterrupt},
         {"tableUpdate", &CostModel::tableUpdate},
+        {"faultDelay", &CostModel::faultDelay},
         {"diskAccess", &CostModel::diskAccess},
         {"pageCopy", &CostModel::pageCopy},
         {"compressPage", &CostModel::compressPage},

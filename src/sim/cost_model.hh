@@ -82,6 +82,12 @@ class CostModel
     Cycles tableUpdate{10};
     /// @}
 
+    /** @name Fault injection */
+    /// @{
+    /** Stall modeling a delayed fill injected by the fault engine. */
+    Cycles faultDelay{100};
+    /// @}
+
     /** @name I/O and bulk data */
     /// @{
     /** Disk access for one page (page-in/page-out). */

@@ -137,6 +137,8 @@ Options::helpText()
            "  cacheKB= lineBytes= cacheWays= cacheOrg=   data cache\n"
            "  tlbEntries= tlbWays= plbEntries= pgEntries=  structures\n"
            "  eagerPg= purgeOnSwitch= flushOnSwitch= superPage=\n"
+           "  faults=0|1             deterministic fault injection\n"
+           "  fault_seed=N fault_rate=P fault_gap=N   injection schedule\n"
            "  cost.<name>=<cycles>   cost-model override\n";
 }
 

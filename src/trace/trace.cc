@@ -105,6 +105,25 @@ TraceReader::TraceReader(const std::string &path)
     if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0)
         SASOS_FATAL("'", path, "' is not a sasos trace");
     count_ = header.count;
+    // Validate the payload against the header's promise up front, so
+    // a truncated or padded file is a loud error instead of a
+    // silently-partial replay.
+    const long payload_start = std::ftell(file_);
+    if (payload_start < 0 || std::fseek(file_, 0, SEEK_END) != 0)
+        SASOS_FATAL("cannot size trace file '", path, "'");
+    const long size = std::ftell(file_);
+    if (size < 0)
+        SASOS_FATAL("cannot size trace file '", path, "'");
+    const u64 payload = static_cast<u64>(size) -
+                        static_cast<u64>(payload_start);
+    if (payload != count_ * sizeof(DiskRecord)) {
+        SASOS_FATAL("trace file '", path, "' is truncated or corrupt: ",
+                    "header promises ", count_, " records (",
+                    count_ * sizeof(DiskRecord), " bytes) but the file",
+                    " holds ", payload, " payload bytes");
+    }
+    if (std::fseek(file_, payload_start, SEEK_SET) != 0)
+        SASOS_FATAL("cannot rewind trace file '", path, "'");
 }
 
 TraceReader::~TraceReader()
@@ -116,11 +135,20 @@ TraceReader::~TraceReader()
 bool
 TraceReader::next(TraceRecord &record)
 {
-    DiskRecord disk{};
-    if (std::fread(&disk, sizeof(disk), 1, file_) != 1)
+    // The header's count is authoritative: stop there even if the
+    // file has trailing bytes (the constructor rejects those anyway).
+    if (read_ == count_)
         return false;
+    DiskRecord disk{};
+    if (std::fread(&disk, sizeof(disk), 1, file_) != 1) {
+        // The constructor verified count_ full records exist, so a
+        // short read here means the file changed underneath us.
+        SASOS_FATAL("trace truncated mid-record: read ", read_, " of ",
+                    count_, " promised records");
+    }
     if (disk.op > static_cast<u8>(TraceOp::Switch))
-        SASOS_FATAL("corrupt trace: bad op ", unsigned{disk.op});
+        SASOS_FATAL("corrupt trace: bad op ", unsigned{disk.op},
+                    " in record ", read_);
     record.op = static_cast<TraceOp>(disk.op);
     record.domain = disk.domain;
     record.addr = disk.addr;
@@ -167,7 +195,8 @@ fromText(const std::string &line)
 
 ReplayResult
 replay(core::System &sys, TraceReader &reader,
-       const std::map<u16, os::DomainId> &domain_map)
+       const std::map<u16, os::DomainId> &domain_map,
+       const ReplayObserver &observer)
 {
     ReplayResult result;
     TraceRecord record;
@@ -200,6 +229,8 @@ replay(core::System &sys, TraceReader &reader,
         ++result.references;
         if (!ok)
             ++result.failedReferences;
+        if (observer)
+            observer(record, ok);
     }
     return result;
 }

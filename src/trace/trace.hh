@@ -14,6 +14,7 @@
 #define SASOS_TRACE_TRACE_HH
 
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -111,13 +112,20 @@ struct ReplayResult
     u64 failedReferences = 0;
 };
 
+/** Per-record replay callback: the record and whether it completed.
+ * Switch records are not reported (they have no allow/deny outcome). */
+using ReplayObserver = std::function<void(const TraceRecord &, bool ok)>;
+
 /**
  * Replay a trace against a system. Trace domain numbers are mapped
  * through `domain_map` (trace id -> simulated domain); unmapped ids
- * are fatal. The caller sets up segments/domains beforehand.
+ * are fatal. The caller sets up segments/domains beforehand. The
+ * optional observer sees every non-switch record's outcome, which is
+ * how the fault oracle collects per-reference decision vectors.
  */
 ReplayResult replay(core::System &sys, TraceReader &reader,
-                    const std::map<u16, os::DomainId> &domain_map);
+                    const std::map<u16, os::DomainId> &domain_map,
+                    const ReplayObserver &observer = {});
 
 } // namespace sasos::trace
 

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Golden-replay regression test: a small checked-in trace replayed
+ * exactly, on every architecture, against a checked-in snapshot of
+ * the replay outcome and full statistics dump.
+ *
+ * Any change to reference handling, fault resolution, cost charging
+ * or stats layout shows up as a diff here. When the change is
+ * intentional, regenerate the snapshot:
+ *
+ *   SASOS_GOLDEN_REGEN=1 ./golden_test
+ *
+ * and commit the updated tests/data/golden_expected.txt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "trace/trace.hh"
+
+using namespace sasos;
+
+namespace
+{
+
+std::string
+dataPath(const char *name)
+{
+    return std::string(SASOS_TEST_DATA_DIR) + "/" + name;
+}
+
+/** The golden scenario: two domains with asymmetric rights over two
+ * 4-page segments. The trace was written against these bases. */
+struct GoldenScenario
+{
+    os::DomainId a = 0;
+    os::DomainId b = 0;
+};
+
+GoldenScenario
+setupGolden(core::System &sys)
+{
+    GoldenScenario scenario;
+    auto &kernel = sys.kernel();
+    scenario.a = kernel.createDomain("a");
+    scenario.b = kernel.createDomain("b");
+    const vm::SegmentId seg1 = kernel.createSegment("code-heap", 4);
+    const vm::SegmentId seg2 = kernel.createSegment("shared", 4);
+    // The trace addresses assume this layout; fail loudly if the
+    // allocator ever places segments differently.
+    EXPECT_EQ(sys.state().segments.find(seg1)->base().raw(), 0x100000u);
+    EXPECT_EQ(sys.state().segments.find(seg2)->base().raw(), 0x104000u);
+    kernel.attach(scenario.a, seg1, vm::Access::ReadWrite);
+    kernel.attach(scenario.a, seg2, vm::Access::Read);
+    kernel.attach(scenario.b, seg1, vm::Access::Read);
+    kernel.attach(scenario.b, seg2, vm::Access::All);
+    return scenario;
+}
+
+/** Convert the checked-in text trace to a temporary binary trace. */
+std::string
+binaryGoldenTrace()
+{
+    const std::string out =
+        (std::filesystem::temp_directory_path() / "golden.trc").string();
+    std::ifstream in(dataPath("golden.trace.txt"));
+    EXPECT_TRUE(in.good()) << "missing " << dataPath("golden.trace.txt");
+    trace::TraceWriter writer(out);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        writer.append(trace::fromText(line));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(GoldenReplayTest, MatchesCheckedInSnapshot)
+{
+    const std::string trace_path = binaryGoldenTrace();
+
+    std::ostringstream actual;
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        core::System sys(core::SystemConfig::forModel(kind));
+        const GoldenScenario scenario = setupGolden(sys);
+        trace::TraceReader reader(trace_path);
+        const trace::ReplayResult result = trace::replay(
+            sys, reader, {{1, scenario.a}, {2, scenario.b}});
+        actual << "==== " << core::toString(kind) << " ====\n";
+        actual << "records " << result.records << " references "
+               << result.references << " switches " << result.switches
+               << " failed " << result.failedReferences << "\n";
+        sys.dumpStats(actual);
+        actual << "\n";
+    }
+    std::remove(trace_path.c_str());
+
+    const std::string expected_path = dataPath("golden_expected.txt");
+    if (std::getenv("SASOS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(expected_path);
+        out << actual.str();
+        GTEST_SKIP() << "regenerated " << expected_path;
+    }
+
+    std::ifstream in(expected_path);
+    ASSERT_TRUE(in.good())
+        << "missing " << expected_path
+        << "; run with SASOS_GOLDEN_REGEN=1 to create it";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual.str(), expected.str())
+        << "golden replay diverged; if intentional, regenerate with "
+           "SASOS_GOLDEN_REGEN=1";
+}

@@ -252,6 +252,171 @@ TEST_P(OpSoupTest, DeterministicCycleTotals)
     EXPECT_EQ(totals[0], totals[1]);
 }
 
+namespace
+{
+
+/** Drive the same randomized operation soup against all three
+ * architectures in lockstep and assert they agree on every single
+ * reference. The canonical tables evolve identically (same kernel
+ * calls), so any divergence is a hardware model leaking or dropping
+ * rights. With `faults` set, every system also runs its own
+ * fault injector -- perturbations may differ per machine, but
+ * decisions still may not. */
+void
+crossModelSoup(u64 seed, bool faults)
+{
+    constexpr int kDomains = 3;
+    constexpr int kSegments = 3;
+    constexpr u64 kPagesPerSegment = 8;
+
+    std::vector<std::unique_ptr<core::System>> systems;
+    for (ModelKind kind : {ModelKind::Plb, ModelKind::PageGroup,
+                           ModelKind::Conventional}) {
+        SystemConfig config = SystemConfig::forModel(kind);
+        config.faults.enabled = faults;
+        config.faults.rate = 0.05;
+        config.faults.seed = seed;
+        systems.push_back(std::make_unique<core::System>(config));
+    }
+
+    std::vector<os::DomainId> domains;
+    std::vector<vm::SegmentId> segments;
+    std::vector<vm::VAddr> bases;
+    for (int d = 0; d < kDomains; ++d) {
+        os::DomainId id = 0;
+        for (auto &sys : systems)
+            id = sys->kernel().createDomain("d" + std::to_string(d));
+        domains.push_back(id);
+    }
+    for (int s = 0; s < kSegments; ++s) {
+        vm::SegmentId id = 0;
+        for (auto &sys : systems)
+            id = sys->kernel().createSegment("s" + std::to_string(s),
+                                             kPagesPerSegment);
+        segments.push_back(id);
+        // The allocator is deterministic, so every system places the
+        // segment at the same base.
+        bases.push_back(
+            systems[0]->state().segments.find(id)->base());
+        for (auto &sys : systems)
+            ASSERT_EQ(sys->state().segments.find(id)->base().raw(),
+                      bases.back().raw());
+    }
+
+    Rng rng(seed);
+    auto random_domain = [&] {
+        return domains[rng.nextBelow(domains.size())];
+    };
+    auto random_segment_index = [&] {
+        return static_cast<std::size_t>(rng.nextBelow(segments.size()));
+    };
+    auto random_page = [&](std::size_t s) {
+        return vm::pageOf(bases[s]) + rng.nextBelow(kPagesPerSegment);
+    };
+    auto random_grant = [&] {
+        return kGrantChoices[rng.nextBelow(std::size(kGrantChoices))];
+    };
+
+    u64 agreed_allows = 0, agreed_denies = 0;
+    for (int op = 0; op < 2500; ++op) {
+        switch (rng.nextBelow(8)) {
+          case 0: {
+            const os::DomainId d = random_domain();
+            const vm::SegmentId seg = segments[random_segment_index()];
+            const vm::Access grant = random_grant();
+            if (grant != vm::Access::None)
+                for (auto &sys : systems)
+                    sys->kernel().attach(d, seg, grant);
+            break;
+          }
+          case 1: {
+            const os::DomainId d = random_domain();
+            const vm::SegmentId seg = segments[random_segment_index()];
+            // Guard reads system 0's canonical state; all systems have
+            // identical canonical state, so the guard is shared.
+            if (systems[0]->state().domain(d).prot.isAttached(seg))
+                for (auto &sys : systems)
+                    sys->kernel().detach(d, seg);
+            break;
+          }
+          case 2: {
+            const os::DomainId d = random_domain();
+            const vm::Vpn vpn = random_page(random_segment_index());
+            const vm::Access grant = random_grant();
+            for (auto &sys : systems)
+                sys->kernel().setPageRights(d, vpn, grant);
+            break;
+          }
+          case 3: {
+            const vm::Vpn vpn = random_page(random_segment_index());
+            const bool restricted = systems[0]->state().hasPageMask(vpn);
+            for (auto &sys : systems) {
+                if (restricted)
+                    sys->kernel().unrestrictPage(vpn);
+                else
+                    sys->kernel().restrictPage(vpn, vm::Access::Read);
+            }
+            break;
+          }
+          case 4: {
+            const os::DomainId d = random_domain();
+            for (auto &sys : systems)
+                sys->kernel().switchTo(d);
+            break;
+          }
+          default: {
+            for (int r = 0; r < 6; ++r) {
+                const std::size_t s = random_segment_index();
+                const vm::VAddr va =
+                    bases[s] +
+                    rng.nextBelow(kPagesPerSegment * vm::kPageBytes);
+                const vm::AccessType type =
+                    rng.bernoulli(0.4)
+                        ? vm::AccessType::Store
+                        : (rng.bernoulli(0.2) ? vm::AccessType::IFetch
+                                              : vm::AccessType::Load);
+                const os::DomainId current =
+                    systems[0]->kernel().currentDomain();
+                const bool expected = vm::includes(
+                    systems[0]->kernel().canonicalRights(current,
+                                                         vm::pageOf(va)),
+                    vm::requiredRight(type));
+                for (auto &sys : systems) {
+                    const bool ok = sys->access(va, type);
+                    ASSERT_EQ(ok, expected)
+                        << toString(sys->config().model) << " op " << op
+                        << " va 0x" << std::hex << va.raw() << std::dec
+                        << " type " << vm::toString(type)
+                        << (faults ? " (faults on)" : "");
+                }
+                (expected ? agreed_allows : agreed_denies) += 1;
+            }
+            break;
+          }
+        }
+    }
+    EXPECT_GT(agreed_allows, 100u);
+    EXPECT_GT(agreed_denies, 100u);
+    if (faults)
+        for (auto &sys : systems)
+            EXPECT_GT(sys->injector()->injected.value(), 0u)
+                << toString(sys->config().model);
+}
+
+} // namespace
+
+TEST(CrossModelEquivalenceTest, AllModelsAgreeOnEveryReference)
+{
+    for (u64 seed : {11u, 22u, 33u})
+        crossModelSoup(seed, false);
+}
+
+TEST(CrossModelEquivalenceTest, AgreementSurvivesFaultInjection)
+{
+    for (u64 seed : {11u, 22u, 33u})
+        crossModelSoup(seed, true);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Soups, OpSoupTest,
     ::testing::Values(

@@ -95,6 +95,129 @@ TEST(TraceDeathTest, RejectsNonTraceFile)
     std::remove(path.c_str());
 }
 
+TEST(TraceDeathTest, RejectsMissingHeader)
+{
+    const std::string path = tempTracePath("shortheader.trc");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        std::fwrite("SASTRC", 1, 6, f); // shorter than a header
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "has no header");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, RejectsTruncatedPayload)
+{
+    const std::string path = tempTracePath("truncated.trc");
+    {
+        TraceWriter writer(path);
+        for (u64 i = 0; i < 8; ++i)
+            writer.append(TraceOp::Load, 1, vm::VAddr(i * 0x1000));
+    }
+    // Chop the last record in half.
+    std::filesystem::resize_file(path,
+                                 std::filesystem::file_size(path) - 8);
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, RejectsTrailingGarbage)
+{
+    const std::string path = tempTracePath("trailing.trc");
+    {
+        TraceWriter writer(path);
+        writer.append(TraceOp::Load, 1, vm::VAddr(0x1000));
+    }
+    {
+        std::FILE *f = std::fopen(path.c_str(), "ab");
+        std::fputs("junk", f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, RejectsOverpromisedCount)
+{
+    const std::string path = tempTracePath("overcount.trc");
+    {
+        TraceWriter writer(path);
+        writer.append(TraceOp::Load, 1, vm::VAddr(0x1000));
+    }
+    {
+        // Patch the header to promise far more records than exist.
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        std::fseek(f, 8, SEEK_SET);
+        const u64 bogus = 1'000'000;
+        std::fwrite(&bogus, sizeof(bogus), 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceReader reader(path),
+                ::testing::ExitedWithCode(1), "truncated or corrupt");
+    std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, RejectsBadOpcode)
+{
+    const std::string path = tempTracePath("badop.trc");
+    {
+        TraceWriter writer(path);
+        writer.append(TraceOp::Load, 1, vm::VAddr(0x1000));
+        writer.append(TraceOp::Load, 1, vm::VAddr(0x2000));
+    }
+    {
+        // Corrupt the second record's op byte (header is 16 bytes,
+        // each record 16).
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        std::fseek(f, 16 + 16, SEEK_SET);
+        std::fputc(0x7f, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(
+        {
+            TraceReader reader(path);
+            TraceRecord record;
+            while (reader.next(record)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "bad op");
+    std::remove(path.c_str());
+}
+
+TEST(TraceTest, ReplayObserverSeesEveryReference)
+{
+    const std::string path = tempTracePath("observer.trc");
+    core::System sys(core::SystemConfig::plbSystem());
+    auto &kernel = sys.kernel();
+    const os::DomainId a = kernel.createDomain("a");
+    const vm::SegmentId seg = kernel.createSegment("s", 4);
+    kernel.attach(a, seg, vm::Access::Read);
+    const vm::VAddr base = sys.state().segments.find(seg)->base();
+    {
+        TraceWriter writer(path);
+        writer.append(TraceOp::Switch, 1, vm::VAddr(0));
+        writer.append(TraceOp::Load, 1, base);
+        writer.append(TraceOp::Store, 1, base); // denied: read-only
+        writer.append(TraceOp::Load, 1, base + vm::kPageBytes);
+    }
+    std::vector<bool> decisions;
+    TraceReader reader(path);
+    const ReplayResult result = replay(
+        sys, reader, {{1, a}},
+        [&](const TraceRecord &, bool ok) { decisions.push_back(ok); });
+    EXPECT_EQ(result.references, 3u);
+    // Switches are not reported; outcomes arrive in trace order.
+    ASSERT_EQ(decisions.size(), 3u);
+    EXPECT_TRUE(decisions[0]);
+    EXPECT_FALSE(decisions[1]);
+    EXPECT_TRUE(decisions[2]);
+    std::remove(path.c_str());
+}
+
 TEST(TraceTest, ReplayDrivesTheSystem)
 {
     const std::string path = tempTracePath("replay.trc");
