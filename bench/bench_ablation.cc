@@ -258,16 +258,11 @@ BENCHMARK_CAPTURE(BM_AblationRpc, expensiveTrap, 800)
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printTrapSensitivity(options);
-    printPgCacheSizeSweep(options);
-    printEagerVsLazy(options);
-    printPlbCapacitySweep(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printTrapSensitivity(options);
+        printPgCacheSizeSweep(options);
+        printEagerVsLazy(options);
+        printPlbCapacitySweep(options);
+        return 0;
+    });
 }

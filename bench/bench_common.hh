@@ -14,15 +14,65 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "obs/tracer.hh"
 #include "sasos.hh"
+#include "sim/logging.hh"
 
 namespace sasos::bench
 {
+
+/**
+ * The shared bench main(): parse key=value options, honor help=1,
+ * run the paper tables under an Options-driven trace session
+ * (trace=/trace_out=/trace_buf=), then the registered
+ * google-benchmark timings. Returns the body's status.
+ */
+inline int
+runMain(int argc, char **argv,
+        const std::function<int(const Options &)> &body)
+{
+    Options options;
+    options.parseArgs(argc, argv);
+    if (options.getBool("help", false)) {
+        std::cout << Options::helpText();
+        return 0;
+    }
+    int status = 0;
+    {
+        // The trace session closes (and writes its JSON) before the
+        // google-benchmark timings run, so timing loops never trace.
+        obs::ScopedTrace trace(options);
+        status = body(options);
+    }
+    std::cout << "\n";
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return status;
+}
+
+/** Honor stats_out=FILE for a bench's primary system; the extension
+ * picks the format (.csv, else JSON). */
+inline void
+maybeExportStats(const Options &options, core::System &sys)
+{
+    const std::string path = options.getString("stats_out", "");
+    if (path.empty())
+        return;
+    std::ofstream os(path);
+    if (!os)
+        SASOS_FATAL("cannot open stats_out file '", path, "'");
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        sys.dumpStatsCsv(os);
+    else
+        sys.dumpStatsJson(os);
+    inform("wrote stats to ", path);
+}
 
 /** A labeled machine configuration to compare. */
 struct ModelUnderTest

@@ -202,14 +202,9 @@ BENCHMARK_CAPTURE(BM_RpcCall, conv_purge, core::ModelKind::Conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printSwitchTable(options);
-    printRpcComparison(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printSwitchTable(options);
+        printRpcComparison(options);
+        return 0;
+    });
 }

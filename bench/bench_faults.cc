@@ -16,7 +16,8 @@
  * total fault overhead.
  *
  * Keys: refs= (default 20000), seed=, rate= (run one rate instead of
- * the standard ladder), gap=, json=, trace=.
+ * the standard ladder), gap=, json=, oracle_trace= (the replayed
+ * reference-trace file; trace= is the global event tracer).
  */
 
 #include "bench_common.hh"
@@ -24,6 +25,7 @@
 #include <fstream>
 
 #include "fault/oracle.hh"
+#include "obs/json.hh"
 #include "workload/address_stream.hh"
 
 using namespace sasos;
@@ -66,46 +68,52 @@ writeFaultsJson(const std::string &path,
                 const std::vector<CampaignRow> &rows)
 {
     std::ofstream os(path);
-    os << "{\n";
-    os << "  \"bench\": \"faults\",\n";
-    os << "  \"oraclePassed\": true,\n";
-    os << "  \"campaigns\": [\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const CampaignRow &row = rows[i];
-        os << "    { \"rate\": " << row.rate << ", \"references\": "
-           << row.result.references << ", \"runs\": [\n";
-        for (std::size_t j = 0; j < row.result.runs.size(); ++j) {
-            const fault::RunOutcome &run = row.result.runs[j];
+    obs::JsonWriter json(os);
+    json.beginObject();
+    json.member("bench", "faults");
+    json.member("oraclePassed", true);
+    json.key("campaigns");
+    json.beginArray();
+    for (const CampaignRow &row : rows) {
+        json.beginObject();
+        json.member("rate", row.rate);
+        json.member("references", row.result.references);
+        json.key("runs");
+        json.beginArray();
+        for (const fault::RunOutcome &run : row.result.runs) {
             const fault::RunOutcome *clean =
                 row.result.find(run.model, false);
-            os << "      { \"model\": \"" << run.model
-               << "\", \"injected\": " << (run.injected ? "true" : "false")
-               << ", \"completed\": " << run.completed
-               << ", \"failed\": " << run.failed
-               << ", \"simCycles\": " << run.simCycles
-               << ", \"protectionFaults\": " << run.protectionFaults
-               << ", \"translationFaults\": " << run.translationFaults
-               << ", \"staleFaults\": " << run.staleFaults
-               << ", \"faultRetries\": " << run.faultRetries
-               << ", \"injectedEvents\": " << run.injectedEvents
-               << ", \"transients\": " << run.transients
-               << ", \"recoveryCyclesPerEvent\": "
-               << (run.injected && clean != nullptr
-                       ? recoveryCost(*clean, run)
-                       : 0.0)
-               << ", \"overhead\": "
-               << (run.injected && clean != nullptr && clean->simCycles > 0
-                       ? static_cast<double>(run.simCycles) /
-                                 static_cast<double>(clean->simCycles) -
-                             1.0
-                       : 0.0)
-               << " }" << (j + 1 < row.result.runs.size() ? "," : "")
-               << "\n";
+            json.beginObject();
+            json.member("model", run.model);
+            json.member("injected", run.injected);
+            json.member("completed", run.completed);
+            json.member("failed", run.failed);
+            json.member("simCycles", run.simCycles);
+            json.member("protectionFaults", run.protectionFaults);
+            json.member("translationFaults", run.translationFaults);
+            json.member("staleFaults", run.staleFaults);
+            json.member("faultRetries", run.faultRetries);
+            json.member("injectedEvents", run.injectedEvents);
+            json.member("transients", run.transients);
+            json.member("recoveryCyclesPerEvent",
+                        run.injected && clean != nullptr
+                            ? recoveryCost(*clean, run)
+                            : 0.0);
+            json.member(
+                "overhead",
+                run.injected && clean != nullptr && clean->simCycles > 0
+                    ? static_cast<double>(run.simCycles) /
+                              static_cast<double>(clean->simCycles) -
+                          1.0
+                    : 0.0);
+            json.endObject();
         }
-        os << "    ] }" << (i + 1 < rows.size() ? "," : "") << "\n";
+        json.endArray();
+        json.endObject();
     }
-    os << "  ]\n";
-    os << "}\n";
+    json.endArray();
+    json.endObject();
+    os << "\n";
 }
 
 int
@@ -114,7 +122,7 @@ runCampaigns(const Options &options)
     const std::string json_path =
         options.getString("json", "BENCH_faults.json");
     const std::string trace_path =
-        options.getString("trace", "oracle_campaign.trace");
+        options.getString("oracle_trace", "oracle_campaign.trace");
 
     std::vector<double> rates = {0.001, 0.01, 0.05, 0.2};
     if (options.has("rate"))
@@ -230,17 +238,5 @@ BENCHMARK_CAPTURE(BM_InjectionOverhead, conventional_faults,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-    if (options.getBool("help", false)) {
-        std::cout << Options::helpText();
-        return 0;
-    }
-
-    const int status = runCampaigns(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return status;
+    return bench::runMain(argc, argv, runCampaigns);
 }

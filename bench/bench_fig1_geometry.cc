@@ -157,15 +157,10 @@ BENCHMARK(BM_PageGroupCheck)->Arg(4)->Arg(16)->Arg(64);
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printFigure1();
-    printEntryComparison();
-    printCacheOverhead();
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &) {
+        printFigure1();
+        printEntryComparison();
+        printCacheOverhead();
+        return 0;
+    });
 }

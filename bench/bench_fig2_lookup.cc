@@ -145,14 +145,9 @@ BENCHMARK_CAPTURE(BM_SimulatedAccessPath, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printCriticalPath();
-    printCheckSemantics();
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &) {
+        printCriticalPath();
+        printCheckSemantics();
+        return 0;
+    });
 }

@@ -215,15 +215,10 @@ BENCHMARK_CAPTURE(BM_MultiSizeLookup, eight, 8);
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printSuperPageTable(options);
-    printSubPageTable(options);
-    printLockDensityTable(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printSuperPageTable(options);
+        printSubPageTable(options);
+        printLockDensityTable(options);
+        return 0;
+    });
 }

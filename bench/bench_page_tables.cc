@@ -160,14 +160,9 @@ BENCHMARK(BM_GlobalPageTableLookup)->Arg(1 << 10)->Arg(1 << 16);
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printSpaceTable(options);
-    printSparsityTable(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printSpaceTable(options);
+        printSparsityTable(options);
+        return 0;
+    });
 }

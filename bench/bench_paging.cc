@@ -158,14 +158,9 @@ BENCHMARK_CAPTURE(BM_PageOutIn, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printUnmapDecomposition(options);
-    printExclusionCost(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printUnmapDecomposition(options);
+        printExclusionCost(options);
+        return 0;
+    });
 }

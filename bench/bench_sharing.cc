@@ -154,14 +154,9 @@ BENCHMARK_CAPTURE(BM_SharingRun, conventional_d8,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printReplicationSweep(options);
-    printRegimeCrossover(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printReplicationSweep(options);
+        printRegimeCrossover(options);
+        return 0;
+    });
 }

@@ -190,15 +190,10 @@ BENCHMARK_CAPTURE(BM_SmpRestrict, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printShootdownTable(options);
-    printUnmapShootdownTable(options);
-    printSmpDvmTable(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printShootdownTable(options);
+        printUnmapShootdownTable(options);
+        printSmpDvmTable(options);
+        return 0;
+    });
 }

@@ -214,17 +214,5 @@ BENCHMARK_CAPTURE(BM_PerCallAccess, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-    if (options.getBool("help", false)) {
-        std::cout << Options::helpText();
-        return 0;
-    }
-
-    const int status = runSweep(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return status;
+    return bench::runMain(argc, argv, runSweep);
 }

@@ -158,14 +158,9 @@ BENCHMARK_CAPTURE(BM_AttachDetachChurn, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printEpisodeTable(options);
-    printChurnTable(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printEpisodeTable(options);
+        printChurnTable(options);
+        return 0;
+    });
 }

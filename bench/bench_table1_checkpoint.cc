@@ -129,14 +129,9 @@ BENCHMARK_CAPTURE(BM_CheckpointRun, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printCheckpointTable(options);
-    printRestrictScaling(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printCheckpointTable(options);
+        printRestrictScaling(options);
+        return 0;
+    });
 }

@@ -135,14 +135,9 @@ BENCHMARK_CAPTURE(BM_CompPageRun, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printCompPageTable(options);
-    printPerOperationBreakdown(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printCompPageTable(options);
+        printPerOperationBreakdown(options);
+        return 0;
+    });
 }

@@ -127,14 +127,9 @@ BENCHMARK_CAPTURE(BM_DvmRun, conventional, core::ModelKind::Conventional)
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printDvmTable(options);
-    printContentionSweep(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printDvmTable(options);
+        printContentionSweep(options);
+        return 0;
+    });
 }

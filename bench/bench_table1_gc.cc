@@ -141,14 +141,9 @@ BENCHMARK_CAPTURE(BM_GcRun, conventional, core::ModelKind::Conventional)
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printGcTable(options);
-    printFlipScalingTable(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printGcTable(options);
+        printFlipScalingTable(options);
+        return 0;
+    });
 }

@@ -258,13 +258,8 @@ BENCHMARK_CAPTURE(BM_Table1Row, conventional, core::ModelKind::Conventional);
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printTable1(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printTable1(options);
+        return 0;
+    });
 }

@@ -138,14 +138,9 @@ BENCHMARK_CAPTURE(BM_TxvmRun, conventional, core::ModelKind::Conventional)
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printTxTable(options);
-    printGroupPressureSweep(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printTxTable(options);
+        printGroupPressureSweep(options);
+        return 0;
+    });
 }

@@ -193,15 +193,10 @@ BENCHMARK_CAPTURE(BM_VcacheRpc, multias_flush, true)
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printSwitchCostTable(options);
-    printCrossDomainReuse(options);
-    printSharingQuantum(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printSwitchCostTable(options);
+        printCrossDomainReuse(options);
+        printSharingQuantum(options);
+        return 0;
+    });
 }

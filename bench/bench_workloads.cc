@@ -181,13 +181,8 @@ BENCHMARK_CAPTURE(BM_FullSuite, conventional,
 int
 main(int argc, char **argv)
 {
-    Options options;
-    options.parseArgs(argc, argv);
-
-    printGrandTable(options);
-    std::cout << "\n";
-
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return bench::runMain(argc, argv, [](const Options &options) {
+        printGrandTable(options);
+        return 0;
+    });
 }

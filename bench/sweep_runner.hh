@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hh"
+#include "obs/tracer.hh"
 #include "sasos.hh"
 #include "sim/parallel.hh"
 #include "workload/address_stream.hh"
@@ -78,10 +80,14 @@ class SweepRunner
 
     unsigned threadCount() const { return pool_.threadCount(); }
 
-    /** Run one cell start to finish on the calling thread. */
+    /** Run one cell start to finish on the calling thread.
+     * @param tid logical trace thread-id stamped on the cell's
+     * events (cell index + 1); keeps merged traces deterministic
+     * whatever worker ran the cell. */
     static CellResult
-    runCell(const SweepCell &cell)
+    runCell(const SweepCell &cell, u32 tid = 0)
     {
+        obs::setThreadId(tid);
         const auto start = std::chrono::steady_clock::now();
         core::System sys(cell.config);
         const os::DomainId app = sys.kernel().createDomain("app");
@@ -124,32 +130,15 @@ class SweepRunner
     run(const std::vector<SweepCell> &cells)
     {
         std::vector<CellResult> results(cells.size());
-        parallelFor(pool_, cells.size(),
-                    [&](u64 i) { results[i] = runCell(cells[i]); });
+        parallelFor(pool_, cells.size(), [&](u64 i) {
+            results[i] = runCell(cells[i], static_cast<u32>(i) + 1);
+        });
         return results;
     }
 
   private:
     ThreadPool pool_;
 };
-
-namespace detail
-{
-
-inline std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-} // namespace detail
 
 /**
  * Emit the machine-readable sweep artifact. Schema:
@@ -177,42 +166,48 @@ writeSweepJson(const std::string &path,
         total_cycles += cell.simCycles;
     }
     std::ofstream os(path);
-    os << "{\n";
-    os << "  \"bench\": \"sweep\",\n";
-    os << "  \"threads\": " << threads << ",\n";
-    os << "  \"wallSeconds\": " << wall_seconds << ",\n";
-    os << "  \"serialWallSeconds\": " << serial_wall_seconds << ",\n";
-    os << "  \"speedup\": "
-       << (wall_seconds > 0.0 ? serial_wall_seconds / wall_seconds : 0.0)
-       << ",\n";
-    os << "  \"totals\": { \"cells\": " << results.size()
-       << ", \"references\": " << total_refs
-       << ", \"simCycles\": " << total_cycles << ", \"refsPerSec\": "
-       << (wall_seconds > 0.0
-               ? static_cast<double>(total_refs) / wall_seconds
-               : 0.0)
-       << " },\n";
-    os << "  \"cells\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const CellResult &cell = results[i];
-        os << "    { \"model\": \"" << detail::jsonEscape(cell.model)
-           << "\", \"workload\": \"" << detail::jsonEscape(cell.workload)
-           << "\", \"seed\": " << cell.seed
-           << ", \"references\": " << cell.references
-           << ", \"completed\": " << cell.completed
-           << ", \"failed\": " << cell.failed
-           << ", \"simCycles\": " << cell.simCycles
-           << ", \"simCyclesPerRef\": "
-           << (cell.references
-                   ? static_cast<double>(cell.simCycles) /
-                         static_cast<double>(cell.references)
-                   : 0.0)
-           << ", \"wallSeconds\": " << cell.wallSeconds
-           << ", \"refsPerSec\": " << cell.refsPerSec << " }"
-           << (i + 1 < results.size() ? "," : "") << "\n";
+    obs::JsonWriter json(os);
+    json.beginObject();
+    json.member("bench", "sweep");
+    json.member("threads", threads);
+    json.member("wallSeconds", wall_seconds);
+    json.member("serialWallSeconds", serial_wall_seconds);
+    json.member("speedup", wall_seconds > 0.0
+                               ? serial_wall_seconds / wall_seconds
+                               : 0.0);
+    json.key("totals");
+    json.beginObject();
+    json.member("cells", static_cast<u64>(results.size()));
+    json.member("references", total_refs);
+    json.member("simCycles", total_cycles);
+    json.member("refsPerSec",
+                wall_seconds > 0.0
+                    ? static_cast<double>(total_refs) / wall_seconds
+                    : 0.0);
+    json.endObject();
+    json.key("cells");
+    json.beginArray();
+    for (const CellResult &cell : results) {
+        json.beginObject();
+        json.member("model", cell.model);
+        json.member("workload", cell.workload);
+        json.member("seed", cell.seed);
+        json.member("references", cell.references);
+        json.member("completed", cell.completed);
+        json.member("failed", cell.failed);
+        json.member("simCycles", cell.simCycles);
+        json.member("simCyclesPerRef",
+                    cell.references
+                        ? static_cast<double>(cell.simCycles) /
+                              static_cast<double>(cell.references)
+                        : 0.0);
+        json.member("wallSeconds", cell.wallSeconds);
+        json.member("refsPerSec", cell.refsPerSec);
+        json.endObject();
     }
-    os << "  ]\n";
-    os << "}\n";
+    json.endArray();
+    json.endObject();
+    os << "\n";
 }
 
 /** The sweep benches' standard stream recipes. */

@@ -15,13 +15,17 @@
  * Common keys: model=, cacheKB=, lineBytes=, cacheOrg=, tlbEntries=,
  * plbEntries=, pgEntries=, eagerPg=, purgeOnSwitch=, flushOnSwitch=,
  * superPage=, l2=, frames=, seed=, cost.<name>=<cycles>.
+ * Observability: trace=1 [trace_out= trace_buf=] records a Perfetto
+ * trace of the run; stats_out=FILE.json|.csv exports the stats tree.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 
+#include "obs/tracer.hh"
 #include "sasos.hh"
 #include "workload/address_stream.hh"
 #include "workload/attach_churn.hh"
@@ -231,12 +235,30 @@ main(int argc, char **argv)
                 toString(config.model));
 
     core::System sys(config);
-    const int status = runWorkload(workload, sys, options);
+    const std::string stats_out = options.getString("stats_out", "");
+    int status = 0;
+    {
+        obs::ScopedTrace trace(options);
+        status = runWorkload(workload, sys, options);
+    }
     if (status != 0)
         return status;
 
     for (const std::string &key : options.unusedKeys())
         warn("option '", key, "' was never used");
+
+    if (!stats_out.empty()) {
+        std::ofstream os(stats_out);
+        if (!os)
+            SASOS_FATAL("cannot open stats_out file '", stats_out, "'");
+        if (stats_out.size() >= 4 &&
+            stats_out.compare(stats_out.size() - 4, 4, ".csv") == 0) {
+            sys.dumpStatsCsv(os);
+        } else {
+            sys.dumpStatsJson(os);
+        }
+        inform("wrote stats to ", stats_out);
+    }
 
     std::printf("\n--- statistics ---\n");
     sys.dumpStats(std::cout);

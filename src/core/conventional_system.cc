@@ -1,5 +1,6 @@
 #include "core/conventional_system.hh"
 
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace sasos::core
@@ -44,18 +45,29 @@ ConventionalSystem::applyPerturbation(const fault::Perturbation &p)
     Rng &rng = injector_->rng();
     // The combined TLB holds protection and translation together, so
     // both eviction flavors land on it.
-    if (p.evictProtection)
+    if (p.evictProtection) {
         tlb_.evictOne(rng);
-    if (p.evictTranslation)
+        SASOS_OBS_EVENT(obs::EventKind::TlbEvict, account_.total().count(),
+                        0, 1);
+    }
+    if (p.evictTranslation) {
         tlb_.evictOne(rng);
+        SASOS_OBS_EVENT(obs::EventKind::TlbEvict, account_.total().count(),
+                        0, 1);
+    }
     if (p.evictData) {
         if (auto victim = mem_.l1().evictRandomLine(rng); victim &&
             victim->dirty) {
             charge(CostCategory::Reference, config_.costs.writeback);
         }
+        SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                        account_.total().count(), 0, 1);
     }
-    if (p.flushProtection)
+    if (p.flushProtection) {
         tlb_.purgeAll();
+        SASOS_OBS_EVENT(obs::EventKind::ProtectionFlush,
+                        account_.total().count(), 0, 0);
+    }
     if (p.delayFill)
         charge(CostCategory::Refill, config_.costs.faultDelay);
     return p.transientFault;
@@ -80,6 +92,8 @@ ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
 
     hw::TlbEntry *entry = tlb_.lookup(vpn, asid);
     if (entry == nullptr) {
+        SASOS_OBS_EVENT(obs::EventKind::TlbMiss, account_.total().count(),
+                        va.raw(), asid);
         charge(CostCategory::Refill, config_.costs.tlbRefill);
         const vm::Translation *translation = state_.pageTable.lookup(vpn);
         if (translation == nullptr) {
@@ -93,6 +107,11 @@ ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
         tlb_.insert(vpn, fresh);
         entry = tlb_.find(vpn, asid);
         SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+        SASOS_OBS_EVENT(obs::EventKind::TlbFill, account_.total().count(),
+                        va.raw(), asid);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::TlbHit, account_.total().count(),
+                        va.raw(), asid);
     }
 
     if (!vm::includes(entry->rights, vm::requiredRight(type))) {
@@ -101,8 +120,16 @@ ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
     }
 
     const vm::PAddr pa = vm::translate(va, entry->pfn);
-    if (!mem_.l1Access(va, pa, store)) {
+    if (mem_.l1Access(va, pa, store)) {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheHit,
+                        account_.total().count(), va.raw(), store);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheMiss,
+                        account_.total().count(), va.raw(), store);
         if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                            account_.total().count(), va.raw(),
+                            victim->dirty);
             if (victim->dirty)
                 charge(CostCategory::Reference, config_.costs.writeback);
         }
@@ -216,6 +243,8 @@ ConventionalSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
         // the translations were the same for every domain.
         ++switchPurges;
         tlb_.purgeAll();
+        SASOS_OBS_EVENT(obs::EventKind::ProtectionFlush,
+                        account_.total().count(), 0, to);
         charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
     } else {
         charge(CostCategory::DomainSwitch, config_.costs.registerWrite);

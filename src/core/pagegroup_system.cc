@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace sasos::core
@@ -48,18 +49,29 @@ bool
 PageGroupSystem::applyPerturbation(const fault::Perturbation &p)
 {
     Rng &rng = injector_->rng();
-    if (p.evictProtection)
+    if (p.evictProtection) {
         pgCache_.evictOne(rng);
-    if (p.evictTranslation)
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheEvict,
+                        account_.total().count(), 0, 1);
+    }
+    if (p.evictTranslation) {
         tlb_.evictOne(rng);
+        SASOS_OBS_EVENT(obs::EventKind::TlbEvict, account_.total().count(),
+                        0, 1);
+    }
     if (p.evictData) {
         if (auto victim = mem_.l1().evictRandomLine(rng); victim &&
             victim->dirty) {
             charge(CostCategory::Reference, config_.costs.writeback);
         }
+        SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                        account_.total().count(), 0, 1);
     }
-    if (p.flushProtection)
+    if (p.flushProtection) {
         pgCache_.purgeAll();
+        SASOS_OBS_EVENT(obs::EventKind::ProtectionFlush,
+                        account_.total().count(), 0, 0);
+    }
     if (p.delayFill)
         charge(CostCategory::Refill, config_.costs.faultDelay);
     return p.transientFault;
@@ -91,6 +103,8 @@ PageGroupSystem::access(os::DomainId domain, vm::VAddr va,
     // --- Combined TLB: translation + AID + group rights.
     hw::TlbEntry *entry = tlb_.lookup(vpn);
     if (entry == nullptr) {
+        SASOS_OBS_EVENT(obs::EventKind::TlbMiss, account_.total().count(),
+                        va.raw(), domain);
         charge(CostCategory::Refill, config_.costs.tlbRefill);
         const vm::Translation *translation = state_.pageTable.lookup(vpn);
         if (translation == nullptr) {
@@ -105,19 +119,32 @@ PageGroupSystem::access(os::DomainId domain, vm::VAddr va,
         tlb_.insert(vpn, fresh);
         entry = tlb_.find(vpn);
         SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+        SASOS_OBS_EVENT(obs::EventKind::TlbFill, account_.total().count(),
+                        va.raw(), st.aid);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::TlbHit, account_.total().count(),
+                        va.raw(), entry->aid);
     }
 
     // --- Page-group check, dependent on the TLB output.
     bool write_disable = false;
     if (auto pid = pgCache_.lookup(entry->aid)) {
         write_disable = pid->writeDisable;
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheHit,
+                        account_.total().count(), va.raw(), entry->aid);
     } else if (manager_.domainHasGroup(domain, entry->aid)) {
         // Lightweight kernel refill of the page-group cache.
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheMiss,
+                        account_.total().count(), va.raw(), entry->aid);
         ++pgCacheRefills;
         charge(CostCategory::Refill, config_.costs.pgCacheRefill);
         write_disable = manager_.writeDisabled(domain, entry->aid);
         pgCache_.insert(entry->aid, write_disable);
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheFill,
+                        account_.total().count(), va.raw(), entry->aid);
     } else {
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheMiss,
+                        account_.total().count(), va.raw(), entry->aid);
         ++protectionDenies;
         return {false, os::FaultKind::Protection};
     }
@@ -132,8 +159,16 @@ PageGroupSystem::access(os::DomainId domain, vm::VAddr va,
 
     // --- Data cache (physical tag from the TLB's translation).
     const vm::PAddr pa = vm::translate(va, entry->pfn);
-    if (!mem_.l1Access(va, pa, store)) {
+    if (mem_.l1Access(va, pa, store)) {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheHit,
+                        account_.total().count(), va.raw(), store);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheMiss,
+                        account_.total().count(), va.raw(), store);
         if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                            account_.total().count(), va.raw(),
+                            victim->dirty);
             if (victim->dirty)
                 charge(CostCategory::Reference, config_.costs.writeback);
         }

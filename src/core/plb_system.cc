@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace sasos::core
@@ -64,10 +65,16 @@ bool
 PlbSystem::applyPerturbation(const fault::Perturbation &p)
 {
     Rng &rng = injector_->rng();
-    if (p.evictProtection)
+    if (p.evictProtection) {
         plb_.evictOne(rng);
-    if (p.evictTranslation)
+        SASOS_OBS_EVENT(obs::EventKind::PlbEvict, account_.total().count(),
+                        0, 1);
+    }
+    if (p.evictTranslation) {
         tlb_.evictOne(rng);
+        SASOS_OBS_EVENT(obs::EventKind::TlbEvict, account_.total().count(),
+                        0, 1);
+    }
     if (p.evictData) {
         // A displaced dirty line is written back; the data survives,
         // only its cache residency is lost.
@@ -75,9 +82,14 @@ PlbSystem::applyPerturbation(const fault::Perturbation &p)
             victim->dirty) {
             charge(CostCategory::Reference, config_.costs.writeback);
         }
+        SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                        account_.total().count(), 0, 1);
     }
-    if (p.flushProtection)
+    if (p.flushProtection) {
         plb_.purgeAll();
+        SASOS_OBS_EVENT(obs::EventKind::ProtectionFlush,
+                        account_.total().count(), 0, 0);
+    }
     if (p.delayFill)
         charge(CostCategory::Refill, config_.costs.faultDelay);
     return p.transientFault;
@@ -106,7 +118,11 @@ PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
     vm::Access rights;
     if (auto match = plb_.lookup(domain, va)) {
         rights = match->rights;
+        SASOS_OBS_EVENT(obs::EventKind::PlbHit, account_.total().count(),
+                        va.raw(), domain);
     } else {
+        SASOS_OBS_EVENT(obs::EventKind::PlbMiss, account_.total().count(),
+                        va.raw(), domain);
         charge(CostCategory::Refill, config_.costs.plbRefill);
         rights = state_.effectiveRights(domain, vpn);
         const vm::Segment *seg = state_.segments.findByPage(vpn);
@@ -116,10 +132,15 @@ PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
         else
             ++pageFills;
         plb_.insert(domain, va, shift, rights);
+        SASOS_OBS_EVENT(obs::EventKind::PlbFill, account_.total().count(),
+                        va.raw(), static_cast<u64>(shift));
     }
 
     // --- Data side: the cache is probed in parallel.
     const bool cache_hit = mem_.l1Access(va, std::nullopt, store);
+    SASOS_OBS_EVENT(cache_hit ? obs::EventKind::DCacheHit
+                              : obs::EventKind::DCacheMiss,
+                    account_.total().count(), va.raw(), store);
 
     if (!vm::includes(rights, vm::requiredRight(type))) {
         ++protectionDenies;
@@ -142,6 +163,9 @@ PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
 
     const vm::PAddr pa = vm::translate(va, *pfn);
     if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                        account_.total().count(), va.raw(),
+                        victim->dirty);
         if (victim->dirty) {
             // A VIVT writeback needs the victim's translation.
             ++writebackTranslations;
@@ -177,8 +201,13 @@ std::optional<vm::Pfn>
 PlbSystem::translateOffChip(vm::Vpn vpn)
 {
     charge(CostCategory::Reference, config_.costs.offChipTlb);
-    if (hw::TlbEntry *entry = tlb_.lookup(vpn))
+    if (hw::TlbEntry *entry = tlb_.lookup(vpn)) {
+        SASOS_OBS_EVENT(obs::EventKind::TlbHit, account_.total().count(),
+                        vm::baseOf(vpn).raw(), 0);
         return entry->pfn;
+    }
+    SASOS_OBS_EVENT(obs::EventKind::TlbMiss, account_.total().count(),
+                    vm::baseOf(vpn).raw(), 0);
     charge(CostCategory::Refill, config_.costs.tlbRefill);
     const vm::Translation *translation = state_.pageTable.lookup(vpn);
     if (translation == nullptr)
@@ -186,6 +215,8 @@ PlbSystem::translateOffChip(vm::Vpn vpn)
     hw::TlbEntry entry;
     entry.pfn = translation->pfn;
     tlb_.insert(vpn, entry);
+    SASOS_OBS_EVENT(obs::EventKind::TlbFill, account_.total().count(),
+                    vm::baseOf(vpn).raw(), translation->pfn.number());
     return translation->pfn;
 }
 

@@ -1,5 +1,6 @@
 #include "core/smp.hh"
 
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 
 namespace sasos::core
@@ -66,6 +67,8 @@ void
 BroadcastModel::chargeShootdown()
 {
     ++shootdowns;
+    SASOS_OBS_EVENT(obs::EventKind::Shootdown, account_.total().count(), 0,
+                    cpus_.size() - 1);
     if (cpus_.size() > 1) {
         const u64 remotes = cpus_.size() - 1;
         ipisSent += remotes;

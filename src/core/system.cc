@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "obs/export.hh"
+#include "obs/tracer.hh"
 #include "sim/logging.hh"
 // Header-only use of the stream interface: core never constructs a
 // stream, so this adds no link dependency on the workload library.
@@ -58,10 +60,15 @@ System::access(vm::VAddr va, vm::AccessType type)
     ++references;
     const os::DomainId domain = kernel_->currentDomain();
     SASOS_ASSERT(domain != 0, "no current domain; create one first");
+    SASOS_OBS_EVENT(obs::EventKind::AccessBegin, account_.total().count(),
+                    va.raw(), domain);
     const os::AccessResult result = model_->access(domain, va, type);
-    if (result.completed)
-        return true;
-    return resolveAndRetry(domain, va, type, result);
+    bool ok = true;
+    if (!result.completed)
+        ok = resolveAndRetry(domain, va, type, result);
+    SASOS_OBS_EVENT(obs::EventKind::AccessEnd, account_.total().count(),
+                    va.raw(), ok);
+    return ok;
 }
 
 bool
@@ -75,6 +82,8 @@ System::resolveAndRetry(os::DomainId domain, vm::VAddr va,
     // `result` is the non-completed outcome of the first attempt; at
     // most 7 further attempts are made (8 in total, as one reference
     // can never legitimately need more).
+    SASOS_OBS_EVENT(obs::EventKind::KernelResolveBegin,
+                    account_.total().count(), va.raw(), domain);
     for (int attempt = 1; ; ++attempt) {
         bool retry = false;
         switch (result.fault) {
@@ -89,6 +98,8 @@ System::resolveAndRetry(os::DomainId domain, vm::VAddr va,
         }
         if (!retry) {
             ++failedReferences;
+            SASOS_OBS_EVENT(obs::EventKind::KernelResolveEnd,
+                            account_.total().count(), va.raw(), 0);
             return false;
         }
         if (attempt >= 8) {
@@ -96,8 +107,11 @@ System::resolveAndRetry(os::DomainId domain, vm::VAddr va,
                         " in domain ", domain);
         }
         result = model_->access(domain, va, type);
-        if (result.completed)
+        if (result.completed) {
+            SASOS_OBS_EVENT(obs::EventKind::KernelResolveEnd,
+                            account_.total().count(), va.raw(), 1);
             return true;
+        }
     }
 }
 
@@ -106,6 +120,19 @@ System::run(wl::AddressStream &stream, u64 n, Rng &rng, vm::AccessType type)
 {
     SASOS_ASSERT(kernel_->currentDomain() != 0,
                  "no current domain; create one first");
+    if (obs::enabled()) {
+        // Tracing wants one begin/end span per reference, so issue
+        // through access(); simulated cycles and statistics are
+        // bit-identical to the batched loop below.
+        RunResult tally;
+        for (u64 i = 0; i < n; ++i) {
+            if (access(stream.next(rng), type))
+                ++tally.completed;
+            else
+                ++tally.failed;
+        }
+        return tally;
+    }
     // Addresses are generated a chunk at a time and issued through
     // the model's devirtualized batch loop; only references whose
     // first attempt faults fall back to the kernel's per-reference
@@ -164,6 +191,18 @@ System::dumpStats(std::ostream &os)
 {
     statsRoot_.dump(os);
     account_.dump(os, "system.");
+}
+
+void
+System::dumpStatsJson(std::ostream &os)
+{
+    obs::writeStatsJson(os, statsRoot_, &account_);
+}
+
+void
+System::dumpStatsCsv(std::ostream &os)
+{
+    obs::writeStatsCsv(os, statsRoot_, &account_);
 }
 
 } // namespace sasos::core

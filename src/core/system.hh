@@ -103,6 +103,12 @@ class System
     /** Dump all statistics and the cycle breakdown. */
     void dumpStats(std::ostream &os);
 
+    /** @name Machine-readable stats export (obs exporter) */
+    /// @{
+    void dumpStatsJson(std::ostream &os);
+    void dumpStatsCsv(std::ostream &os);
+    /// @}
+
   private:
     /**
      * Resolve the fault of a reference's first attempt through the

@@ -1,0 +1,149 @@
+#include "obs/export.hh"
+
+#include "obs/json.hh"
+
+namespace sasos::obs
+{
+
+namespace
+{
+
+void
+writeStatJson(JsonWriter &json, const stats::Stat &stat)
+{
+    if (const auto *scalar = dynamic_cast<const stats::Scalar *>(&stat)) {
+        json.member(stat.name(), scalar->value());
+        return;
+    }
+    if (const auto *formula = dynamic_cast<const stats::Formula *>(&stat)) {
+        json.member(stat.name(), formula->value());
+        return;
+    }
+    if (const auto *histogram =
+            dynamic_cast<const stats::Histogram *>(&stat)) {
+        json.key(stat.name());
+        json.beginObject();
+        json.member("samples", histogram->samples());
+        json.member("min", histogram->min());
+        json.member("max", histogram->max());
+        json.member("mean", histogram->mean());
+        json.key("buckets");
+        json.beginArray();
+        for (std::size_t i = 0; i < histogram->bucketCount(); ++i) {
+            if (histogram->bucket(i) == 0)
+                continue;
+            json.beginObject();
+            json.member("lo", i * histogram->bucketWidth());
+            json.member("hi", (i + 1) * histogram->bucketWidth());
+            json.member("count", histogram->bucket(i));
+            json.endObject();
+        }
+        json.endArray();
+        if (histogram->overflow())
+            json.member("overflow", histogram->overflow());
+        json.endObject();
+        return;
+    }
+    // An unknown Stat subclass still shows up, as its dump text would.
+    json.member(stat.name(), "?");
+}
+
+void
+writeGroupJson(JsonWriter &json, const stats::Group &group)
+{
+    for (const stats::Stat *stat : group.statsList())
+        writeStatJson(json, *stat);
+    for (const stats::Group *child : group.childGroups()) {
+        json.key(child->name());
+        json.beginObject();
+        writeGroupJson(json, *child);
+        json.endObject();
+    }
+}
+
+void
+writeCyclesJson(JsonWriter &json, const CycleAccount &account)
+{
+    json.member("total", account.total().count());
+    for (unsigned i = 0;
+         i < static_cast<unsigned>(CostCategory::NumCategories); ++i) {
+        const auto category = static_cast<CostCategory>(i);
+        const Cycles cycles = account.byCategory(category);
+        if (cycles.count() != 0)
+            json.member(toString(category), cycles.count());
+    }
+}
+
+void
+writeGroupCsv(std::ostream &os, const stats::Group &group,
+              const std::string &prefix)
+{
+    const std::string here =
+        group.name().empty() ? prefix : prefix + group.name() + ".";
+    for (const stats::Stat *stat : group.statsList()) {
+        if (const auto *scalar = dynamic_cast<const stats::Scalar *>(stat)) {
+            os << here << stat->name() << "," << scalar->value() << "\n";
+        } else if (const auto *formula =
+                       dynamic_cast<const stats::Formula *>(stat)) {
+            os << here << stat->name() << "," << formula->value() << "\n";
+        } else if (const auto *histogram =
+                       dynamic_cast<const stats::Histogram *>(stat)) {
+            os << here << stat->name() << ".samples,"
+               << histogram->samples() << "\n";
+            os << here << stat->name() << ".min," << histogram->min()
+               << "\n";
+            os << here << stat->name() << ".max," << histogram->max()
+               << "\n";
+            os << here << stat->name() << ".mean," << histogram->mean()
+               << "\n";
+        }
+    }
+    for (const stats::Group *child : group.childGroups())
+        writeGroupCsv(os, *child, here);
+}
+
+} // namespace
+
+void
+writeStatsJson(std::ostream &os, const stats::Group &root,
+               const CycleAccount *account)
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("stats");
+    json.beginObject();
+    json.key(root.name().empty() ? "stats" : root.name());
+    json.beginObject();
+    writeGroupJson(json, root);
+    json.endObject();
+    json.endObject();
+    if (account != nullptr) {
+        json.key("cycles");
+        json.beginObject();
+        writeCyclesJson(json, *account);
+        json.endObject();
+    }
+    json.endObject();
+}
+
+void
+writeStatsCsv(std::ostream &os, const stats::Group &root,
+              const CycleAccount *account)
+{
+    os << "stat,value\n";
+    writeGroupCsv(os, root, "");
+    if (account != nullptr) {
+        os << "cycles.total," << account->total().count() << "\n";
+        for (unsigned i = 0;
+             i < static_cast<unsigned>(CostCategory::NumCategories); ++i) {
+            const auto category = static_cast<CostCategory>(i);
+            const Cycles cycles = account->byCategory(category);
+            if (cycles.count() != 0) {
+                os << "cycles." << toString(category) << ","
+                   << cycles.count() << "\n";
+            }
+        }
+    }
+}
+
+} // namespace sasos::obs

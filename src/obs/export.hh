@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Unified machine-readable stats export over the stats::Group tree.
+ *
+ * One JSON (nested, mirroring the group hierarchy) and one CSV
+ * (flat dotted paths) emitter for *any* component's statistics,
+ * replacing the per-bench ad-hoc dump code. Scalars export their
+ * value, formulas their computed double, histograms an object with
+ * samples/min/max/mean and the nonzero buckets. An optional
+ * CycleAccount adds the per-category simulated-cycle breakdown.
+ */
+
+#ifndef SASOS_OBS_EXPORT_HH
+#define SASOS_OBS_EXPORT_HH
+
+#include <ostream>
+
+#include "sim/cycle_account.hh"
+#include "sim/stats.hh"
+
+namespace sasos::obs
+{
+
+/**
+ * Write `{"stats": {...}, "cycles": {...}}`. The stats object nests
+ * exactly like the group tree; the cycles object (omitted when
+ * `account` is null) has one member per nonzero category plus the
+ * total. Deterministic: member order is stat registration order.
+ */
+void writeStatsJson(std::ostream &os, const stats::Group &root,
+                    const CycleAccount *account = nullptr);
+
+/**
+ * Write `stat,value` lines, one per scalar/formula and one per
+ * histogram aggregate (path.samples, path.min, ...), with a header
+ * row. Cycle categories export as cycles.<category>.
+ */
+void writeStatsCsv(std::ostream &os, const stats::Group &root,
+                   const CycleAccount *account = nullptr);
+
+} // namespace sasos::obs
+
+#endif // SASOS_OBS_EXPORT_HH

@@ -1,0 +1,170 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+
+namespace sasos::obs
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buffer;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::indent()
+{
+    if (!pretty_)
+        return;
+    os_ << "\n";
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        os_ << "  ";
+}
+
+void
+JsonWriter::element()
+{
+    if (stack_.empty())
+        return;
+    if (keyPending_) {
+        keyPending_ = false;
+        return;
+    }
+    if (stack_.back().hasElements)
+        os_ << ",";
+    indent();
+    stack_.back().hasElements = true;
+}
+
+void
+JsonWriter::beginObject()
+{
+    element();
+    os_ << "{";
+    stack_.push_back({'}'});
+}
+
+void
+JsonWriter::endObject()
+{
+    SASOS_ASSERT(!stack_.empty() && stack_.back().close == '}',
+                 "unbalanced endObject");
+    const bool had = stack_.back().hasElements;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << "}";
+    if (stack_.empty() && pretty_)
+        os_ << "\n";
+}
+
+void
+JsonWriter::beginArray()
+{
+    element();
+    os_ << "[";
+    stack_.push_back({']'});
+}
+
+void
+JsonWriter::endArray()
+{
+    SASOS_ASSERT(!stack_.empty() && stack_.back().close == ']',
+                 "unbalanced endArray");
+    const bool had = stack_.back().hasElements;
+    stack_.pop_back();
+    if (had)
+        indent();
+    os_ << "]";
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    SASOS_ASSERT(!stack_.empty() && stack_.back().close == '}',
+                 "key() outside an object");
+    element();
+    os_ << "\"" << jsonEscape(name) << "\":" << (pretty_ ? " " : "");
+    keyPending_ = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    element();
+    os_ << "\"" << jsonEscape(text) << "\"";
+}
+
+void
+JsonWriter::value(bool boolean)
+{
+    element();
+    os_ << (boolean ? "true" : "false");
+}
+
+void
+JsonWriter::value(u64 number)
+{
+    element();
+    os_ << number;
+}
+
+void
+JsonWriter::value(double number)
+{
+    element();
+    if (!std::isfinite(number)) {
+        // JSON has no NaN/inf; null keeps the document loadable.
+        os_ << "null";
+        return;
+    }
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", number);
+    // Trim to the shortest form that round-trips.
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, number);
+        double parsed = 0.0;
+        std::sscanf(shorter, "%lf", &parsed);
+        if (parsed == number) {
+            os_ << shorter;
+            return;
+        }
+    }
+    os_ << buffer;
+}
+
+} // namespace sasos::obs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A minimal streaming JSON writer.
+ *
+ * One shared emitter for every machine-readable artifact (Perfetto
+ * traces, stats exports, BENCH_*.json), replacing the hand-rolled
+ * `os << "{ \"key\": ..."` blocks that each bench used to carry. The
+ * writer tracks nesting and comma placement; callers just alternate
+ * key()/value() calls. Output is deterministic: keys are emitted in
+ * call order and doubles print with enough digits to round-trip.
+ */
+
+#ifndef SASOS_OBS_JSON_HH
+#define SASOS_OBS_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace sasos::obs
+{
+
+/** Escape for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view text);
+
+/** Streaming writer with automatic commas and 2-space indentation. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os, bool pretty = true)
+        : os_(os), pretty_(pretty)
+    {
+    }
+
+    JsonWriter(const JsonWriter &) = delete;
+    JsonWriter &operator=(const JsonWriter &) = delete;
+
+    /** @name Containers */
+    /// @{
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+    /// @}
+
+    /** Emit the key of the next member (inside an object). */
+    void key(std::string_view name);
+
+    /** @name Values (array elements or the value after a key) */
+    /// @{
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(bool boolean);
+    void value(u64 number);
+    void value(int number) { value(static_cast<u64>(number)); }
+    void value(unsigned number) { value(static_cast<u64>(number)); }
+    void value(double number);
+    /// @}
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    member(std::string_view name, T &&v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+  private:
+    /** Commas/newlines before a new element; then mark one present. */
+    void element();
+    void indent();
+
+    struct Level
+    {
+        char close;
+        bool hasElements = false;
+    };
+
+    std::ostream &os_;
+    bool pretty_;
+    bool keyPending_ = false;
+    std::vector<Level> stack_;
+};
+
+} // namespace sasos::obs
+
+#endif // SASOS_OBS_JSON_HH

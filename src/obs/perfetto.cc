@@ -1,0 +1,54 @@
+#include "obs/perfetto.hh"
+
+#include <cstdio>
+
+#include "obs/json.hh"
+
+namespace sasos::obs
+{
+
+void
+writePerfettoJson(std::ostream &os, const std::vector<Event> &events,
+                  u64 dropped)
+{
+    JsonWriter json(os, /*pretty=*/false);
+    json.beginObject();
+    json.member("displayTimeUnit", "ns");
+    json.key("otherData");
+    json.beginObject();
+    json.member("tool", "sasos");
+    json.member("clock", "simulated cycles");
+    json.member("droppedEvents", dropped);
+    json.endObject();
+    json.key("traceEvents");
+    json.beginArray();
+    for (const Event &event : events) {
+        const char phase = phaseOf(event.kind);
+        json.beginObject();
+        json.member("name", toString(event.kind));
+        json.member("cat", "mem");
+        json.member("ph", std::string_view(&phase, 1));
+        json.member("ts", event.cycle);
+        json.member("pid", 0u);
+        json.member("tid", event.tid);
+        if (phase == 'i')
+            json.member("s", "t");
+        // 'E' events need no args; everything else carries the
+        // address and payload for inspection in the UI.
+        if (phase != 'E') {
+            char addr[24];
+            std::snprintf(addr, sizeof(addr), "0x%llx",
+                          static_cast<unsigned long long>(event.addr));
+            json.key("args");
+            json.beginObject();
+            json.member("addr", addr);
+            json.member("arg", event.arg);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+}
+
+} // namespace sasos::obs

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Chrome/Perfetto `trace-event` JSON export of a merged event stream.
+ *
+ * The emitted document follows the Trace Event Format (JSON Array
+ * variant wrapped in an object) and loads directly in ui.perfetto.dev
+ * or chrome://tracing: access and kernel-resolve events become
+ * duration (B/E) spans, everything else thread-scoped instants. The
+ * simulated cycle is used as the timestamp, so span widths read as
+ * simulated cost.
+ */
+
+#ifndef SASOS_OBS_PERFETTO_HH
+#define SASOS_OBS_PERFETTO_HH
+
+#include <ostream>
+#include <vector>
+
+#include "obs/event.hh"
+
+namespace sasos::obs
+{
+
+/**
+ * Write `events` (as produced by stopTracing: sorted, seq-normalized)
+ * as trace-event JSON. `dropped` is recorded in otherData so a
+ * truncated ring is visible in the artifact.
+ */
+void writePerfettoJson(std::ostream &os, const std::vector<Event> &events,
+                       u64 dropped = 0);
+
+} // namespace sasos::obs
+
+#endif // SASOS_OBS_PERFETTO_HH

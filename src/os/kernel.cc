@@ -1,5 +1,6 @@
 #include "os/kernel.hh"
 
+#include "obs/tracer.hh"
 #include "os/pager.hh"
 #include "sim/logging.hh"
 
@@ -71,6 +72,8 @@ Kernel::switchTo(DomainId domain)
     if (domain == current_)
         return;
     ++domainSwitches;
+    SASOS_OBS_EVENT(obs::EventKind::DomainSwitch,
+                    account_.total().count(), current_, domain);
     charge(CostCategory::DomainSwitch, costs_.domainSwitchBase);
     const DomainId from = current_;
     current_ = domain;
@@ -276,6 +279,8 @@ Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
                               vm::AccessType type)
 {
     ++protectionFaults;
+    SASOS_OBS_EVENT(obs::EventKind::ProtectionFault,
+                    account_.total().count(), va.raw(), domain);
     chargeTrap();
     const vm::Vpn vpn = vm::pageOf(va);
     const vm::Access canonical = state_.effectiveRights(domain, vpn);
@@ -286,6 +291,8 @@ Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
         ++staleFaults;
         if (model_.refreshAfterFault(domain, vpn)) {
             ++faultRetries;
+            SASOS_OBS_EVENT(obs::EventKind::FaultRetry,
+                            account_.total().count(), va.raw(), domain);
             return true;
         }
         ++exceptions;
@@ -300,6 +307,9 @@ Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
             charge(CostCategory::Upcall, costs_.serverUpcall);
             if (it->second->onProtectionFault(*this, domain, va, type)) {
                 ++faultRetries;
+                SASOS_OBS_EVENT(obs::EventKind::FaultRetry,
+                                account_.total().count(), va.raw(),
+                                domain);
                 return true;
             }
         }
@@ -315,6 +325,8 @@ Kernel::handleTranslationFault(DomainId domain, vm::VAddr va,
     (void)domain;
     (void)type;
     ++translationFaults;
+    SASOS_OBS_EVENT(obs::EventKind::TranslationFault,
+                    account_.total().count(), va.raw(), domain);
     chargeTrap();
     const vm::Vpn vpn = vm::pageOf(va);
     SASOS_ASSERT(!state_.pageTable.isMapped(vpn),
@@ -329,11 +341,15 @@ Kernel::handleTranslationFault(DomainId domain, vm::VAddr va,
         SASOS_ASSERT(pager_ != nullptr, "on-disk page with no pager");
         pager_->pageIn(vpn);
         ++faultRetries;
+        SASOS_OBS_EVENT(obs::EventKind::FaultRetry,
+                        account_.total().count(), va.raw(), domain);
         return true;
     }
     ++demandMaps;
     mapPage(vpn);
     ++faultRetries;
+    SASOS_OBS_EVENT(obs::EventKind::FaultRetry, account_.total().count(),
+                    va.raw(), domain);
     return true;
 }
 

@@ -5,6 +5,20 @@
 
 namespace sasos
 {
+
+namespace
+{
+FatalHandler fatalHandler = nullptr;
+}
+
+FatalHandler
+setFatalHandler(FatalHandler handler)
+{
+    FatalHandler previous = fatalHandler;
+    fatalHandler = handler;
+    return previous;
+}
+
 namespace detail
 {
 
@@ -19,6 +33,8 @@ panicImpl(const char *file, int line, const std::string &message)
 [[noreturn]] void
 fatalImpl(const char *file, int line, const std::string &message)
 {
+    if (fatalHandler != nullptr)
+        fatalHandler(message); // may throw back into the caller
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", message.c_str(), file, line);
     std::fflush(stderr);
     std::exit(1);

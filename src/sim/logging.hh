@@ -40,6 +40,15 @@ void informImpl(const std::string &message);
 
 } // namespace detail
 
+/**
+ * Intercept SASOS_FATAL instead of exiting the process. The handler
+ * may throw (e.g. a fuzz harness turning bad input into a caught
+ * exception); if it returns, exit(1) happens as usual. Pass nullptr
+ * to restore the default. Returns the previous handler.
+ */
+using FatalHandler = void (*)(const std::string &message);
+FatalHandler setFatalHandler(FatalHandler handler);
+
 /** Abort: an internal invariant was violated (simulator bug). */
 #define SASOS_PANIC(...) \
     ::sasos::detail::panicImpl(__FILE__, __LINE__, \

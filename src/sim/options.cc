@@ -139,6 +139,11 @@ Options::helpText()
            "  eagerPg= purgeOnSwitch= flushOnSwitch= superPage=\n"
            "  faults=0|1             deterministic fault injection\n"
            "  fault_seed=N fault_rate=P fault_gap=N   injection schedule\n"
+           "  trace=0|1              memory-path event tracing\n"
+           "  trace_out=FILE         Perfetto JSON output\n"
+           "                         (default: sasos_trace.json)\n"
+           "  trace_buf=N            per-thread ring capacity, events\n"
+           "  stats_out=FILE         stats export (.json or .csv)\n"
            "  cost.<name>=<cycles>   cost-model override\n";
 }
 

@@ -98,6 +98,8 @@ class Histogram : public Stat
     u64 max() const { return max_; }
     double mean() const;
     u64 bucket(std::size_t i) const { return buckets_.at(i); }
+    std::size_t bucketCount() const { return buckets_.size(); }
+    u64 bucketWidth() const { return bucketWidth_; }
     u64 overflow() const { return overflow_; }
 
     void dump(std::ostream &os, const std::string &prefix) const override;
@@ -157,6 +159,12 @@ class Group
 
     /** Find a scalar by dotted path relative to this group, or null. */
     const Scalar *findScalar(const std::string &path) const;
+
+    /** @name Tree traversal (exporters, tests) */
+    /// @{
+    const std::vector<Stat *> &statsList() const { return stats_; }
+    const std::vector<Group *> &childGroups() const { return children_; }
+    /// @}
 
   private:
     std::string name_;

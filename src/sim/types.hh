@@ -6,6 +6,7 @@
 #ifndef SASOS_SIM_TYPES_HH
 #define SASOS_SIM_TYPES_HH
 
+#include <compare>
 #include <cstdint>
 
 namespace sasos

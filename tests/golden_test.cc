@@ -10,7 +10,8 @@
  *
  *   SASOS_GOLDEN_REGEN=1 ./golden_test
  *
- * and commit the updated tests/data/golden_expected.txt.
+ * and commit the updated tests/data/golden_expected.txt (and
+ * golden_stats.json for the machine-readable snapshot).
  */
 
 #include <gtest/gtest.h>
@@ -120,4 +121,48 @@ TEST(GoldenReplayTest, MatchesCheckedInSnapshot)
     EXPECT_EQ(actual.str(), expected.str())
         << "golden replay diverged; if intentional, regenerate with "
            "SASOS_GOLDEN_REGEN=1";
+}
+
+/** The same golden replay, snapshotted through the machine-readable
+ * stats exporter: any change to the stats tree layout, the JSON
+ * emitter or the cycle accounting shows up as a diff against
+ * tests/data/golden_stats.json. */
+TEST(GoldenReplayTest, StatsJsonMatchesCheckedInSnapshot)
+{
+    const std::string trace_path = binaryGoldenTrace();
+
+    std::ostringstream actual;
+    actual << "[\n";
+    bool first = true;
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        core::System sys(core::SystemConfig::forModel(kind));
+        const GoldenScenario scenario = setupGolden(sys);
+        trace::TraceReader reader(trace_path);
+        trace::replay(sys, reader, {{1, scenario.a}, {2, scenario.b}});
+        if (!first)
+            actual << ",\n";
+        first = false;
+        sys.dumpStatsJson(actual);
+    }
+    actual << "\n]\n";
+    std::remove(trace_path.c_str());
+
+    const std::string expected_path = dataPath("golden_stats.json");
+    if (std::getenv("SASOS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(expected_path);
+        out << actual.str();
+        GTEST_SKIP() << "regenerated " << expected_path;
+    }
+
+    std::ifstream in(expected_path);
+    ASSERT_TRUE(in.good())
+        << "missing " << expected_path
+        << "; run with SASOS_GOLDEN_REGEN=1 to create it";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual.str(), expected.str())
+        << "golden stats JSON diverged; if intentional, regenerate "
+           "with SASOS_GOLDEN_REGEN=1";
 }
