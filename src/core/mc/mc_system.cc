@@ -1,0 +1,748 @@
+#include "core/mc/mc_system.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/conventional_system.hh"
+#include "core/pagegroup_system.hh"
+#include "core/plb_system.hh"
+#include "obs/export.hh"
+#include "obs/tracer.hh"
+#include "sim/logging.hh"
+
+namespace sasos::core::mc
+{
+
+namespace
+{
+
+/** Page range covering every segment the allocator can hand out;
+ * used to probe ops with no natural range (domain destruction). */
+constexpr u64 kFullRangePages = u64{1} << 40;
+
+} // namespace
+
+/**
+ * The deferred-broadcast protection model the shared kernel drives.
+ *
+ * Local hooks and the reference path go straight to the scheduled
+ * core's concrete model. Hooks BroadcastModel would broadcast
+ * synchronously instead go through McSystem::broadcastOp: the issuing
+ * core's model is updated immediately, every other core gets the hook
+ * as a value-capturing closure it applies when it takes the IPI.
+ */
+class DeferredModel : public os::ProtectionModel
+{
+  public:
+    explicit DeferredModel(McSystem &sys) : sys_(sys) {}
+
+    const char *name() const override { return "mc-deferred"; }
+
+    os::AccessResult
+    access(os::DomainId domain, vm::VAddr va, vm::AccessType type) override
+    {
+        return sys_.currentModel().access(domain, va, type);
+    }
+
+    void
+    onAttach(os::DomainId domain, const vm::Segment &seg,
+             vm::Access rights) override
+    {
+        // An attach that leaves the segment's rights union unchanged
+        // is a pure grant: remote hardware holds nothing for the new
+        // domain, so only the issuing core's structures see it. When
+        // the grant *raises* the union, the page-group model's
+        // default group changes protections (its Rights field and
+        // every other member's derived D bit), which -- like any
+        // group protection change (Section 4.1.2) -- must reach every
+        // remote PID cache and TLB. The kernel's shootdown protocol
+        // is model-independent (the condition derives from canonical
+        // state only), so the interleaving, and with it the quiescence
+        // points the cross-model oracle compares, stay identical
+        // across models; PLB and ASID handlers just have less to drop.
+        vm::Access union_before = vm::Access::None;
+        for (const auto &[d, r] :
+             sys_.state().segmentDefaultVector(seg.id)) {
+            if (d != domain)
+                union_before = union_before | r;
+        }
+        if (!vm::includes(union_before, rights)) {
+            vm::Segment copy = seg;
+            sys_.broadcastOp(
+                [domain, copy, rights](os::ProtectionModel &m) {
+                    m.onAttach(domain, copy, rights);
+                },
+                seg.firstPage, seg.pages, std::nullopt);
+            return;
+        }
+        sys_.currentModel().onAttach(domain, seg, rights);
+    }
+
+    void
+    onDetach(os::DomainId domain, const vm::Segment &seg) override
+    {
+        vm::Segment copy = seg;
+        sys_.broadcastOp(
+            [domain, copy](os::ProtectionModel &m) {
+                m.onDetach(domain, copy);
+            },
+            seg.firstPage, seg.pages, domain);
+    }
+
+    void
+    onSetPageRights(os::DomainId domain, vm::Vpn vpn,
+                    vm::Access rights) override
+    {
+        sys_.broadcastOp(
+            [domain, vpn, rights](os::ProtectionModel &m) {
+                m.onSetPageRights(domain, vpn, rights);
+            },
+            vpn, 1, domain);
+    }
+
+    void
+    onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights) override
+    {
+        sys_.broadcastOp(
+            [vpn, rights](os::ProtectionModel &m) {
+                m.onSetPageRightsAllDomains(vpn, rights);
+            },
+            vpn, 1, std::nullopt);
+    }
+
+    void
+    onClearPageRightsAllDomains(vm::Vpn vpn) override
+    {
+        sys_.broadcastOp(
+            [vpn](os::ProtectionModel &m) {
+                m.onClearPageRightsAllDomains(vpn);
+            },
+            vpn, 1, std::nullopt);
+    }
+
+    void
+    onSetSegmentRights(os::DomainId domain, const vm::Segment &seg,
+                       vm::Access rights) override
+    {
+        vm::Segment copy = seg;
+        sys_.broadcastOp(
+            [domain, copy, rights](os::ProtectionModel &m) {
+                m.onSetSegmentRights(domain, copy, rights);
+            },
+            seg.firstPage, seg.pages, domain);
+    }
+
+    void
+    onDomainSwitch(os::DomainId from, os::DomainId to) override
+    {
+        // A switch is local to the core it happens on.
+        sys_.currentModel().onDomainSwitch(from, to);
+    }
+
+    void
+    onPageMapped(vm::Vpn vpn, vm::Pfn pfn) override
+    {
+        // Mappings load lazily per core.
+        sys_.currentModel().onPageMapped(vpn, pfn);
+    }
+
+    void
+    onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn) override
+    {
+        sys_.broadcastOp(
+            [vpn, pfn](os::ProtectionModel &m) {
+                m.onPageUnmapped(vpn, pfn);
+            },
+            vpn, 1, std::nullopt);
+    }
+
+    void
+    onDomainDestroyed(os::DomainId domain) override
+    {
+        sys_.broadcastOp(
+            [domain](os::ProtectionModel &m) {
+                m.onDomainDestroyed(domain);
+            },
+            vm::Vpn(0), kFullRangePages, domain);
+    }
+
+    void
+    onSegmentDestroyed(const vm::Segment &seg) override
+    {
+        vm::Segment copy = seg;
+        sys_.broadcastOp(
+            [copy](os::ProtectionModel &m) { m.onSegmentDestroyed(copy); },
+            seg.firstPage, seg.pages, std::nullopt);
+    }
+
+    bool
+    refreshAfterFault(os::DomainId domain, vm::Vpn vpn) override
+    {
+        // Fault repair is local to the faulting core.
+        return sys_.currentModel().refreshAfterFault(domain, vpn);
+    }
+
+    vm::Access
+    effectiveRights(os::DomainId domain, vm::Vpn vpn) override
+    {
+        return sys_.currentModel().effectiveRights(domain, vpn);
+    }
+
+  private:
+    McSystem &sys_;
+};
+
+McConfig
+McConfig::fromOptions(const Options &options)
+{
+    McConfig config;
+    config.system =
+        SystemConfig::fromOptions(options, SystemConfig::plbSystem());
+    config.cores =
+        static_cast<unsigned>(options.getU64("cores", config.cores));
+    config.scheduleSeed =
+        options.getU64("schedule_seed", config.scheduleSeed);
+    config.quantum = options.getU64("mc_quantum", config.quantum);
+    config.ipiDelaySteps =
+        options.getU64("mc_ipi_delay", config.ipiDelaySteps);
+    config.workload.seed = config.system.seed;
+    config.workload.stepsPerCore =
+        options.getU64("refs", config.workload.stepsPerCore);
+    // Churn defaults on for option-driven runs: without kernel ops
+    // there are no shootdowns to measure.
+    config.workload.churnProb = options.getDouble("churn", 0.05);
+    return config;
+}
+
+McSystem::McSystem(const McConfig &config)
+    : config_(config), statsRoot_("mc-system"),
+      references(&statsRoot_, "references", "references issued"),
+      failedReferences(&statsRoot_, "failedReferences",
+                       "references ending in an exception"),
+      mcGroup(&statsRoot_, "mc"),
+      slots(&mcGroup, "slots", "scheduling turns executed"),
+      kernelOps(&mcGroup, "kernelOps",
+                "kernel protection operations issued by scripts"),
+      shootdowns(&mcGroup, "shootdowns",
+                 "broadcast maintenance operations"),
+      ipisSent(&mcGroup, "ipisSent", "inter-processor interrupts sent"),
+      acks(&mcGroup, "acks", "inter-processor interrupts taken"),
+      staleWindowRefs(&mcGroup, "staleWindowRefs",
+                      "references issued with an unacked IPI pending"),
+      staleGrants(&mcGroup, "staleGrants",
+                  "stale-window references granted beyond canonical"),
+      quiescentRefs(&mcGroup, "quiescentRefs",
+                    "references issued with no IPI pending locally"),
+      staleEntriesPurged(&mcGroup, "staleEntriesPurged",
+                         "stale hardware entries found by ack probes"),
+      invariantViolations(&mcGroup, "invariantViolations",
+                          "grants beyond canonical outside stale windows"),
+      hwSubsetViolations(&mcGroup, "hwSubsetViolations",
+                         "hardware rights beyond canonical at quiescence"),
+      quiescentChecks(&mcGroup, "quiescentChecks",
+                      "hw-subset-of-canonical sweeps performed"),
+      shootdownLatency(&mcGroup, "shootdownLatency",
+                       "cycles from IPI issue to the last ack", 500, 32),
+      shootdownStaleRefs(&mcGroup, "shootdownStaleRefs",
+                         "remote references inside each stale window", 1,
+                         32),
+      ackStaleEntries(&mcGroup, "ackStaleEntries",
+                      "stale entries found per ack probe", 1, 32),
+      state_(config.system.frames)
+{
+    SASOS_ASSERT(config_.cores >= 1, "a machine needs at least one core");
+    SASOS_ASSERT(config_.quantum >= 1, "quantum must be at least one step");
+    model_ = std::make_unique<DeferredModel>(*this);
+    kernel_ = std::make_unique<os::Kernel>(state_, *model_,
+                                           config_.system.costs, account_,
+                                           &statsRoot_);
+    cores_.reserve(config_.cores);
+    for (unsigned i = 0; i < config_.cores; ++i) {
+        Core core;
+        core.group = std::make_unique<stats::Group>(
+            &statsRoot_, "core" + std::to_string(i));
+        switch (config_.system.model) {
+          case ModelKind::Plb: {
+            auto model = std::make_unique<PlbSystem>(
+                config_.system, state_, account_, core.group.get());
+            core.plb = model.get();
+            core.model = std::move(model);
+            break;
+          }
+          case ModelKind::PageGroup: {
+            auto model = std::make_unique<PageGroupSystem>(
+                config_.system, state_, account_, core.group.get());
+            core.pg = model.get();
+            core.model = std::move(model);
+            break;
+          }
+          case ModelKind::Conventional: {
+            auto model = std::make_unique<ConventionalSystem>(
+                config_.system, state_, account_, core.group.get());
+            core.conv = model.get();
+            core.model = std::move(model);
+            break;
+          }
+        }
+        core.completedStat = std::make_unique<stats::Scalar>(
+            core.group.get(), "completed",
+            "references this core completed");
+        core.failedStat = std::make_unique<stats::Scalar>(
+            core.group.get(), "failed",
+            "references this core saw end in an exception");
+        core.cyclesStat = std::make_unique<stats::Scalar>(
+            core.group.get(), "cycles",
+            "simulated cycles attributed to this core's turns");
+        cores_.push_back(std::move(core));
+    }
+    setupWorkload();
+    synchronous_ = false;
+}
+
+McSystem::~McSystem() = default;
+
+/**
+ * Deterministic setup, performed with broadcasts synchronous (no
+ * shootdowns) and in a documented order so tests can replay it against
+ * a plain System: one domain per core ("core0"...), the shared
+ * segment + one ReadWrite attach per core in core order, then per
+ * core (in core order) its private segment + attach, then optionally
+ * premap every segment page in creation/address order.
+ */
+void
+McSystem::setupWorkload()
+{
+    const McWorkloadConfig &wl = config_.workload;
+    SASOS_ASSERT(wl.sharedPages > 0, "workload needs a shared segment");
+    for (unsigned i = 0; i < cores_.size(); ++i)
+        cores_[i].domain =
+            kernel_->createDomain("core" + std::to_string(i));
+    sharedSeg_ = kernel_->createSegment("shared", wl.sharedPages);
+    const vm::Segment *shared = state_.segments.find(sharedSeg_);
+    segments_.emplace_back(shared->firstPage, shared->pages);
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        current_ = i;
+        kernel_->attach(cores_[i].domain, sharedSeg_,
+                        vm::Access::ReadWrite);
+    }
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        Core &core = cores_[i];
+        core.layout.sharedSeg = sharedSeg_;
+        core.layout.sharedBase = shared->base();
+        core.layout.sharedPages = shared->pages;
+        if (wl.privatePages > 0) {
+            current_ = i;
+            const vm::SegmentId seg = kernel_->createSegment(
+                "private" + std::to_string(i), wl.privatePages);
+            const vm::Segment *segment = state_.segments.find(seg);
+            segments_.emplace_back(segment->firstPage, segment->pages);
+            kernel_->attach(core.domain, seg, vm::Access::ReadWrite);
+            core.layout.privateSeg = seg;
+            core.layout.privateBase = segment->base();
+            core.layout.privatePages = segment->pages;
+        }
+    }
+    current_ = 0;
+    if (config_.premap) {
+        for (const auto &[first, pages] : segments_)
+            for (u64 p = 0; p < pages; ++p)
+                kernel_->mapPage(first + p);
+    }
+    for (unsigned i = 0; i < cores_.size(); ++i)
+        cores_[i].script = std::make_unique<CoreScript>(
+            wl, i, cores_[i].domain, cores_[i].layout);
+}
+
+os::DomainId
+McSystem::domainOf(unsigned core) const
+{
+    SASOS_ASSERT(core < cores_.size(), "no core ", core);
+    return cores_[core].domain;
+}
+
+const McLayout &
+McSystem::layoutOf(unsigned core) const
+{
+    SASOS_ASSERT(core < cores_.size(), "no core ", core);
+    return cores_[core].layout;
+}
+
+os::ProtectionModel &
+McSystem::coreModel(unsigned core)
+{
+    SASOS_ASSERT(core < cores_.size(), "no core ", core);
+    return *cores_[core].model;
+}
+
+os::ProtectionModel &
+McSystem::currentModel()
+{
+    return *cores_[current_].model;
+}
+
+void
+McSystem::broadcastOp(std::function<void(os::ProtectionModel &)> apply,
+                      vm::Vpn first, u64 pages,
+                      std::optional<os::DomainId> domain)
+{
+    apply(*cores_[current_].model);
+    if (synchronous_) {
+        // Setup: every core hears the hook immediately, no shootdown.
+        for (unsigned i = 0; i < cores_.size(); ++i)
+            if (i != current_)
+                apply(*cores_[i].model);
+        return;
+    }
+    if (cores_.size() == 1) {
+        // A single core has nobody to interrupt; keeping the counters
+        // quiet here is what makes cores=1 bit-identical to System.
+        return;
+    }
+    const u64 remotes = cores_.size() - 1;
+    const u64 id = ++shootdownIds_;
+    ++shootdowns;
+    ipisSent += remotes;
+    SASOS_OBS_EVENT(obs::EventKind::Shootdown, account_.total().count(),
+                    id, remotes);
+    account_.charge(CostCategory::KernelWork,
+                    remotes * config_.system.costs.interProcessorInterrupt);
+    inflight_.push_back(
+        {id, current_, remotes, account_.total().count(), 0});
+    auto op = std::make_shared<const RemoteOp>(
+        RemoteOp{id, std::move(apply), first, pages, domain});
+    for (unsigned i = 0; i < cores_.size(); ++i) {
+        if (i == current_)
+            continue;
+        cores_[i].inbox.emplace_back(
+            op, cores_[i].stepsExecuted + config_.ipiDelaySteps);
+    }
+    ++cores_[current_].barriers;
+}
+
+u64
+McSystem::purgeStale(Core &c, const RemoteOp &op)
+{
+    if (c.plb != nullptr)
+        return c.plb->plb().purgeRange(op.domain, op.first, op.pages)
+            .invalidated;
+    if (c.conv != nullptr) {
+        std::optional<os::DomainId> asid = op.domain;
+        if (asid && config_.system.purgeTlbOnSwitch)
+            asid = 0;
+        return c.conv->tlb().purgeRange(asid, op.first, op.pages)
+            .invalidated;
+    }
+    // Page-group entries are shared by all domains; the op's domain
+    // filter does not narrow which TLB entries could be stale. The
+    // purge is what closes the deferred-ack collapse: acks apply
+    // against *current* canonical state, so a union that bounced
+    // A->B->A between two of this core's acks is invisible to the
+    // hooks' lastUnion_ diff, yet a refill under the transient B may
+    // have cached a PID write-disable bit that is wrong again under
+    // A. The handler flash-invalidates the PID cache (it is purged on
+    // every domain switch anyway) and drops the range's TLB entries;
+    // refills after the final ack rederive from canonical state.
+    c.pg->pageGroupCache().purgeAll();
+    return c.pg->tlb().purgeRange(std::nullopt, op.first, op.pages)
+        .invalidated;
+}
+
+void
+McSystem::processAck(Core &c, const RemoteOp &op)
+{
+    const u64 stale = purgeStale(c, op);
+    staleEntriesPurged += stale;
+    ackStaleEntries.sample(stale);
+    account_.charge(CostCategory::Trap, config_.system.costs.ipiDispatch);
+    op.apply(*c.model);
+    ++acks;
+    SASOS_OBS_EVENT(obs::EventKind::ShootdownAck, account_.total().count(),
+                    op.shootdownId, stale);
+    auto it = std::find_if(
+        inflight_.begin(), inflight_.end(),
+        [&](const Shootdown &s) { return s.id == op.shootdownId; });
+    SASOS_ASSERT(it != inflight_.end(), "ack for unknown shootdown ",
+                 op.shootdownId);
+    SASOS_ASSERT(it->pendingAcks > 0, "shootdown over-acked");
+    if (--it->pendingAcks == 0) {
+        Core &issuer = cores_[it->issuer];
+        SASOS_ASSERT(issuer.barriers > 0, "issuer not at a barrier");
+        --issuer.barriers;
+        const u64 latency = account_.total().count() - it->issueCycle;
+        shootdownLatency.sample(latency);
+        shootdownStaleRefs.sample(it->staleRefs);
+        SASOS_OBS_EVENT(obs::EventKind::ShootdownComplete,
+                        account_.total().count(), op.shootdownId, latency);
+        inflight_.erase(it);
+        if (config_.checkInvariants && inflight_.empty())
+            checkHwSubset();
+    }
+}
+
+void
+McSystem::deliverDue(Core &c)
+{
+    // Delivery thresholds are pushed in nondecreasing order (each is
+    // the remote's step counter at issue time plus a constant), so
+    // checking the front suffices.
+    while (!c.inbox.empty() && c.inbox.front().second <= c.stepsExecuted) {
+        const std::shared_ptr<const RemoteOp> op = c.inbox.front().first;
+        c.inbox.pop_front();
+        processAck(c, *op);
+    }
+}
+
+bool
+McSystem::resolveAndRetry(Core &c, vm::VAddr va, vm::AccessType type,
+                          os::AccessResult result)
+{
+    SASOS_OBS_EVENT(obs::EventKind::KernelResolveBegin,
+                    account_.total().count(), va.raw(), c.domain);
+    for (int attempt = 1;; ++attempt) {
+        bool retry = false;
+        switch (result.fault) {
+          case os::FaultKind::Protection:
+            retry = kernel_->handleProtectionFault(c.domain, va, type);
+            break;
+          case os::FaultKind::Translation:
+            retry = kernel_->handleTranslationFault(c.domain, va, type);
+            break;
+          case os::FaultKind::None:
+            SASOS_PANIC("incomplete access without a fault");
+        }
+        if (!retry) {
+            ++failedReferences;
+            SASOS_OBS_EVENT(obs::EventKind::KernelResolveEnd,
+                            account_.total().count(), va.raw(), 0);
+            return false;
+        }
+        if (attempt >= 8) {
+            SASOS_PANIC("livelock resolving faults at address ", va.raw(),
+                        " in domain ", c.domain);
+        }
+        result = c.model->access(c.domain, va, type);
+        if (result.completed) {
+            SASOS_OBS_EVENT(obs::EventKind::KernelResolveEnd,
+                            account_.total().count(), va.raw(), 1);
+            return true;
+        }
+    }
+}
+
+bool
+McSystem::issueRef(Core &c, vm::VAddr va, vm::AccessType type)
+{
+    ++references;
+    SASOS_OBS_EVENT(obs::EventKind::AccessBegin, account_.total().count(),
+                    va.raw(), c.domain);
+    const bool staleWindow = !c.inbox.empty();
+    if (staleWindow) {
+        ++staleWindowRefs;
+        // This reference ran inside the window of every shootdown this
+        // core has not yet acked.
+        for (const auto &[op, due] : c.inbox) {
+            auto it = std::find_if(inflight_.begin(), inflight_.end(),
+                                   [&](const Shootdown &s) {
+                                       return s.id == op->shootdownId;
+                                   });
+            if (it != inflight_.end())
+                ++it->staleRefs;
+        }
+    }
+    const os::AccessResult result = c.model->access(c.domain, va, type);
+    bool ok = true;
+    if (!result.completed)
+        ok = resolveAndRetry(c, va, type, result);
+    SASOS_OBS_EVENT(obs::EventKind::AccessEnd, account_.total().count(),
+                    va.raw(), ok);
+    if (ok) {
+        const vm::Access canonical =
+            state_.effectiveRights(c.domain, vm::pageOf(va));
+        if (!vm::includes(canonical, vm::requiredRight(type))) {
+            if (staleWindow) {
+                // The modeled race: the kernel revoked the right, this
+                // core has not taken the IPI yet, its hardware still
+                // granted the access (Section 4.1.3's window).
+                ++staleGrants;
+            } else {
+                ++invariantViolations;
+                std::ostringstream what;
+                what << "core domain " << c.domain << " granted "
+                     << vm::toString(vm::requiredRight(type)) << " at 0x"
+                     << std::hex << va.raw() << std::dec
+                     << " outside any stale window (canonical "
+                     << vm::toString(canonical) << ")";
+                noteViolation(what.str());
+            }
+        }
+    }
+    if (!staleWindow) {
+        ++quiescentRefs;
+        quiescentOutcomes_.push_back(ok ? 1 : 0);
+    }
+    if (config_.recordOutcomes)
+        c.outcomes.push_back(ok ? 1 : 0);
+    return ok;
+}
+
+void
+McSystem::runTurn(unsigned ci)
+{
+    Core &c = cores_[ci];
+    current_ = ci;
+    obs::setThreadId(config_.tidBase + ci);
+    const u64 before = account_.total().count();
+    for (u64 s = 0; s < config_.quantum; ++s) {
+        deliverDue(c);
+        if (c.barriers > 0 || c.script->done()) {
+            if (c.inbox.empty())
+                break;
+            // Blocked (or out of work) with IPIs still in flight:
+            // idle steps advance the step clock until one is due.
+            ++c.stepsExecuted;
+            continue;
+        }
+        const Step step = c.script->next();
+        ++c.stepsExecuted;
+        if (step.kind == StepKind::Ref) {
+            if (issueRef(c, step.va, step.type))
+                ++c.completed;
+            else
+                ++c.failed;
+        } else {
+            ++kernelOps;
+            applyKernelStep(*kernel_, c.domain, step);
+            if (c.barriers > 0) {
+                // The op shot down remote cores; the issuer blocks on
+                // the completion barrier for the rest of its quantum.
+                break;
+            }
+        }
+    }
+    c.cycles += account_.total().count() - before;
+}
+
+McResult
+McSystem::run()
+{
+    SASOS_ASSERT(!ran_, "McSystem::run is single-shot");
+    ran_ = true;
+    McSchedule schedule(config_.scheduleSeed);
+    std::vector<unsigned> runnable;
+    runnable.reserve(cores_.size());
+    while (true) {
+        runnable.clear();
+        for (unsigned i = 0; i < cores_.size(); ++i) {
+            const Core &c = cores_[i];
+            if (!c.inbox.empty() ||
+                (c.barriers == 0 && !c.script->done())) {
+                runnable.push_back(i);
+            }
+        }
+        if (runnable.empty())
+            break;
+        ++slots;
+        runTurn(schedule.pick(runnable));
+    }
+    obs::setThreadId(0);
+    SASOS_ASSERT(inflight_.empty(), "run ended with shootdowns in flight");
+    if (config_.checkInvariants)
+        checkHwSubset();
+
+    McResult result;
+    result.slots = slots.value();
+    result.kernelOps = kernelOps.value();
+    result.shootdowns = shootdowns.value();
+    result.acks = acks.value();
+    result.staleWindowRefs = staleWindowRefs.value();
+    result.staleGrants = staleGrants.value();
+    result.invariantViolations = invariantViolations.value();
+    result.hwViolations = hwSubsetViolations.value();
+    result.quiescentChecks = quiescentChecks.value();
+    result.cycles = account_.total().count();
+    result.shootdownLatencyMean = shootdownLatency.mean();
+    result.shootdownLatencyMax = shootdownLatency.max();
+    result.staleRefsPerShootdownMean = shootdownStaleRefs.mean();
+    result.firstViolation = firstViolation_;
+    result.quiescentOutcomes = quiescentOutcomes_;
+    for (Core &c : cores_) {
+        result.completed += c.completed;
+        result.failed += c.failed;
+        result.coreCycles.push_back(c.cycles);
+        result.coreCompleted.push_back(c.completed);
+        result.coreFailed.push_back(c.failed);
+        if (config_.recordOutcomes)
+            result.coreOutcomes.push_back(c.outcomes);
+        c.completedStat->set(c.completed);
+        c.failedStat->set(c.failed);
+        c.cyclesStat->set(c.cycles);
+    }
+    return result;
+}
+
+vm::Access
+McSystem::hwRights(Core &c, os::DomainId domain, vm::Vpn vpn)
+{
+    if (c.plb != nullptr) {
+        const auto match = c.plb->plb().peek(domain, vm::baseOf(vpn));
+        return match ? match->rights : vm::Access::None;
+    }
+    if (c.conv != nullptr) {
+        const os::DomainId asid =
+            config_.system.purgeTlbOnSwitch ? 0 : domain;
+        const hw::TlbEntry *entry = c.conv->tlb().peek(vpn, asid);
+        return entry ? entry->rights : vm::Access::None;
+    }
+    // Page-group hardware semantics live in the per-core manager (the
+    // TLB entry is synced from it): group rights, D bit, membership.
+    return c.pg->manager().hwRights(domain, vpn);
+}
+
+void
+McSystem::checkHwSubset()
+{
+    SASOS_ASSERT(inflight_.empty(),
+                 "hw-subset check requires global quiescence");
+    ++quiescentChecks;
+    for (Core &c : cores_) {
+        for (const auto &[first, pages] : segments_) {
+            for (u64 p = 0; p < pages; ++p) {
+                const vm::Vpn vpn = first + p;
+                const vm::Access hw = hwRights(c, c.domain, vpn);
+                const vm::Access canonical =
+                    state_.effectiveRights(c.domain, vpn);
+                if (!vm::includes(canonical, hw)) {
+                    ++hwSubsetViolations;
+                    std::ostringstream what;
+                    what << "domain " << c.domain << " hardware grants "
+                         << vm::toString(hw) << " on page "
+                         << vpn.number() << " but canonical is "
+                         << vm::toString(canonical);
+                    noteViolation(what.str());
+                }
+            }
+        }
+    }
+}
+
+void
+McSystem::noteViolation(const std::string &what)
+{
+    if (firstViolation_.empty())
+        firstViolation_ = what;
+}
+
+void
+McSystem::dumpStats(std::ostream &os)
+{
+    statsRoot_.dump(os);
+    account_.dump(os, "mc-system.");
+}
+
+void
+McSystem::dumpStatsJson(std::ostream &os)
+{
+    obs::writeStatsJson(os, statsRoot_, &account_);
+}
+
+} // namespace sasos::core::mc

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * The concurrent multi-core engine: N cores, each with its own
+ * protection hardware and reference stream, over one shared kernel
+ * and canonical VmState, interleaved by a deterministic schedule.
+ *
+ * Where SmpSystem broadcasts maintenance hooks to every CPU
+ * synchronously (runOn() issues from one CPU at a time), McSystem
+ * models the shootdown the way Section 4.1.3 describes it happening
+ * on a real multiprocessor: the issuing core updates its own
+ * structures, sends an IPI per remote core, and *stalls* on the
+ * completion barrier; each remote core keeps executing its own stream
+ * for a bounded number of steps (the IPI flight / interrupt-masking
+ * window) before it takes the interrupt, probes and repairs its stale
+ * entries, and acks. During that window a remote core can still
+ * complete references from rights the kernel has already revoked --
+ * exactly the stale-rights window the schedule explorer (explorer.hh)
+ * checks invariants over.
+ *
+ * Everything is simulated on the calling host thread: the seeded
+ * McSchedule alone decides which core steps next, so one
+ * (workload seed, schedule seed, cores) triple is bit-identical on
+ * any host; host thread pools (sim/parallel.hh) only ever execute
+ * *different* pre-decided schedules concurrently (see explorer.hh).
+ */
+
+#ifndef SASOS_CORE_MC_MC_SYSTEM_HH
+#define SASOS_CORE_MC_MC_SYSTEM_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/mc/mc_workload.hh"
+#include "core/mc/schedule.hh"
+#include "core/system_config.hh"
+#include "os/kernel.hh"
+#include "os/vm_state.hh"
+#include "sim/cycle_account.hh"
+#include "sim/stats.hh"
+
+namespace sasos::core
+{
+class PlbSystem;
+class PageGroupSystem;
+class ConventionalSystem;
+} // namespace sasos::core
+
+namespace sasos::core::mc
+{
+
+class DeferredModel;
+
+/** Multi-core engine configuration. */
+struct McConfig
+{
+    /** Per-core machine (model preset, structures, costs). */
+    SystemConfig system;
+    unsigned cores = 4;
+    /** Seed of the interleaving schedule (schedule_seed=). */
+    u64 scheduleSeed = 1;
+    /** Steps one scheduled core runs per turn (mc_quantum=). */
+    u64 quantum = 8;
+    /** Steps a remote core executes before taking a pending IPI --
+     * the stale-rights window (mc_ipi_delay=; 0 acks immediately). */
+    u64 ipiDelaySteps = 6;
+    McWorkloadConfig workload;
+    /** Map every segment page up front so no demand maps occur and
+     * frame assignment is schedule-independent. */
+    bool premap = false;
+    /** Check the stale-rights and hw-subset-of-canonical invariants
+     * while running. */
+    bool checkInvariants = true;
+    /** Record each core's per-reference allow/deny vector (the
+     * sequential-projection oracle input). */
+    bool recordOutcomes = false;
+    /** Logical obs tid of core 0 (cores use tidBase..tidBase+N-1). */
+    u32 tidBase = 1;
+
+    /** Build from cores=/schedule_seed=/mc_quantum=/mc_ipi_delay=/
+     * refs=/churn= plus the usual SystemConfig keys. */
+    static McConfig fromOptions(const Options &options);
+};
+
+/** Tally of one McSystem::run(). */
+struct McResult
+{
+    u64 slots = 0;
+    u64 completed = 0;
+    u64 failed = 0;
+    u64 kernelOps = 0;
+    u64 shootdowns = 0;
+    u64 acks = 0;
+    /** References issued by a core with an unacked IPI pending. */
+    u64 staleWindowRefs = 0;
+    /** Stale-window references granted beyond canonical rights. */
+    u64 staleGrants = 0;
+    /** Grants beyond canonical *outside* any stale window (must be 0). */
+    u64 invariantViolations = 0;
+    /** Hardware state found beyond canonical at a quiescence check. */
+    u64 hwViolations = 0;
+    u64 quiescentChecks = 0;
+    u64 cycles = 0;
+    double shootdownLatencyMean = 0.0;
+    u64 shootdownLatencyMax = 0;
+    double staleRefsPerShootdownMean = 0.0;
+    /** First violation, for test diagnostics ("" when none). */
+    std::string firstViolation;
+    std::vector<u64> coreCycles;
+    std::vector<u64> coreCompleted;
+    std::vector<u64> coreFailed;
+    /** Allow/deny of references issued at quiescence (empty inbox),
+     * in global issue order: model-independent by construction. */
+    std::vector<u8> quiescentOutcomes;
+    /** Per-core allow/deny vectors (when recordOutcomes). */
+    std::vector<std::vector<u8>> coreOutcomes;
+};
+
+/** A deferred broadcast maintenance operation. */
+struct RemoteOp
+{
+    u64 shootdownId = 0;
+    /** Value-capturing closure applying the maintenance hook. */
+    std::function<void(os::ProtectionModel &)> apply;
+    /** Page range the op affects (the ack's stale-entry probe). */
+    vm::Vpn first;
+    u64 pages = 0;
+    /** Probe filter: one domain, or all when nullopt. */
+    std::optional<os::DomainId> domain;
+};
+
+/** The multi-core machine. */
+class McSystem
+{
+  public:
+    explicit McSystem(const McConfig &config);
+    ~McSystem();
+
+    McSystem(const McSystem &) = delete;
+    McSystem &operator=(const McSystem &) = delete;
+
+    /** Run every core's script to completion; single-shot. */
+    McResult run();
+
+    const McConfig &config() const { return config_; }
+    unsigned coreCount() const
+    {
+        return static_cast<unsigned>(cores_.size());
+    }
+    os::Kernel &kernel() { return *kernel_; }
+    os::VmState &state() { return state_; }
+    CycleAccount &account() { return account_; }
+    os::DomainId domainOf(unsigned core) const;
+    const McLayout &layoutOf(unsigned core) const;
+    /** One core's concrete protection model (stats, tests). */
+    os::ProtectionModel &coreModel(unsigned core);
+    vm::SegmentId sharedSegment() const { return sharedSeg_; }
+
+    stats::Group &statsRoot() { return statsRoot_; }
+    void dumpStats(std::ostream &os);
+    void dumpStatsJson(std::ostream &os);
+
+  private:
+    /** Plumbing shared with the deferred-broadcast router. */
+    friend class DeferredModel;
+
+    /** One simulated core. */
+    struct Core
+    {
+        std::unique_ptr<stats::Group> group;
+        std::unique_ptr<os::ProtectionModel> model;
+        PlbSystem *plb = nullptr;
+        PageGroupSystem *pg = nullptr;
+        ConventionalSystem *conv = nullptr;
+        os::DomainId domain = 0;
+        McLayout layout;
+        std::unique_ptr<CoreScript> script;
+        /** IPIs sent to this core, FIFO; deliverAtStep gates each. */
+        std::deque<std::pair<std::shared_ptr<const RemoteOp>, u64>> inbox;
+        /** Completion barriers this core is blocked on (one per
+         * shootdown it issued that has not fully acked). */
+        u64 barriers = 0;
+        u64 stepsExecuted = 0;
+        u64 completed = 0;
+        u64 failed = 0;
+        u64 cycles = 0;
+        std::vector<u8> outcomes;
+        /** Exported per-core tallies, set once at the end of run(). */
+        std::unique_ptr<stats::Scalar> completedStat;
+        std::unique_ptr<stats::Scalar> failedStat;
+        std::unique_ptr<stats::Scalar> cyclesStat;
+    };
+
+    /** One shootdown between IPI issue and the last ack. */
+    struct Shootdown
+    {
+        u64 id = 0;
+        unsigned issuer = 0;
+        u64 pendingAcks = 0;
+        u64 issueCycle = 0;
+        u64 staleRefs = 0;
+    };
+
+    void setupWorkload();
+    os::ProtectionModel &currentModel();
+    /** Apply a maintenance hook: issuer now, remotes at their acks. */
+    void broadcastOp(std::function<void(os::ProtectionModel &)> apply,
+                     vm::Vpn first, u64 pages,
+                     std::optional<os::DomainId> domain);
+    void runTurn(unsigned ci);
+    /** Ack every pending IPI whose delivery step has been reached. */
+    void deliverDue(Core &c);
+    void processAck(Core &c, const RemoteOp &op);
+    bool issueRef(Core &c, vm::VAddr va, vm::AccessType type);
+    bool resolveAndRetry(Core &c, vm::VAddr va, vm::AccessType type,
+                         os::AccessResult result);
+    /** Drop the entries a core still holds for an op's page range
+     * (the IPI handler's conservative invalidation); @return how
+     * many were stale. */
+    u64 purgeStale(Core &c, const RemoteOp &op);
+    /** Rights the core's hardware would grant right now, hw-probed. */
+    vm::Access hwRights(Core &c, os::DomainId domain, vm::Vpn vpn);
+    /** hw ⊆ canonical over every (core, its domain, page) triple;
+     * valid only at global quiescence (no shootdown in flight). */
+    void checkHwSubset();
+    void noteViolation(const std::string &what);
+
+    McConfig config_;
+    stats::Group statsRoot_;
+
+  public:
+    /** @name Statistics */
+    /// @{
+    stats::Scalar references;
+    stats::Scalar failedReferences;
+    stats::Group mcGroup;
+    stats::Scalar slots;
+    stats::Scalar kernelOps;
+    stats::Scalar shootdowns;
+    stats::Scalar ipisSent;
+    stats::Scalar acks;
+    stats::Scalar staleWindowRefs;
+    stats::Scalar staleGrants;
+    stats::Scalar quiescentRefs;
+    stats::Scalar staleEntriesPurged;
+    stats::Scalar invariantViolations;
+    stats::Scalar hwSubsetViolations;
+    stats::Scalar quiescentChecks;
+    stats::Histogram shootdownLatency;
+    stats::Histogram shootdownStaleRefs;
+    stats::Histogram ackStaleEntries;
+    /// @}
+
+  private:
+    CycleAccount account_;
+    os::VmState state_;
+    std::unique_ptr<DeferredModel> model_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::vector<Core> cores_;
+    /** Page ranges of every created segment (quiescence checks). */
+    std::vector<std::pair<vm::Vpn, u64>> segments_;
+    vm::SegmentId sharedSeg_ = vm::kInvalidSegment;
+    std::vector<Shootdown> inflight_;
+    u64 shootdownIds_ = 0;
+    unsigned current_ = 0;
+    /** Setup mode: broadcasts apply to every core immediately. */
+    bool synchronous_ = true;
+    bool ran_ = false;
+    std::vector<u8> quiescentOutcomes_;
+    std::string firstViolation_;
+};
+
+} // namespace sasos::core::mc
+
+#endif // SASOS_CORE_MC_MC_SYSTEM_HH

@@ -1,0 +1,174 @@
+#include "core/mc/mc_workload.hh"
+
+#include "sim/logging.hh"
+
+namespace sasos::core::mc
+{
+
+namespace
+{
+
+/** Decorrelate per-core rng streams from the base seed. */
+u64
+coreSeed(u64 seed, unsigned core)
+{
+    return seed * 1000003u + core;
+}
+
+} // namespace
+
+CoreScript::CoreScript(const McWorkloadConfig &config, unsigned core,
+                       os::DomainId domain, const McLayout &layout)
+    : config_(config), domain_(domain), layout_(layout),
+      rng_(coreSeed(config.seed, core)), stepsLeft_(config.stepsPerCore)
+{
+    SASOS_ASSERT(layout_.sharedPages > 0, "scripts need a shared segment");
+    sharedStream_ = std::make_unique<wl::ZipfPageStream>(
+        layout_.sharedBase, layout_.sharedPages, config_.zipfTheta,
+        coreSeed(config_.seed, core) ^ 0x5a5a5a5a);
+    if (layout_.privatePages > 0) {
+        privateStream_ = std::make_unique<wl::UniformStream>(
+            layout_.privateBase, layout_.privatePages * vm::kPageBytes);
+    }
+}
+
+CoreScript::~CoreScript() = default;
+
+Step
+CoreScript::next()
+{
+    SASOS_ASSERT(stepsLeft_ > 0, "script exhausted");
+    --stepsLeft_;
+    if (config_.churnProb > 0.0 && rng_.bernoulli(config_.churnProb))
+        return makeChurnOp();
+    return makeRef();
+}
+
+Step
+CoreScript::makeRef()
+{
+    Step step;
+    step.kind = StepKind::Ref;
+    const bool shared =
+        privateStream_ == nullptr || rng_.bernoulli(config_.sharedProb);
+    step.va = shared ? sharedStream_->next(rng_)
+                     : privateStream_->next(rng_);
+    step.type = rng_.bernoulli(config_.storeProb) ? vm::AccessType::Store
+                                                  : vm::AccessType::Load;
+    return step;
+}
+
+Step
+CoreScript::makeChurnOp()
+{
+    const bool priv =
+        config_.privateChurn && layout_.privateSeg != vm::kInvalidSegment;
+    const vm::SegmentId seg = priv ? layout_.privateSeg : layout_.sharedSeg;
+    const vm::Vpn first = vm::pageOf(priv ? layout_.privateBase
+                                          : layout_.sharedBase);
+    const u64 pages = priv ? layout_.privatePages : layout_.sharedPages;
+
+    Step step;
+    // Undo operations run first with even odds, so override and mask
+    // state stays bounded and rights keep churning both ways.
+    if (!overriddenPages_.empty() && rng_.bernoulli(0.5)) {
+        const std::size_t i = static_cast<std::size_t>(
+            rng_.nextBelow(overriddenPages_.size()));
+        step.kind = StepKind::ClearPageRights;
+        step.vpn = overriddenPages_[i];
+        overriddenPages_.erase(overriddenPages_.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+        return step;
+    }
+    if (!maskedPages_.empty() && rng_.bernoulli(0.5)) {
+        const std::size_t i = static_cast<std::size_t>(
+            rng_.nextBelow(maskedPages_.size()));
+        step.kind = StepKind::UnrestrictPage;
+        step.vpn = maskedPages_[i];
+        maskedPages_.erase(maskedPages_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        return step;
+    }
+    if (!attached_) {
+        // Re-attach before anything else touches the segment.
+        step.kind = StepKind::Attach;
+        step.seg = seg;
+        step.rights = vm::Access::ReadWrite;
+        attached_ = true;
+        segmentRestricted_ = false;
+        return step;
+    }
+    const vm::Vpn vpn(first.number() + rng_.nextBelow(pages));
+    switch (rng_.nextBelow(4)) {
+      case 0: {
+        step.kind = StepKind::SetPageRights;
+        step.vpn = vpn;
+        step.rights = vm::Access::Read;
+        bool tracked = false;
+        for (vm::Vpn p : overriddenPages_)
+            tracked = tracked || p == vpn;
+        if (!tracked)
+            overriddenPages_.push_back(vpn);
+        return step;
+      }
+      case 1: {
+        step.kind = StepKind::RestrictPage;
+        step.vpn = vpn;
+        step.rights = vm::Access::Read;
+        bool tracked = false;
+        for (vm::Vpn p : maskedPages_)
+            tracked = tracked || p == vpn;
+        if (!tracked)
+            maskedPages_.push_back(vpn);
+        return step;
+      }
+      case 2:
+        step.kind = StepKind::SetSegmentRights;
+        step.seg = seg;
+        step.rights = segmentRestricted_ ? vm::Access::ReadWrite
+                                         : vm::Access::Read;
+        segmentRestricted_ = !segmentRestricted_;
+        return step;
+      default:
+        step.kind = StepKind::Detach;
+        step.seg = seg;
+        attached_ = false;
+        segmentRestricted_ = false;
+        // Detach forgets this domain's page overrides in the segment.
+        overriddenPages_.clear();
+        return step;
+    }
+}
+
+void
+applyKernelStep(os::Kernel &kernel, os::DomainId domain, const Step &step)
+{
+    switch (step.kind) {
+      case StepKind::Ref:
+        SASOS_PANIC("references are issued by the engine, not the kernel");
+      case StepKind::SetPageRights:
+        kernel.setPageRights(domain, step.vpn, step.rights);
+        return;
+      case StepKind::ClearPageRights:
+        kernel.clearPageRights(domain, step.vpn);
+        return;
+      case StepKind::RestrictPage:
+        kernel.restrictPage(step.vpn, step.rights);
+        return;
+      case StepKind::UnrestrictPage:
+        kernel.unrestrictPage(step.vpn);
+        return;
+      case StepKind::SetSegmentRights:
+        kernel.setSegmentRights(domain, step.seg, step.rights);
+        return;
+      case StepKind::Detach:
+        kernel.detach(domain, step.seg);
+        return;
+      case StepKind::Attach:
+        kernel.attach(domain, step.seg, step.rights);
+        return;
+    }
+    SASOS_PANIC("unreachable");
+}
+
+} // namespace sasos::core::mc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic per-core step scripts for the multi-core engine.
+ *
+ * Each core runs one CoreScript: a seeded generator producing a fixed
+ * number of steps, where a step is either a memory reference (drawn
+ * from the shared workload stream generators: Zipf over the shared
+ * segment, uniform over the core's private segment) or a kernel
+ * protection operation (the attach/revoke churn that triggers
+ * shootdowns). A script is a pure function of (seed, core index,
+ * segment layout), so tests can replay the identical step sequence
+ * against a plain single-core System to check that a core's outcomes
+ * project onto its sequential run.
+ */
+
+#ifndef SASOS_CORE_MC_MC_WORKLOAD_HH
+#define SASOS_CORE_MC_MC_WORKLOAD_HH
+
+#include <memory>
+
+#include "os/kernel.hh"
+#include "sim/random.hh"
+#include "vm/address.hh"
+#include "vm/rights.hh"
+#include "vm/segment.hh"
+#include "workload/address_stream.hh"
+
+namespace sasos::core::mc
+{
+
+/** Per-core workload shape. */
+struct McWorkloadConfig
+{
+    /** Steps per core (references plus kernel operations). */
+    u64 stepsPerCore = 2000;
+    u64 sharedPages = 64;
+    /** Pages of each core's private segment (0 = no private segs). */
+    u64 privatePages = 16;
+    /** Probability a reference targets the shared segment. */
+    double sharedProb = 0.7;
+    double storeProb = 0.3;
+    /** Probability a step is a kernel protection op, not a reference. */
+    double churnProb = 0.0;
+    /** Churn the core's own private segment instead of the shared one
+     * (core-local rights traffic: shootdowns still fire, but cores'
+     * outcomes stay independent -- the projection-test workload). */
+    bool privateChurn = false;
+    /** Zipf skew of the shared reference stream. */
+    double zipfTheta = 0.6;
+    u64 seed = 1;
+};
+
+/** What one script step does. */
+enum class StepKind : u8
+{
+    /** Issue a memory reference at `va` of kind `type`. */
+    Ref,
+    /** kernel.setPageRights(domain, vpn, rights). */
+    SetPageRights,
+    /** kernel.clearPageRights(domain, vpn). */
+    ClearPageRights,
+    /** kernel.restrictPage(vpn, rights). */
+    RestrictPage,
+    /** kernel.unrestrictPage(vpn). */
+    UnrestrictPage,
+    /** kernel.setSegmentRights(domain, seg, rights). */
+    SetSegmentRights,
+    /** kernel.detach(domain, seg). */
+    Detach,
+    /** kernel.attach(domain, seg, rights). */
+    Attach,
+};
+
+/** One decoded step; unused fields stay at their defaults. */
+struct Step
+{
+    StepKind kind = StepKind::Ref;
+    vm::VAddr va;
+    vm::AccessType type = vm::AccessType::Load;
+    vm::Vpn vpn;
+    vm::SegmentId seg = vm::kInvalidSegment;
+    vm::Access rights = vm::Access::None;
+};
+
+/** The segment layout a script generates addresses for. */
+struct McLayout
+{
+    vm::SegmentId sharedSeg = vm::kInvalidSegment;
+    vm::VAddr sharedBase;
+    u64 sharedPages = 0;
+    vm::SegmentId privateSeg = vm::kInvalidSegment;
+    vm::VAddr privateBase;
+    u64 privatePages = 0;
+};
+
+/** Deterministic step generator for one core. */
+class CoreScript
+{
+  public:
+    CoreScript(const McWorkloadConfig &config, unsigned core,
+               os::DomainId domain, const McLayout &layout);
+    ~CoreScript();
+
+    CoreScript(const CoreScript &) = delete;
+    CoreScript &operator=(const CoreScript &) = delete;
+
+    os::DomainId domain() const { return domain_; }
+    u64 stepsLeft() const { return stepsLeft_; }
+    bool done() const { return stepsLeft_ == 0; }
+
+    /** Generate the next step; must not be called when done(). */
+    Step next();
+
+  private:
+    Step makeRef();
+    Step makeChurnOp();
+
+    McWorkloadConfig config_;
+    os::DomainId domain_;
+    McLayout layout_;
+    Rng rng_;
+    u64 stepsLeft_;
+    std::unique_ptr<wl::AddressStream> sharedStream_;
+    std::unique_ptr<wl::AddressStream> privateStream_;
+    /** Script-tracked protection state, so ops stay well-formed
+     * (detach only while attached, unrestrict only after restrict...). */
+    bool attached_ = true;
+    bool segmentRestricted_ = false;
+    std::vector<vm::Vpn> overriddenPages_;
+    std::vector<vm::Vpn> maskedPages_;
+};
+
+/** Apply a non-reference step through the kernel on behalf of
+ * `domain`. Shared by the engine and the tests' sequential replays. */
+void applyKernelStep(os::Kernel &kernel, os::DomainId domain,
+                     const Step &step);
+
+} // namespace sasos::core::mc
+
+#endif // SASOS_CORE_MC_MC_WORKLOAD_HH

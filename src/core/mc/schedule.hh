@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The deterministic interleaving schedule of the multi-core engine.
+ *
+ * One seeded Rng decides, turn by turn, which runnable core steps
+ * next. The schedule is a pure function of (schedule_seed, the
+ * runnable sets it is offered), and the engine offers runnable sets
+ * that depend only on step counts -- never on simulated cycles or
+ * host timing -- so the same (workload seed, schedule seed, cores)
+ * triple replays the exact same interleaving on every host, for every
+ * protection model, at any host thread count.
+ *
+ * Scheduling at *step* (reference / kernel-op) granularity rather
+ * than simulated-cycle granularity is deliberate: the three
+ * protection models fault differently and therefore burn different
+ * cycle counts for the same step, so a cycle-driven schedule would
+ * give each model a different interleaving and make cross-model
+ * allow/deny comparison meaningless. Steps are model-independent;
+ * cycles are still fully accounted per core.
+ */
+
+#ifndef SASOS_CORE_MC_SCHEDULE_HH
+#define SASOS_CORE_MC_SCHEDULE_HH
+
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace sasos::core::mc
+{
+
+/** Seeded pick-next-core schedule. */
+class McSchedule
+{
+  public:
+    explicit McSchedule(u64 seed) : rng_(seed) {}
+
+    /** Choose one of the runnable cores for the next turn. */
+    unsigned
+    pick(const std::vector<unsigned> &runnable)
+    {
+        SASOS_ASSERT(!runnable.empty(), "no runnable core to schedule");
+        if (runnable.size() == 1)
+            return runnable.front();
+        return runnable[static_cast<std::size_t>(
+            rng_.nextBelow(runnable.size()))];
+    }
+
+  private:
+    Rng rng_;
+};
+
+} // namespace sasos::core::mc
+
+#endif // SASOS_CORE_MC_SCHEDULE_HH

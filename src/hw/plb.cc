@@ -237,6 +237,24 @@ Plb::purgeAll()
     return dropped;
 }
 
+u64
+Plb::countRange(std::optional<DomainId> domain, vm::Vpn first,
+                u64 pages) const
+{
+    const u64 range_first = first.number() << vm::kPageShift;
+    const u64 range_last =
+        ((first.number() + pages) << vm::kPageShift) - 1;
+    u64 count = 0;
+    array_.forEach([&](const Key &key, const vm::Access &) {
+        if (domain && key.domain != *domain)
+            return;
+        const auto [block_first, block_last] = blockSpan(key);
+        if (block_first <= range_last && block_last >= range_first)
+            ++count;
+    });
+    return count;
+}
+
 bool
 Plb::evictOne(Rng &rng)
 {

@@ -149,6 +149,15 @@ class Plb
      */
     bool evictOne(Rng &rng);
 
+    /**
+     * Count valid entries overlapping a page range (one domain, or
+     * all when nullopt), with no stats or replacement side effects.
+     * Shootdown ack processing probes this to size the stale state a
+     * remote core still held when it finally took the IPI.
+     */
+    u64 countRange(std::optional<DomainId> domain, vm::Vpn first,
+                   u64 pages) const;
+
     std::size_t occupancy() const { return array_.occupancy(); }
     std::size_t capacity() const { return array_.capacity(); }
 

@@ -55,6 +55,10 @@ toString(EventKind kind)
         return "domainSwitch";
       case EventKind::Shootdown:
         return "shootdown";
+      case EventKind::ShootdownAck:
+        return "shootdownAck";
+      case EventKind::ShootdownComplete:
+        return "shootdownComplete";
       case EventKind::NumKinds:
         break;
     }

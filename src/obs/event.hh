@@ -58,6 +58,10 @@ enum class EventKind : u8
     DomainSwitch,
     /** A broadcast maintenance operation interrupted remote CPUs. */
     Shootdown,
+    /** A remote core took the IPI and applied the maintenance. */
+    ShootdownAck,
+    /** The last remote core acked; the issuer resumes. */
+    ShootdownComplete,
     NumKinds,
 };
 

@@ -27,6 +27,7 @@ CostModel::bindings()
         {"serverUpcall", &CostModel::serverUpcall},
         {"domainSwitchBase", &CostModel::domainSwitchBase},
         {"interProcessorInterrupt", &CostModel::interProcessorInterrupt},
+        {"ipiDispatch", &CostModel::ipiDispatch},
         {"tableUpdate", &CostModel::tableUpdate},
         {"faultDelay", &CostModel::faultDelay},
         {"diskAccess", &CostModel::diskAccess},

@@ -78,6 +78,9 @@ class CostModel
     Cycles domainSwitchBase{100};
     /** Interrupt a remote processor for a shootdown (send + ack). */
     Cycles interProcessorInterrupt{500};
+    /** Remote side of an IPI: take the interrupt, run the maintenance
+     * handler's entry/exit, resume the interrupted stream. */
+    Cycles ipiDispatch{150};
     /** Update one protection/page-table entry in kernel software. */
     Cycles tableUpdate{10};
     /// @}

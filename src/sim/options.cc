@@ -137,6 +137,10 @@ Options::helpText()
            "  cacheKB= lineBytes= cacheWays= cacheOrg=   data cache\n"
            "  tlbEntries= tlbWays= plbEntries= pgEntries=  structures\n"
            "  eagerPg= purgeOnSwitch= flushOnSwitch= superPage=\n"
+           "  cores=N                simulated cores (multi-core engine)\n"
+           "  schedule_seed=N        core-interleaving schedule seed\n"
+           "  mc_quantum=N           steps per scheduling turn\n"
+           "  mc_ipi_delay=N         remote steps before an IPI is taken\n"
            "  faults=0|1             deterministic fault injection\n"
            "  fault_seed=N fault_rate=P fault_gap=N   injection schedule\n"
            "  trace=0|1              memory-path event tracing\n"

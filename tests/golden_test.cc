@@ -22,6 +22,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/mc/mc_system.hh"
 #include "trace/trace.hh"
 
 using namespace sasos;
@@ -165,4 +166,54 @@ TEST(GoldenReplayTest, StatsJsonMatchesCheckedInSnapshot)
     EXPECT_EQ(actual.str(), expected.str())
         << "golden stats JSON diverged; if intentional, regenerate "
            "with SASOS_GOLDEN_REGEN=1";
+}
+
+/** A fixed 4-core multi-core run per model, snapshotted through the
+ * stats exporter: the interleaving schedule, the IPI delay model, the
+ * shootdown accounting and the per-core stats layout are all pinned
+ * by tests/data/golden_mc_stats.json. Regenerate (and review the
+ * diff!) with SASOS_GOLDEN_REGEN=1 after intentional changes. */
+TEST(GoldenReplayTest, McStatsJsonMatchesCheckedInSnapshot)
+{
+    std::ostringstream actual;
+    actual << "[\n";
+    bool first = true;
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        core::mc::McConfig config;
+        config.system = core::SystemConfig::forModel(kind);
+        config.cores = 4;
+        config.workload.stepsPerCore = 300;
+        config.workload.churnProb = 0.1;
+        config.workload.seed = 5;
+        core::mc::McSystem engine(config);
+        const core::mc::McResult result = engine.run();
+        EXPECT_EQ(result.invariantViolations, 0u)
+            << core::toString(kind) << ": " << result.firstViolation;
+        EXPECT_EQ(result.hwViolations, 0u)
+            << core::toString(kind) << ": " << result.firstViolation;
+        if (!first)
+            actual << ",\n";
+        first = false;
+        engine.dumpStatsJson(actual);
+    }
+    actual << "\n]\n";
+
+    const std::string expected_path = dataPath("golden_mc_stats.json");
+    if (std::getenv("SASOS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(expected_path);
+        out << actual.str();
+        GTEST_SKIP() << "regenerated " << expected_path;
+    }
+
+    std::ifstream in(expected_path);
+    ASSERT_TRUE(in.good())
+        << "missing " << expected_path
+        << "; run with SASOS_GOLDEN_REGEN=1 to create it";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual.str(), expected.str())
+        << "golden multi-core stats diverged; if intentional, "
+           "regenerate with SASOS_GOLDEN_REGEN=1";
 }

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Schedule-explorer invariant tests: many interleavings of an
+ * attach/revoke-churn workload, on every protection model, each run
+ * checked for the stale-rights and hw-subset-of-canonical safety
+ * invariants, with allow/deny agreement across models at shootdown
+ * quiescence points and outcome projection onto sequential runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mc/explorer.hh"
+#include "core/mc/mc_system.hh"
+#include "core/system.hh"
+
+using namespace sasos;
+namespace mc = sasos::core::mc;
+
+namespace
+{
+
+mc::McConfig
+churnConfig(core::ModelKind kind)
+{
+    mc::McConfig config;
+    config.system = core::SystemConfig::forModel(kind);
+    config.cores = 4;
+    config.workload.stepsPerCore = 400;
+    config.workload.churnProb = 0.15;
+    config.workload.seed = 11;
+    return config;
+}
+
+} // namespace
+
+/** 64 interleavings per model of a shared-segment churn workload:
+ * every run must hold both safety invariants, and enough runs must
+ * actually open stale windows for the check to mean anything. */
+TEST(McInterleaveTest, InvariantsHoldOverSixtyFourSchedules)
+{
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        mc::ExplorerConfig explorer;
+        explorer.base = churnConfig(kind);
+        explorer.seeds = 64;
+        explorer.threads = 4;
+        const mc::ExplorerResult result = mc::explore(explorer);
+        EXPECT_TRUE(result.passed())
+            << core::toString(kind) << ": " << result.firstViolation;
+        EXPECT_GT(result.totalShootdowns, 0u) << core::toString(kind);
+        u64 window_refs = 0;
+        for (const mc::RunSummary &run : result.runs)
+            window_refs += run.staleWindowRefs;
+        EXPECT_GT(window_refs, 0u)
+            << core::toString(kind)
+            << ": no run ever opened a stale window; the invariant "
+               "check never exercised the race";
+    }
+}
+
+/** The same 64 schedules run against all three protection models:
+ * references issued at local quiescence see only canonical rights, so
+ * their allow/deny outcomes must agree across models even though the
+ * hardware (PLB / page-group cache / ASID TLB) differs completely. */
+TEST(McInterleaveTest, ModelsAgreeAtQuiescencePoints)
+{
+    mc::ExplorerConfig explorer;
+    explorer.base = churnConfig(core::ModelKind::Plb);
+    explorer.seeds = 64;
+    explorer.threads = 4;
+    const mc::CrossModelResult result = mc::exploreCrossModel(explorer);
+    EXPECT_EQ(result.totalViolations, 0u) << result.firstViolation;
+    EXPECT_EQ(result.disagreements, 0u);
+    EXPECT_TRUE(result.passed());
+    ASSERT_EQ(result.runs.size(), 64u);
+    for (const mc::CrossModelRun &run : result.runs) {
+        ASSERT_EQ(run.byModel.size(), 3u);
+        EXPECT_FALSE(run.byModel[0].quiescentOutcomes.empty())
+            << "seed " << run.scheduleSeed
+            << " issued no quiescent references; nothing was compared";
+    }
+}
+
+/** With core-local churn (each core revokes only its own private
+ * pages), a core's allow/deny vector is independent of the
+ * interleaving: it must equal a sequential replay of that core's
+ * script against a plain System with the identical setup. */
+TEST(McInterleaveTest, PrivateChurnOutcomesProjectOntoSequentialRun)
+{
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        mc::McConfig config = churnConfig(kind);
+        config.workload.privateChurn = true;
+        config.workload.churnProb = 0.2;
+        config.recordOutcomes = true;
+        mc::McSystem engine(config);
+        const mc::McResult result = engine.run();
+        EXPECT_EQ(result.invariantViolations, 0u)
+            << core::toString(kind) << ": " << result.firstViolation;
+        ASSERT_EQ(result.coreOutcomes.size(), config.cores);
+
+        for (unsigned ci = 0; ci < config.cores; ++ci) {
+            // Sequential replica: the engine's documented setup order
+            // (domains, shared segment + attaches, private segments),
+            // then only core ci's script.
+            core::System sys(config.system);
+            auto &kernel = sys.kernel();
+            std::vector<os::DomainId> domains;
+            for (unsigned i = 0; i < config.cores; ++i)
+                domains.push_back(
+                    kernel.createDomain("core" + std::to_string(i)));
+            const vm::SegmentId shared = kernel.createSegment(
+                "shared", config.workload.sharedPages);
+            for (unsigned i = 0; i < config.cores; ++i)
+                kernel.attach(domains[i], shared, vm::Access::ReadWrite);
+            std::vector<mc::McLayout> layouts(config.cores);
+            for (unsigned i = 0; i < config.cores; ++i) {
+                layouts[i].sharedSeg = shared;
+                layouts[i].sharedBase =
+                    sys.state().segments.find(shared)->base();
+                layouts[i].sharedPages = config.workload.sharedPages;
+                const vm::SegmentId seg = kernel.createSegment(
+                    "private" + std::to_string(i),
+                    config.workload.privatePages);
+                kernel.attach(domains[i], seg, vm::Access::ReadWrite);
+                layouts[i].privateSeg = seg;
+                layouts[i].privateBase =
+                    sys.state().segments.find(seg)->base();
+                layouts[i].privatePages = config.workload.privatePages;
+            }
+            ASSERT_EQ(layouts[ci].privateBase.raw(),
+                      engine.layoutOf(ci).privateBase.raw());
+
+            kernel.switchTo(domains[ci]);
+            std::vector<u8> outcomes;
+            mc::CoreScript script(config.workload, ci, domains[ci],
+                                  layouts[ci]);
+            while (!script.done()) {
+                const mc::Step step = script.next();
+                if (step.kind == mc::StepKind::Ref)
+                    outcomes.push_back(
+                        sys.access(step.va, step.type) ? 1 : 0);
+                else
+                    mc::applyKernelStep(kernel, domains[ci], step);
+            }
+            EXPECT_EQ(result.coreOutcomes[ci], outcomes)
+                << core::toString(kind) << " core " << ci;
+        }
+    }
+}
+
+/** Core-local churn outcomes are also invariant across schedules --
+ * the projection stated directly over the explorer's fan-out. */
+TEST(McInterleaveTest, PrivateChurnOutcomesScheduleInvariant)
+{
+    mc::ExplorerConfig explorer;
+    explorer.base = churnConfig(core::ModelKind::Conventional);
+    explorer.base.workload.privateChurn = true;
+    explorer.base.recordOutcomes = true;
+    explorer.seeds = 8;
+    explorer.threads = 4;
+    const mc::ExplorerResult result = mc::explore(explorer);
+    EXPECT_TRUE(result.passed()) << result.firstViolation;
+    ASSERT_FALSE(result.runs.empty());
+    for (std::size_t i = 1; i < result.runs.size(); ++i)
+        EXPECT_EQ(result.runs[i].coreOutcomes,
+                  result.runs[0].coreOutcomes)
+            << "schedule seed " << result.runs[i].scheduleSeed;
+}

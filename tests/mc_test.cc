@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Determinism and equivalence tests for the multi-core engine.
+ *
+ * The engine's contract is that one (workload seed, schedule seed,
+ * cores) triple is a pure function: bit-identical statistics, cycle
+ * accounting and trace whatever the host, the host thread count, or
+ * how often it is rerun. The strongest anchor is the single-core
+ * case, which must match a plain System replaying the identical step
+ * script cycle for cycle and event for event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/mc/explorer.hh"
+#include "core/mc/mc_system.hh"
+#include "core/system.hh"
+#include "obs/tracer.hh"
+
+using namespace sasos;
+namespace mc = sasos::core::mc;
+
+namespace
+{
+
+mc::McConfig
+smallConfig(core::ModelKind kind, unsigned cores)
+{
+    mc::McConfig config;
+    config.system = core::SystemConfig::forModel(kind);
+    config.cores = cores;
+    config.workload.stepsPerCore = 400;
+    config.workload.churnProb = 0.1;
+    config.workload.seed = 7;
+    return config;
+}
+
+std::string
+statsJson(mc::McSystem &system)
+{
+    std::ostringstream os;
+    system.dumpStatsJson(os);
+    return os.str();
+}
+
+/** The fields a deterministic engine must reproduce exactly. */
+void
+expectSameSummary(const mc::RunSummary &a, const mc::RunSummary &b)
+{
+    EXPECT_EQ(a.scheduleSeed, b.scheduleSeed);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.shootdowns, b.shootdowns);
+    EXPECT_EQ(a.staleWindowRefs, b.staleWindowRefs);
+    EXPECT_EQ(a.staleGrants, b.staleGrants);
+    EXPECT_EQ(a.invariantViolations, b.invariantViolations);
+    EXPECT_EQ(a.hwViolations, b.hwViolations);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.quiescentOutcomes, b.quiescentOutcomes);
+    EXPECT_EQ(a.coreOutcomes, b.coreOutcomes);
+}
+
+} // namespace
+
+/** cores=1 is the sequential anchor: the same step script issued
+ * through a plain System must produce identical counts, an identical
+ * per-category cycle account, and an identical event trace. */
+TEST(McTest, SingleCoreMatchesSystemBitExactly)
+{
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        mc::McConfig config = smallConfig(kind, 1);
+        config.tidBase = 0; // both traces run as logical thread 0
+
+        obs::startTracing();
+        mc::McSystem engine(config);
+        const mc::McResult result = engine.run();
+        const std::vector<obs::Event> mc_events = obs::stopTracing();
+
+        obs::startTracing();
+        core::System sys(config.system);
+        auto &kernel = sys.kernel();
+        const os::DomainId domain = kernel.createDomain("core0");
+        const vm::SegmentId shared = kernel.createSegment(
+            "shared", config.workload.sharedPages);
+        kernel.attach(domain, shared, vm::Access::ReadWrite);
+        mc::McLayout layout;
+        layout.sharedSeg = shared;
+        layout.sharedBase = sys.state().segments.find(shared)->base();
+        layout.sharedPages = config.workload.sharedPages;
+        const vm::SegmentId priv = kernel.createSegment(
+            "private0", config.workload.privatePages);
+        kernel.attach(domain, priv, vm::Access::ReadWrite);
+        layout.privateSeg = priv;
+        layout.privateBase = sys.state().segments.find(priv)->base();
+        layout.privatePages = config.workload.privatePages;
+
+        // Same layout, domain and seed => the identical step script.
+        ASSERT_EQ(domain, engine.domainOf(0));
+        ASSERT_EQ(layout.sharedBase.raw(),
+                  engine.layoutOf(0).sharedBase.raw());
+        ASSERT_EQ(layout.privateBase.raw(),
+                  engine.layoutOf(0).privateBase.raw());
+
+        u64 completed = 0;
+        u64 failed = 0;
+        mc::CoreScript script(config.workload, 0, domain, layout);
+        while (!script.done()) {
+            const mc::Step step = script.next();
+            if (step.kind == mc::StepKind::Ref) {
+                if (sys.access(step.va, step.type))
+                    ++completed;
+                else
+                    ++failed;
+            } else {
+                mc::applyKernelStep(kernel, domain, step);
+            }
+        }
+        const std::vector<obs::Event> seq_events = obs::stopTracing();
+
+        EXPECT_EQ(result.completed, completed) << core::toString(kind);
+        EXPECT_EQ(result.failed, failed) << core::toString(kind);
+        EXPECT_EQ(engine.references.value(), sys.references.value());
+        EXPECT_EQ(engine.failedReferences.value(),
+                  sys.failedReferences.value());
+        EXPECT_EQ(result.cycles, sys.cycles().count())
+            << core::toString(kind);
+        EXPECT_EQ(result.shootdowns, 0u);
+        EXPECT_EQ(result.invariantViolations, 0u);
+        EXPECT_EQ(result.hwViolations, 0u);
+
+        std::ostringstream mc_account;
+        std::ostringstream seq_account;
+        engine.account().dump(mc_account);
+        sys.account().dump(seq_account);
+        EXPECT_EQ(mc_account.str(), seq_account.str())
+            << core::toString(kind);
+
+        ASSERT_EQ(mc_events.size(), seq_events.size())
+            << core::toString(kind);
+        for (std::size_t i = 0; i < mc_events.size(); ++i) {
+            EXPECT_EQ(mc_events[i].kind, seq_events[i].kind) << "at " << i;
+            EXPECT_EQ(mc_events[i].cycle, seq_events[i].cycle)
+                << "at " << i;
+            EXPECT_EQ(mc_events[i].addr, seq_events[i].addr) << "at " << i;
+            EXPECT_EQ(mc_events[i].arg, seq_events[i].arg) << "at " << i;
+        }
+    }
+}
+
+/** The same configuration rerun must reproduce the entire stats tree
+ * (scalars, histograms, per-core groups, cycle account) exactly. */
+TEST(McTest, SameSeedReproducesStatsExactly)
+{
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        mc::McSystem first(smallConfig(kind, 4));
+        first.run();
+        mc::McSystem second(smallConfig(kind, 4));
+        second.run();
+        EXPECT_EQ(statsJson(first), statsJson(second))
+            << core::toString(kind);
+    }
+}
+
+/** Different schedule seeds must actually explore different
+ * interleavings (otherwise the explorer explores nothing). */
+TEST(McTest, ScheduleSeedChangesInterleaving)
+{
+    mc::McConfig config = smallConfig(core::ModelKind::Plb, 4);
+    mc::McSystem a(config);
+    const mc::McResult ra = a.run();
+    config.scheduleSeed = 2;
+    mc::McSystem b(config);
+    const mc::McResult rb = b.run();
+    // Totals per core are schedule-independent (each script runs to
+    // completion) but the interleaving-sensitive tallies move.
+    EXPECT_EQ(ra.completed + ra.failed, rb.completed + rb.failed);
+    EXPECT_NE(ra.cycles, rb.cycles);
+}
+
+/** A shootdown-heavy run must complete every barrier, ack every IPI
+ * on every remote core, and hold both safety invariants. */
+TEST(McTest, ShootdownsCompleteAndInvariantsHold)
+{
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        mc::McSystem engine(smallConfig(kind, 4));
+        const mc::McResult result = engine.run();
+        EXPECT_GT(result.shootdowns, 0u) << core::toString(kind);
+        EXPECT_EQ(result.acks, result.shootdowns * 3) << core::toString(kind);
+        EXPECT_EQ(result.invariantViolations, 0u)
+            << core::toString(kind) << ": " << result.firstViolation;
+        EXPECT_EQ(result.hwViolations, 0u)
+            << core::toString(kind) << ": " << result.firstViolation;
+        EXPECT_GT(result.quiescentChecks, 0u);
+    }
+}
+
+/** Quantum boundaries only chunk turns; every script still runs to
+ * completion with clean invariants at the extremes (quantum=1 breaks
+ * a turn at every step, a huge quantum never breaks one). */
+TEST(McTest, QuantumEdgeCasesRunClean)
+{
+    const mc::McResult base =
+        mc::McSystem(smallConfig(core::ModelKind::Plb, 4)).run();
+    for (u64 quantum : {u64{1}, u64{3}, u64{100000}}) {
+        mc::McConfig config = smallConfig(core::ModelKind::Plb, 4);
+        config.quantum = quantum;
+        mc::McSystem engine(config);
+        const mc::McResult result = engine.run();
+        EXPECT_EQ(result.completed + result.failed,
+                  base.completed + base.failed)
+            << "quantum " << quantum;
+        EXPECT_EQ(result.invariantViolations, 0u)
+            << "quantum " << quantum << ": " << result.firstViolation;
+        EXPECT_EQ(result.hwViolations, 0u)
+            << "quantum " << quantum << ": " << result.firstViolation;
+    }
+}
+
+/** With one core the quantum is invisible: turns chunk the same
+ * sequential stream, so every statistic is identical. */
+TEST(McTest, SingleCoreQuantumInvariance)
+{
+    mc::McConfig config = smallConfig(core::ModelKind::PageGroup, 1);
+    config.quantum = 1;
+    mc::McSystem a(config);
+    const mc::McResult ra = a.run();
+    config.quantum = 64;
+    mc::McSystem b(config);
+    const mc::McResult rb = b.run();
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.failed, rb.failed);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.quiescentOutcomes, rb.quiescentOutcomes);
+}
+
+/** An IPI delay of zero means a remote acks before it can issue
+ * another reference: the stale window is empty by construction. */
+TEST(McTest, ZeroIpiDelayClosesStaleWindow)
+{
+    mc::McConfig config = smallConfig(core::ModelKind::Plb, 4);
+    config.ipiDelaySteps = 0;
+    mc::McSystem engine(config);
+    const mc::McResult result = engine.run();
+    EXPECT_GT(result.shootdowns, 0u);
+    EXPECT_EQ(result.staleWindowRefs, 0u);
+    EXPECT_EQ(result.staleGrants, 0u);
+    EXPECT_EQ(result.invariantViolations, 0u) << result.firstViolation;
+}
+
+/** The explorer's slot-indexed fan-out is host-thread-invariant:
+ * every per-seed summary is identical at threads=1 and threads=4. */
+TEST(McTest, ExplorerHostThreadCountInvariance)
+{
+    mc::ExplorerConfig explorer;
+    explorer.base = smallConfig(core::ModelKind::Conventional, 4);
+    explorer.base.recordOutcomes = true;
+    explorer.seeds = 6;
+
+    explorer.threads = 1;
+    const mc::ExplorerResult serial = mc::explore(explorer);
+    explorer.threads = 4;
+    const mc::ExplorerResult parallel = mc::explore(explorer);
+
+    ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+    for (std::size_t i = 0; i < serial.runs.size(); ++i)
+        expectSameSummary(serial.runs[i], parallel.runs[i]);
+    EXPECT_EQ(serial.totalShootdowns, parallel.totalShootdowns);
+    EXPECT_TRUE(serial.passed()) << serial.firstViolation;
+}
+
+/** The TSan target: concurrent explorer cells (each a full McSystem
+ * with its own hardware and kernel over churn-heavy schedules) must
+ * share no mutable state. Run with SASOS_SANITIZE=thread in CI. */
+TEST(McTest, ExplorerStressParallelCells)
+{
+    mc::ExplorerConfig explorer;
+    explorer.base = smallConfig(core::ModelKind::Plb, 4);
+    explorer.base.workload.churnProb = 0.15;
+    explorer.seeds = 8;
+    explorer.threads = 4;
+    const mc::ExplorerResult result = mc::explore(explorer);
+    EXPECT_TRUE(result.passed()) << result.firstViolation;
+    EXPECT_GT(result.totalShootdowns, 0u);
+}
