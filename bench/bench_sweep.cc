@@ -9,14 +9,23 @@
  * Emits BENCH_sweep.json (schema in sweep_runner.hh) so the perf
  * trajectory of the driver layer is tracked across changes.
  *
+ * With warm_refs=N each cell runs an N-reference warm-up prefix
+ * before its measured references. The sweep then runs twice more:
+ * cold (every cell replays the prefix) and warm (one prefix image per
+ * model x stream family, restored by every seed), verifies the two
+ * produce bit-identical simulated results, and reports the warm-start
+ * speedup in the json's "warm" block.
+ *
  * Keys: threads= (default: hardware concurrency), seeds=, refs=,
- * pages=, json=, compare= (0 skips the serial reference run).
+ * pages=, json=, compare= (0 skips the serial reference run),
+ * warm_refs=, warm_seed=.
  */
 
 #include "bench_common.hh"
 #include "sweep_runner.hh"
 
 #include <chrono>
+#include <map>
 
 using namespace sasos;
 
@@ -29,6 +38,8 @@ buildCells(const Options &options)
     const u64 seeds = options.getU64("seeds", 4);
     const u64 refs = options.getU64("refs", 200'000);
     const u64 pages = options.getU64("pages", 256);
+    const u64 warm_refs = options.getU64("warm_refs", 0);
+    const u64 warm_seed = options.getU64("warm_seed", 12345);
     std::vector<bench::SweepCell> cells;
     for (const auto &model : bench::standardModels(options)) {
         for (const auto &[name, factory] : bench::standardStreams()) {
@@ -41,6 +52,8 @@ buildCells(const Options &options)
                 cell.pages = pages;
                 cell.references = refs;
                 cell.makeStream = factory;
+                cell.warmRefs = warm_refs;
+                cell.warmSeed = warm_seed;
                 cells.push_back(std::move(cell));
             }
         }
@@ -104,6 +117,47 @@ runSweep(const Options &options)
         }
     }
 
+    // Warm-start mode: restore each family's shared prefix image
+    // instead of replaying the prefix, and verify the shortcut is
+    // invisible in the simulated results.
+    const u64 warm_refs = options.getU64("warm_refs", 0);
+    bench::WarmReport warm_report;
+    if (warm_refs > 0) {
+        warm_report.warmRefs = warm_refs;
+        warm_report.coldWallSeconds = parallel_wall;
+
+        std::vector<bench::SweepCell> warm_cells = cells;
+        const auto build_start = std::chrono::steady_clock::now();
+        std::map<std::pair<std::string, std::string>,
+                 std::shared_ptr<const snap::Snapshot>>
+            images;
+        for (auto &cell : warm_cells) {
+            auto &image = images[{cell.model, cell.workload}];
+            if (!image)
+                image = bench::SweepRunner::buildWarmImage(cell);
+            cell.warmImage = image;
+        }
+        const auto build_stop = std::chrono::steady_clock::now();
+        warm_report.images = images.size();
+        warm_report.buildWallSeconds =
+            std::chrono::duration<double>(build_stop - build_start)
+                .count();
+
+        std::vector<bench::CellResult> warm;
+        warm_report.warmWallSeconds = timedSweep(threads, warm_cells, warm);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (warm[i].statsDump != parallel[i].statsDump ||
+                warm[i].simCycles != parallel[i].simCycles) {
+                identical = false;
+                std::cout << "MISMATCH: cell " << i << " ("
+                          << cells[i].model << "/" << cells[i].workload
+                          << "/seed=" << cells[i].seed
+                          << ") differs between cold replay and warm "
+                             "restore\n";
+            }
+        }
+    }
+
     // Per (model, workload) aggregate over seeds.
     TextTable table({"model", "workload", "cells", "cycles/ref",
                      "Mrefs/s", "cell wall (ms)"});
@@ -151,9 +205,23 @@ runSweep(const Options &options)
                   << " results "
                   << (identical ? "bit-identical" : "MISMATCH") << "\n";
     }
+    if (warm_refs > 0) {
+        std::cout << "warm-start: prefix=" << warm_refs << " refs, "
+                  << warm_report.images << " images, cold="
+                  << TextTable::num(warm_report.coldWallSeconds, 2)
+                  << "s warm="
+                  << TextTable::num(warm_report.buildWallSeconds +
+                                        warm_report.warmWallSeconds,
+                                    2)
+                  << "s (build "
+                  << TextTable::num(warm_report.buildWallSeconds, 2)
+                  << "s) speedup="
+                  << TextTable::ratio(warm_report.speedup(), 2) << "\n";
+    }
 
     writeSweepJson(json_path, parallel, threads, parallel_wall,
-                   serial_wall);
+                   serial_wall,
+                   warm_refs > 0 ? &warm_report : nullptr);
     std::cout << "wrote " << json_path << "\n";
     return identical ? 0 : 1;
 }

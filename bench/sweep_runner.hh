@@ -30,6 +30,7 @@
 #include "obs/tracer.hh"
 #include "sasos.hh"
 #include "sim/parallel.hh"
+#include "snap/snapshot.hh"
 #include "workload/address_stream.hh"
 
 namespace sasos::bench
@@ -52,6 +53,22 @@ struct SweepCell
     u64 references = 200'000;
     vm::AccessType type = vm::AccessType::Load;
     StreamFactory makeStream;
+
+    /** @name Warm start
+     * A cell with warmRefs > 0 first executes a warm-up prefix of
+     * that many references drawn from a warmSeed-seeded Rng/stream,
+     * then re-seeds both from the cell's own seed for the measured
+     * continuation. Because the continuation state is constructed
+     * fresh in both paths, restoring the prefix from `warmImage`
+     * instead of replaying it is bit-identical -- one prefix image
+     * (per configuration) serves every sweep point.
+     */
+    /// @{
+    u64 warmRefs = 0;
+    u64 warmSeed = 0;
+    /** Shared prefix image; null replays the prefix live (cold). */
+    std::shared_ptr<const snap::Snapshot> warmImage;
+    /// @}
 };
 
 /** What one cell produced. Everything except the wall-clock fields is
@@ -80,6 +97,36 @@ class SweepRunner
 
     unsigned threadCount() const { return pool_.threadCount(); }
 
+    /** The sweep cells' standard single-domain setup: one app domain
+     * with one read-write heap segment, switched in.
+     * @return the heap base the cell's streams range over. */
+    static vm::VAddr
+    setupCell(core::System &sys, const SweepCell &cell)
+    {
+        const os::DomainId app = sys.kernel().createDomain("app");
+        const vm::SegmentId seg =
+            sys.kernel().createSegment("heap", cell.pages);
+        sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+        sys.kernel().switchTo(app);
+        return sys.state().segments.find(seg)->base();
+    }
+
+    /** Replay a cell's warm-up prefix live and seal the result into
+     * the prefix image its whole sweep family shares. */
+    static std::shared_ptr<const snap::Snapshot>
+    buildWarmImage(const SweepCell &cell)
+    {
+        core::System sys(cell.config);
+        const vm::VAddr base = setupCell(sys, cell);
+        Rng rng(cell.warmSeed);
+        std::unique_ptr<wl::AddressStream> stream =
+            cell.makeStream(base, cell.pages, cell.warmSeed);
+        sys.run(*stream, cell.warmRefs, rng, cell.type);
+        snap::Snapshotter snapper;
+        snapper.add(sys);
+        return std::make_shared<snap::Snapshot>(snapper.finish());
+    }
+
     /** Run one cell start to finish on the calling thread.
      * @param tid logical trace thread-id stamped on the cell's
      * events (cell index + 1); keeps merged traces deterministic
@@ -90,13 +137,24 @@ class SweepRunner
         obs::setThreadId(tid);
         const auto start = std::chrono::steady_clock::now();
         core::System sys(cell.config);
-        const os::DomainId app = sys.kernel().createDomain("app");
-        const vm::SegmentId seg =
-            sys.kernel().createSegment("heap", cell.pages);
-        sys.kernel().attach(app, seg, vm::Access::ReadWrite);
-        sys.kernel().switchTo(app);
-        const vm::VAddr base = sys.state().segments.find(seg)->base();
+        const vm::VAddr base = setupCell(sys, cell);
 
+        if (cell.warmRefs) {
+            if (cell.warmImage) {
+                snap::Restorer restorer(*cell.warmImage);
+                restorer.restore(sys);
+                restorer.finish();
+            } else {
+                Rng warm_rng(cell.warmSeed);
+                std::unique_ptr<wl::AddressStream> warm_stream =
+                    cell.makeStream(base, cell.pages, cell.warmSeed);
+                sys.run(*warm_stream, cell.warmRefs, warm_rng, cell.type);
+            }
+        }
+
+        // The continuation re-seeds from the cell's own seed in both
+        // the cold and warm paths, so the restored prefix is
+        // indistinguishable from the replayed one.
         Rng rng(cell.seed);
         std::unique_ptr<wl::AddressStream> stream =
             cell.makeStream(base, cell.pages, cell.seed);
@@ -140,6 +198,26 @@ class SweepRunner
     ThreadPool pool_;
 };
 
+/** Cold-vs-warm comparison for the sweep artifact's "warm" block. */
+struct WarmReport
+{
+    /** Warm-up prefix length each cold cell replayed. */
+    u64 warmRefs = 0;
+    /** Prefix images built (one per sweep family). */
+    u64 images = 0;
+    double coldWallSeconds = 0.0;
+    double buildWallSeconds = 0.0;
+    double warmWallSeconds = 0.0;
+
+    /** Cold replay time over warm restore time (builds amortized in). */
+    double
+    speedup() const
+    {
+        const double warm = buildWallSeconds + warmWallSeconds;
+        return warm > 0.0 ? coldWallSeconds / warm : 0.0;
+    }
+};
+
 /**
  * Emit the machine-readable sweep artifact. Schema:
  *
@@ -147,17 +225,20 @@ class SweepRunner
  *     "wallSeconds": W, "serialWallSeconds": S, "speedup": S/W,
  *     "totals": { "cells": N, "references": R, "simCycles": C,
  *                 "refsPerSec": R/W },
+ *     "warm": { "warmRefs", "images", "coldWallSeconds",
+ *               "buildWallSeconds", "warmWallSeconds", "speedup" },
  *     "cells": [ { "model", "workload", "seed", "references",
  *                  "completed", "failed", "simCycles",
  *                  "simCyclesPerRef", "wallSeconds", "refsPerSec" } ] }
  *
  * serialWallSeconds/speedup are 0 when no threads=1 reference run was
- * taken.
+ * taken; the "warm" block only appears for warm-start sweeps.
  */
 inline void
 writeSweepJson(const std::string &path,
                const std::vector<CellResult> &results, unsigned threads,
-               double wall_seconds, double serial_wall_seconds = 0.0)
+               double wall_seconds, double serial_wall_seconds = 0.0,
+               const WarmReport *warm = nullptr)
 {
     u64 total_refs = 0;
     u64 total_cycles = 0;
@@ -185,6 +266,17 @@ writeSweepJson(const std::string &path,
                     ? static_cast<double>(total_refs) / wall_seconds
                     : 0.0);
     json.endObject();
+    if (warm) {
+        json.key("warm");
+        json.beginObject();
+        json.member("warmRefs", warm->warmRefs);
+        json.member("images", warm->images);
+        json.member("coldWallSeconds", warm->coldWallSeconds);
+        json.member("buildWallSeconds", warm->buildWallSeconds);
+        json.member("warmWallSeconds", warm->warmWallSeconds);
+        json.member("speedup", warm->speedup());
+        json.endObject();
+    }
     json.key("cells");
     json.beginArray();
     for (const CellResult &cell : results) {

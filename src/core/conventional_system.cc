@@ -2,6 +2,7 @@
 
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::core
 {
@@ -310,5 +311,22 @@ ConventionalSystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
 {
     return state_.effectiveRights(domain, vpn);
 }
+
+void
+ConventionalSystem::save(snap::SnapWriter &w) const
+{
+    w.putTag("convmodel");
+    tlb_.save(w);
+    mem_.save(w);
+}
+
+void
+ConventionalSystem::load(snap::SnapReader &r)
+{
+    r.expectTag("convmodel");
+    tlb_.load(r);
+    mem_.load(r);
+}
+
 
 } // namespace sasos::core

@@ -68,6 +68,9 @@ class ConventionalSystem : public os::ProtectionModel
     bool refreshAfterFault(os::DomainId domain, vm::Vpn vpn) override;
     vm::Access effectiveRights(os::DomainId domain, vm::Vpn vpn) override;
 
+    void save(snap::SnapWriter &w) const override;
+    void load(snap::SnapReader &r) override;
+
     /** @name Structure access for tests and benches */
     /// @{
     hw::Tlb &tlb() { return tlb_; }

@@ -1,14 +1,17 @@
 #include "core/mc/mc_system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 
 #include "core/conventional_system.hh"
 #include "core/pagegroup_system.hh"
 #include "core/plb_system.hh"
+#include "core/system.hh" // saveConfigSignature/checkConfigSignature
 #include "obs/export.hh"
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::core::mc
 {
@@ -248,7 +251,7 @@ McSystem::McSystem(const McConfig &config)
                          32),
       ackStaleEntries(&mcGroup, "ackStaleEntries",
                       "stale entries found per ack probe", 1, 32),
-      state_(config.system.frames)
+      state_(config.system.frames), schedule_(config.scheduleSeed)
 {
     SASOS_ASSERT(config_.cores >= 1, "a machine needs at least one core");
     SASOS_ASSERT(config_.quantum >= 1, "quantum must be at least one step");
@@ -623,14 +626,20 @@ McSystem::runTurn(unsigned ci)
 }
 
 McResult
-McSystem::run()
+McSystem::run(u64 max_slots)
 {
-    SASOS_ASSERT(!ran_, "McSystem::run is single-shot");
-    ran_ = true;
-    McSchedule schedule(config_.scheduleSeed);
+    SASOS_ASSERT(!done_, "the machine already ran to completion");
     std::vector<unsigned> runnable;
     runnable.reserve(cores_.size());
+    u64 executed = 0;
     while (true) {
+        // Partial runs stop only at quiescent points: once the slot
+        // budget is spent, keep scheduling until the last shootdown
+        // acks so a snapshot taken here has no RemoteOp closures to
+        // serialize -- and so a restored machine resumes exactly where
+        // an uninterrupted one would be.
+        if (executed >= max_slots && inflight_.empty())
+            break;
         runnable.clear();
         for (unsigned i = 0; i < cores_.size(); ++i) {
             const Core &c = cores_[i];
@@ -639,16 +648,24 @@ McSystem::run()
                 runnable.push_back(i);
             }
         }
-        if (runnable.empty())
+        if (runnable.empty()) {
+            done_ = true;
             break;
+        }
         ++slots;
-        runTurn(schedule.pick(runnable));
+        ++executed;
+        runTurn(schedule_.pick(runnable));
     }
     obs::setThreadId(0);
     SASOS_ASSERT(inflight_.empty(), "run ended with shootdowns in flight");
-    if (config_.checkInvariants)
+    if (done_ && config_.checkInvariants)
         checkHwSubset();
+    return buildResult();
+}
 
+McResult
+McSystem::buildResult()
+{
     McResult result;
     result.slots = slots.value();
     result.kernelOps = kernelOps.value();
@@ -730,6 +747,159 @@ McSystem::noteViolation(const std::string &what)
 {
     if (firstViolation_.empty())
         firstViolation_ = what;
+}
+
+namespace
+{
+
+void
+saveOutcomes(snap::SnapWriter &w, const std::vector<u8> &outcomes)
+{
+    w.put64(outcomes.size());
+    for (u8 outcome : outcomes)
+        w.put8(outcome);
+}
+
+void
+loadOutcomes(snap::SnapReader &r, std::vector<u8> &outcomes)
+{
+    outcomes.clear();
+    const u32 count = r.getCount(1);
+    outcomes.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        const u8 outcome = r.get8();
+        if (outcome > 1)
+            SASOS_FATAL("corrupt snapshot: outcome byte ", u32(outcome));
+        outcomes.push_back(outcome);
+    }
+}
+
+/** The engine-level knobs a loadable image must agree on; the
+ * SystemConfig signature covers the per-core machines. */
+template <typename Sig>
+void
+walkMcSignature(Sig &&sig, const McConfig &config)
+{
+    sig.field("cores", config.cores);
+    sig.field("scheduleSeed", config.scheduleSeed);
+    sig.field("quantum", config.quantum);
+    sig.field("ipiDelaySteps", config.ipiDelaySteps);
+    sig.field("premap", config.premap ? 1 : 0);
+    sig.field("checkInvariants", config.checkInvariants ? 1 : 0);
+    sig.field("recordOutcomes", config.recordOutcomes ? 1 : 0);
+    sig.field("tidBase", config.tidBase);
+    const McWorkloadConfig &wl = config.workload;
+    sig.field("wl.stepsPerCore", wl.stepsPerCore);
+    sig.field("wl.sharedPages", wl.sharedPages);
+    sig.field("wl.privatePages", wl.privatePages);
+    sig.field("wl.sharedProbBits", std::bit_cast<u64>(wl.sharedProb));
+    sig.field("wl.storeProbBits", std::bit_cast<u64>(wl.storeProb));
+    sig.field("wl.churnProbBits", std::bit_cast<u64>(wl.churnProb));
+    sig.field("wl.privateChurn", wl.privateChurn ? 1 : 0);
+    sig.field("wl.zipfThetaBits", std::bit_cast<u64>(wl.zipfTheta));
+    sig.field("wl.seed", wl.seed);
+}
+
+struct McSignatureWriter
+{
+    snap::SnapWriter &w;
+
+    void
+    field(const std::string &name, u64 value)
+    {
+        w.putString(name);
+        w.put64(value);
+    }
+};
+
+struct McSignatureChecker
+{
+    snap::SnapReader &r;
+
+    void
+    field(const std::string &name, u64 value)
+    {
+        const std::string image_name = r.getString();
+        if (image_name != name) {
+            SASOS_FATAL("snapshot mismatch: expected engine field '", name,
+                        "', image has '", image_name, "'");
+        }
+        const u64 image_value = r.get64();
+        if (image_value != value) {
+            SASOS_FATAL("snapshot mismatch: engine field '", name, "' is ",
+                        value, " here but ", image_value, " in the image");
+        }
+    }
+};
+
+} // namespace
+
+void
+McSystem::save(snap::SnapWriter &w) const
+{
+    SASOS_ASSERT(inflight_.empty(),
+                 "multi-core snapshots require quiescence; stop the "
+                 "machine through run(max_slots)");
+    w.putTag("mcsystem");
+    walkMcSignature(McSignatureWriter{w}, config_);
+    saveConfigSignature(w, config_.system);
+    schedule_.save(w);
+    w.put64(shootdownIds_);
+    w.put32(current_);
+    w.putBool(done_);
+    state_.save(w);
+    kernel_->save(w);
+    account_.save(w);
+    for (const Core &core : cores_) {
+        SASOS_ASSERT(core.inbox.empty() && core.barriers == 0,
+                     "core not quiescent at snapshot");
+        w.putTag("core");
+        core.model->save(w);
+        core.script->save(w);
+        w.put64(core.stepsExecuted);
+        w.put64(core.completed);
+        w.put64(core.failed);
+        w.put64(core.cycles);
+        saveOutcomes(w, core.outcomes);
+    }
+    saveOutcomes(w, quiescentOutcomes_);
+    w.putString(firstViolation_);
+    statsRoot_.save(w);
+}
+
+void
+McSystem::load(snap::SnapReader &r)
+{
+    r.expectTag("mcsystem");
+    walkMcSignature(McSignatureChecker{r}, config_);
+    checkConfigSignature(r, config_.system);
+    schedule_.load(r);
+    shootdownIds_ = r.get64();
+    const u32 current = r.get32();
+    if (current >= cores_.size())
+        SASOS_FATAL("corrupt snapshot: current core ", current, " of ",
+                    cores_.size());
+    current_ = current;
+    done_ = r.getBool();
+    state_.load(r);
+    kernel_->load(r);
+    account_.load(r);
+    for (Core &core : cores_) {
+        r.expectTag("core");
+        core.model->load(r);
+        core.script->load(r);
+        core.stepsExecuted = r.get64();
+        core.completed = r.get64();
+        core.failed = r.get64();
+        core.cycles = r.get64();
+        loadOutcomes(r, core.outcomes);
+        core.inbox.clear();
+        core.barriers = 0;
+    }
+    loadOutcomes(r, quiescentOutcomes_);
+    firstViolation_ = r.getString();
+    statsRoot_.load(r);
+    inflight_.clear();
 }
 
 void

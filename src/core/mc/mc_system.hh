@@ -143,8 +143,27 @@ class McSystem
     McSystem(const McSystem &) = delete;
     McSystem &operator=(const McSystem &) = delete;
 
-    /** Run every core's script to completion; single-shot. */
-    McResult run();
+    /**
+     * Run the machine: schedule turns until every core's script is
+     * exhausted, or -- when `max_slots` is given -- until at least
+     * that many further turns have executed *and* the machine reaches
+     * a quiescent point (no shootdown in flight, every IPI acked).
+     * Re-entrant: call again to continue; calling after completion is
+     * an error. The returned tally is cumulative over all calls.
+     */
+    McResult run(u64 max_slots = ~u64{0});
+
+    /** Every script exhausted and every shootdown acked. */
+    bool done() const { return done_; }
+
+    /** @name Snapshot hooks
+     * Valid only at the quiescent points run() stops at; the image
+     * carries the engine's own fingerprint (cores, seeds, workload)
+     * ahead of the per-core machines. */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
     const McConfig &config() const { return config_; }
     unsigned coreCount() const
@@ -206,6 +225,8 @@ class McSystem
     };
 
     void setupWorkload();
+    /** Assemble the cumulative McResult from the live counters. */
+    McResult buildResult();
     os::ProtectionModel &currentModel();
     /** Apply a maintenance hook: issuer now, remotes at their acks. */
     void broadcastOp(std::function<void(os::ProtectionModel &)> apply,
@@ -265,11 +286,12 @@ class McSystem
     std::vector<std::pair<vm::Vpn, u64>> segments_;
     vm::SegmentId sharedSeg_ = vm::kInvalidSegment;
     std::vector<Shootdown> inflight_;
+    McSchedule schedule_;
     u64 shootdownIds_ = 0;
     unsigned current_ = 0;
     /** Setup mode: broadcasts apply to every core immediately. */
     bool synchronous_ = true;
-    bool ran_ = false;
+    bool done_ = false;
     std::vector<u8> quiescentOutcomes_;
     std::string firstViolation_;
 };

@@ -1,6 +1,7 @@
 #include "core/mc/mc_workload.hh"
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::core::mc
 {
@@ -138,6 +139,71 @@ CoreScript::makeChurnOp()
         overriddenPages_.clear();
         return step;
     }
+}
+
+namespace
+{
+
+void
+savePageList(snap::SnapWriter &w, const std::vector<vm::Vpn> &pages)
+{
+    w.put64(pages.size());
+    for (vm::Vpn vpn : pages)
+        w.put64(vpn.number());
+}
+
+void
+loadPageList(snap::SnapReader &r, std::vector<vm::Vpn> &pages)
+{
+    pages.clear();
+    const u32 count = r.getCount(8);
+    pages.reserve(count);
+    for (u32 i = 0; i < count; ++i)
+        pages.emplace_back(r.get64());
+}
+
+} // namespace
+
+void
+CoreScript::save(snap::SnapWriter &w) const
+{
+    w.putTag("script");
+    rng_.save(w);
+    w.put64(stepsLeft_);
+    w.putBool(attached_);
+    w.putBool(segmentRestricted_);
+    savePageList(w, overriddenPages_);
+    savePageList(w, maskedPages_);
+    sharedStream_->save(w);
+    w.putBool(privateStream_ != nullptr);
+    if (privateStream_)
+        privateStream_->save(w);
+}
+
+void
+CoreScript::load(snap::SnapReader &r)
+{
+    r.expectTag("script");
+    rng_.load(r);
+    const u64 steps_left = r.get64();
+    if (steps_left > config_.stepsPerCore)
+        SASOS_FATAL("corrupt snapshot: ", steps_left,
+                    " steps left of a ", config_.stepsPerCore,
+                    "-step script");
+    stepsLeft_ = steps_left;
+    attached_ = r.getBool();
+    segmentRestricted_ = r.getBool();
+    loadPageList(r, overriddenPages_);
+    loadPageList(r, maskedPages_);
+    sharedStream_->load(r);
+    const bool has_private = r.getBool();
+    if (has_private != (privateStream_ != nullptr))
+        SASOS_FATAL("snapshot mismatch: private stream ",
+                    has_private ? "present" : "absent",
+                    " in the image but ",
+                    privateStream_ ? "present" : "absent", " here");
+    if (privateStream_)
+        privateStream_->load(r);
 }
 
 void

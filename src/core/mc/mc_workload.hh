@@ -111,6 +111,13 @@ class CoreScript
     /** Generate the next step; must not be called when done(). */
     Step next();
 
+    /** @name Snapshot hooks (mid-script position: rng, steps left,
+     * tracked protection state, stream positions) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
   private:
     Step makeRef();
     Step makeChurnOp();

@@ -47,6 +47,12 @@ class McSchedule
             rng_.nextBelow(runnable.size()))];
     }
 
+    /** @name Snapshot hooks (the schedule is its rng position) */
+    /// @{
+    void save(snap::SnapWriter &w) const { rng_.save(w); }
+    void load(snap::SnapReader &r) { rng_.load(r); }
+    /// @}
+
   private:
     Rng rng_;
 };

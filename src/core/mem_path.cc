@@ -1,5 +1,8 @@
 #include "core/mem_path.hh"
 
+#include "sim/logging.hh"
+#include "snap/snapio.hh"
+
 namespace sasos::core
 {
 
@@ -65,5 +68,30 @@ MemoryPath::flushAllL1()
                flush.writebacks * config_.costs.writeback);
     return flush.invalidated;
 }
+
+void
+MemoryPath::save(snap::SnapWriter &w) const
+{
+    w.putTag("mempath");
+    l1_.save(w);
+    w.putBool(l2_ != nullptr);
+    if (l2_)
+        l2_->save(w);
+}
+
+void
+MemoryPath::load(snap::SnapReader &r)
+{
+    r.expectTag("mempath");
+    l1_.load(r);
+    const bool has_l2 = r.getBool();
+    if (has_l2 != (l2_ != nullptr))
+        SASOS_FATAL("snapshot mismatch: image ", has_l2 ? "has" : "lacks",
+                    " an L2 cache but this system ",
+                    l2_ ? "has one" : "does not");
+    if (l2_)
+        l2_->load(r);
+}
+
 
 } // namespace sasos::core

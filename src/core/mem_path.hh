@@ -64,6 +64,12 @@ class MemoryPath
      * lines invalidated. */
     u64 flushAllL1();
 
+    /** @name Snapshot hooks (both cache levels) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
   private:
     void charge(CostCategory category, Cycles cycles);
 

@@ -4,6 +4,7 @@
 
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::core
 {
@@ -426,5 +427,44 @@ PageGroupSystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
 {
     return manager_.hwRights(domain, vpn);
 }
+
+void
+PageGroupSystem::save(snap::SnapWriter &w) const
+{
+    w.putTag("pgmodel");
+    manager_.save(w);
+    tlb_.save(w);
+    pgCache_.save(w);
+    mem_.save(w);
+    w.put16(current_);
+    w.put64(lastUnion_.size());
+    for (const auto &[seg, rights] : lastUnion_) {
+        w.put32(seg);
+        w.put8(static_cast<u8>(rights));
+    }
+}
+
+void
+PageGroupSystem::load(snap::SnapReader &r)
+{
+    r.expectTag("pgmodel");
+    manager_.load(r);
+    tlb_.load(r);
+    pgCache_.load(r);
+    mem_.load(r);
+    current_ = static_cast<os::DomainId>(r.get16());
+    lastUnion_.clear();
+    const u32 union_count = r.getCount(5);
+    for (u32 i = 0; i < union_count; ++i) {
+        const vm::SegmentId seg = r.get32();
+        const u8 raw = r.get8();
+        if (raw > static_cast<u8>(vm::Access::All))
+            SASOS_FATAL("corrupt snapshot: invalid rights byte ", u32(raw));
+        if (!lastUnion_.emplace(seg, static_cast<vm::Access>(raw)).second)
+            SASOS_FATAL("corrupt snapshot: segment ", seg,
+                        " has two recorded unions");
+    }
+}
+
 
 } // namespace sasos::core

@@ -4,6 +4,7 @@
 
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::core
 {
@@ -368,5 +369,24 @@ PlbSystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
     // The domain-page model expresses the canonical state exactly.
     return state_.effectiveRights(domain, vpn);
 }
+
+void
+PlbSystem::save(snap::SnapWriter &w) const
+{
+    w.putTag("plbmodel");
+    plb_.save(w);
+    tlb_.save(w);
+    mem_.save(w);
+}
+
+void
+PlbSystem::load(snap::SnapReader &r)
+{
+    r.expectTag("plbmodel");
+    plb_.load(r);
+    tlb_.load(r);
+    mem_.load(r);
+}
+
 
 } // namespace sasos::core

@@ -69,6 +69,9 @@ class PlbSystem : public os::ProtectionModel
     bool refreshAfterFault(os::DomainId domain, vm::Vpn vpn) override;
     vm::Access effectiveRights(os::DomainId domain, vm::Vpn vpn) override;
 
+    void save(snap::SnapWriter &w) const override;
+    void load(snap::SnapReader &r) override;
+
     /** @name Structure access for tests and benches */
     /// @{
     hw::Plb &plb() { return plb_; }

@@ -40,6 +40,17 @@ struct RunResult
     u64 failed = 0;
 };
 
+/** @name Snapshot config signature
+ * Every configuration field that decides structure geometry, policy
+ * seeds, costs or schedule is serialized as (name, value) pairs; the
+ * checker fails with a clean fatal naming the first field whose value
+ * differs, so images can never be overlaid on a mismatched machine.
+ */
+/// @{
+void saveConfigSignature(snap::SnapWriter &w, const SystemConfig &config);
+void checkConfigSignature(snap::SnapReader &r, const SystemConfig &config);
+/// @}
+
 /** One simulated machine running the SASOS kernel. */
 class System
 {
@@ -99,6 +110,18 @@ class System
     Cycles cycles() const { return account_.total(); }
 
     stats::Group &statsRoot() { return statsRoot_; }
+
+    /** @name Snapshot hooks
+     * save() serializes the complete simulator state behind the
+     * config signature; load() restores it into a System constructed
+     * with the *same* configuration (any mismatch is a clean fatal
+     * naming the offending field). A pager recorded in the image is
+     * created on demand before the state is overlaid.
+     */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
     /** Dump all statistics and the cycle breakdown. */
     void dumpStats(std::ostream &os);

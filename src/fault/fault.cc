@@ -1,5 +1,8 @@
 #include "fault/fault.hh"
 
+#include "sim/logging.hh"
+#include "snap/snapio.hh"
+
 namespace sasos::fault
 {
 
@@ -65,5 +68,24 @@ FaultInjector::tick()
     }
     return p;
 }
+
+void
+FaultInjector::save(snap::SnapWriter &w) const
+{
+    w.putTag("injector");
+    rng_.save(w);
+    w.put64(tick_);
+    w.put64(nextTransientOk_);
+}
+
+void
+FaultInjector::load(snap::SnapReader &r)
+{
+    r.expectTag("injector");
+    rng_.load(r);
+    tick_ = r.get64();
+    nextTransientOk_ = r.get64();
+}
+
 
 } // namespace sasos::fault

@@ -27,6 +27,12 @@
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::fault
 {
 
@@ -94,6 +100,12 @@ class FaultInjector
     /** The schedule's Rng, shared with structure-eviction choices so
      * one seed governs the whole campaign. */
     Rng &rng() { return rng_; }
+
+    /** @name Snapshot hooks (schedule position: rng + tick counters) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
     /** @name Statistics */
     /// @{

@@ -21,6 +21,7 @@
 
 #include "hw/replacement.hh"
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::hw
 {
@@ -238,6 +239,82 @@ class AssocCache
                 fn(base[way].tag, base[way].payload);
         }
     }
+
+    /**
+     * @name Snapshot hooks
+     *
+     * Tags and payloads are structs with padding, so the owner
+     * supplies field-by-field encoders/decoders:
+     *
+     *   save_tag(w, tag) / save_payload(w, payload)
+     *   load_tag(r) -> Tag / load_payload(r) -> Payload
+     *
+     * Slots are walked in (set, way) order, so the image is byte
+     * stable. load() runs against a cache constructed with the same
+     * geometry and validates it: the set/way shape must match, and a
+     * set may not carry duplicate valid tags (insert() would treat
+     * that as a caller bug and abort; for untrusted input it must be
+     * a clean fatal instead). Occupancy is recomputed, and the
+     * replacement policy restores its own history afterwards.
+     */
+    /// @{
+    template <typename SaveTag, typename SavePayload>
+    void
+    save(snap::SnapWriter &w, SaveTag save_tag,
+         SavePayload save_payload) const
+    {
+        w.putTag("assoc");
+        w.put64(sets_);
+        w.put64(ways_);
+        for (const Entry &entry : entries_) {
+            w.putBool(entry.valid);
+            if (entry.valid) {
+                save_tag(w, entry.tag);
+                save_payload(w, entry.payload);
+            }
+        }
+        policy_->save(w);
+    }
+
+    template <typename LoadTag, typename LoadPayload>
+    void
+    load(snap::SnapReader &r, LoadTag load_tag, LoadPayload load_payload)
+    {
+        r.expectTag("assoc");
+        const u64 sets = r.get64();
+        const u64 ways = r.get64();
+        if (sets != sets_ || ways != ways_)
+            SASOS_FATAL("corrupt snapshot: cache geometry ", sets, "x",
+                        ways, " does not match this build's ", sets_,
+                        "x", ways_);
+        occupancy_ = 0;
+        for (Entry &entry : entries_) {
+            entry.valid = r.getBool();
+            if (entry.valid) {
+                entry.tag = load_tag(r);
+                entry.payload = load_payload(r);
+                ++occupancy_;
+            } else {
+                entry.tag = Tag{};
+                entry.payload = Payload{};
+            }
+        }
+        for (std::size_t set = 0; set < sets_; ++set) {
+            const Entry *base = &entries_[set * ways_];
+            for (std::size_t a = 0; a < ways_; ++a) {
+                if (!base[a].valid)
+                    continue;
+                for (std::size_t b = a + 1; b < ways_; ++b) {
+                    if (base[b].valid && base[a].tag == base[b].tag)
+                        SASOS_FATAL("corrupt snapshot: duplicate tag "
+                                    "in cache set ",
+                                    set);
+                }
+            }
+        }
+        policy_->load(r);
+    }
+    /// @}
 
   private:
     Entry *setBase(std::size_t set) { return &entries_[set * ways_]; }

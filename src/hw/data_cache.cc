@@ -224,4 +224,34 @@ DataCache::containsVirtualLine(u64 vline) const
     return found;
 }
 
+void
+DataCache::save(snap::SnapWriter &w) const
+{
+    w.putTag("dcache");
+    array_.save(
+        w,
+        [](snap::SnapWriter &out, const u64 &tag) { out.put64(tag); },
+        [](snap::SnapWriter &out, const LineState &line) {
+            out.putBool(line.dirty);
+            out.put64(line.vline);
+            out.put64(line.pline);
+        });
+}
+
+void
+DataCache::load(snap::SnapReader &r)
+{
+    r.expectTag("dcache");
+    array_.load(
+        r,
+        [](snap::SnapReader &in) { return in.get64(); },
+        [](snap::SnapReader &in) {
+            LineState line;
+            line.dirty = in.getBool();
+            line.vline = in.get64();
+            line.pline = in.get64();
+            return line;
+        });
+}
+
 } // namespace sasos::hw

@@ -127,6 +127,12 @@ class DataCache
     /** True if the given virtual line is present (for tests). */
     bool containsVirtualLine(u64 vline) const;
 
+    /** @name Snapshot hooks */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
     /** @name Statistics */
     /// @{
     stats::Group statsGroup;

@@ -99,4 +99,32 @@ PageGroupCache::loadAll(std::span<const GroupId> groups)
     return loaded;
 }
 
+void
+PageGroupCache::save(snap::SnapWriter &w) const
+{
+    w.putTag("pgcache");
+    array_.save(
+        w,
+        [](snap::SnapWriter &out, const GroupId &aid) {
+            out.put16(aid);
+        },
+        [](snap::SnapWriter &out, const PidMatch &match) {
+            out.putBool(match.writeDisable);
+        });
+}
+
+void
+PageGroupCache::load(snap::SnapReader &r)
+{
+    r.expectTag("pgcache");
+    array_.load(
+        r,
+        [](snap::SnapReader &in) { return GroupId(in.get16()); },
+        [](snap::SnapReader &in) {
+            PidMatch match;
+            match.writeDisable = in.getBool();
+            return match;
+        });
+}
+
 } // namespace sasos::hw

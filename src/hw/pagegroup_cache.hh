@@ -87,6 +87,12 @@ class PageGroupCache
     std::size_t occupancy() const { return array_.occupancy(); }
     std::size_t capacity() const { return array_.capacity(); }
 
+    /** @name Snapshot hooks */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
     /** @name Statistics */
     /// @{
     stats::Group statsGroup;

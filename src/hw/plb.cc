@@ -266,4 +266,48 @@ Plb::evictOne(Rng &rng)
     return true;
 }
 
+void
+Plb::save(snap::SnapWriter &w) const
+{
+    w.putTag("plb");
+    array_.save(
+        w,
+        [](snap::SnapWriter &out, const Key &key) {
+            out.put16(key.domain);
+            out.put64(key.block);
+            out.put32(static_cast<u32>(key.sizeShift));
+        },
+        [](snap::SnapWriter &out, const vm::Access &rights) {
+            out.put8(static_cast<u8>(rights));
+        });
+}
+
+void
+Plb::load(snap::SnapReader &r)
+{
+    r.expectTag("plb");
+    array_.load(
+        r,
+        [this](snap::SnapReader &in) {
+            Key key;
+            key.domain = in.get16();
+            key.block = in.get64();
+            const u32 shift = in.get32();
+            if (std::find(probeOrder_.begin(), probeOrder_.end(),
+                          static_cast<int>(shift)) == probeOrder_.end())
+                SASOS_FATAL("corrupt snapshot: plb entry with "
+                            "unsupported size shift ",
+                            shift);
+            key.sizeShift = static_cast<int>(shift);
+            return key;
+        },
+        [](snap::SnapReader &in) {
+            const u8 rights = in.get8();
+            if (rights > static_cast<u8>(vm::Access::All))
+                SASOS_FATAL("corrupt snapshot: invalid rights byte ",
+                            static_cast<unsigned>(rights));
+            return static_cast<vm::Access>(rights);
+        });
+}
+
 } // namespace sasos::hw

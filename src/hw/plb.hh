@@ -172,6 +172,13 @@ class Plb
         });
     }
 
+    /** @name Snapshot hooks (array + replacement state; the stats
+     * tree is captured by the owning system's group walk) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
     /** @name Statistics */
     /// @{
     stats::Group statsGroup;

@@ -4,12 +4,37 @@
 #include <vector>
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::hw
 {
 
 namespace
 {
+
+/** Shared stamp-vector serialization for LRU and FIFO. */
+void
+saveStamps(snap::SnapWriter &w, const std::vector<u64> &stamps, u64 clock)
+{
+    w.putTag("stamps");
+    w.put64(stamps.size());
+    for (u64 stamp : stamps)
+        w.put64(stamp);
+    w.put64(clock);
+}
+
+void
+loadStamps(snap::SnapReader &r, std::vector<u64> &stamps, u64 &clock)
+{
+    r.expectTag("stamps");
+    const u64 count = r.getCount(8);
+    if (count != stamps.size())
+        SASOS_FATAL("corrupt snapshot: replacement state carries ",
+                    count, " stamps, this geometry has ", stamps.size());
+    for (auto &stamp : stamps)
+        stamp = r.get64();
+    clock = r.get64();
+}
 
 /** True LRU via per-way timestamps. */
 class LruPolicy : public ReplacementPolicy
@@ -45,6 +70,16 @@ class LruPolicy : public ReplacementPolicy
     {
         std::fill(stamps_.begin(), stamps_.end(), 0);
         clock_ = 0;
+    }
+
+    void save(snap::SnapWriter &w) const override
+    {
+        saveStamps(w, stamps_, clock_);
+    }
+
+    void load(snap::SnapReader &r) override
+    {
+        loadStamps(r, stamps_, clock_);
     }
 
   private:
@@ -85,6 +120,16 @@ class FifoPolicy : public ReplacementPolicy
         clock_ = 0;
     }
 
+    void save(snap::SnapWriter &w) const override
+    {
+        saveStamps(w, stamps_, clock_);
+    }
+
+    void load(snap::SnapReader &r) override
+    {
+        loadStamps(r, stamps_, clock_);
+    }
+
   private:
     std::size_t ways_;
     std::vector<u64> stamps_;
@@ -107,6 +152,9 @@ class RandomPolicy : public ReplacementPolicy
     }
 
     void reset() override {}
+
+    void save(snap::SnapWriter &w) const override { rng_.save(w); }
+    void load(snap::SnapReader &r) override { rng_.load(r); }
 
   private:
     std::size_t ways_;
@@ -174,6 +222,25 @@ class TreePlruPolicy : public ReplacementPolicy
     reset() override
     {
         std::fill(bits_.begin(), bits_.end(), 0);
+    }
+
+    void save(snap::SnapWriter &w) const override
+    {
+        w.putTag("plru");
+        w.put64(bits_.size());
+        for (char bit : bits_)
+            w.putBool(bit != 0);
+    }
+
+    void load(snap::SnapReader &r) override
+    {
+        r.expectTag("plru");
+        const u64 count = r.getCount();
+        if (count != bits_.size())
+            SASOS_FATAL("corrupt snapshot: plru state carries ", count,
+                        " bits, this geometry has ", bits_.size());
+        for (auto &bit : bits_)
+            bit = r.getBool() ? 1 : 0;
     }
 
   private:

@@ -17,6 +17,12 @@
 #include "sim/random.hh"
 #include "sim/types.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::hw
 {
 
@@ -51,6 +57,16 @@ class ReplacementPolicy
 
     /** Forget all history (e.g. after a full purge). */
     virtual void reset() = 0;
+
+    /** @name Snapshot hooks
+     * Replacement history decides every future victim, so it is part
+     * of the deterministic state; load() is called on a policy built
+     * with the same (kind, sets, ways, seed) and fails cleanly on a
+     * shape mismatch. */
+    /// @{
+    virtual void save(snap::SnapWriter &w) const = 0;
+    virtual void load(snap::SnapReader &r) = 0;
+    /// @}
 };
 
 /**

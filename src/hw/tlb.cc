@@ -209,4 +209,52 @@ Tlb::evictOne(Rng &rng)
     return true;
 }
 
+void
+Tlb::save(snap::SnapWriter &w) const
+{
+    w.putTag("tlb");
+    array_.save(
+        w,
+        [](snap::SnapWriter &out, const Key &key) {
+            out.put64(key.vpn);
+            out.put16(key.asid);
+        },
+        [](snap::SnapWriter &out, const TlbEntry &entry) {
+            out.put64(entry.pfn.number());
+            out.put8(static_cast<u8>(entry.rights));
+            out.put16(entry.asid);
+            out.put16(entry.aid);
+            out.putBool(entry.dirty);
+            out.putBool(entry.referenced);
+        });
+}
+
+void
+Tlb::load(snap::SnapReader &r)
+{
+    r.expectTag("tlb");
+    array_.load(
+        r,
+        [](snap::SnapReader &in) {
+            Key key;
+            key.vpn = in.get64();
+            key.asid = in.get16();
+            return key;
+        },
+        [](snap::SnapReader &in) {
+            TlbEntry entry;
+            entry.pfn = vm::Pfn(in.get64());
+            const u8 rights = in.get8();
+            if (rights > static_cast<u8>(vm::Access::All))
+                SASOS_FATAL("corrupt snapshot: invalid rights byte ",
+                            static_cast<unsigned>(rights));
+            entry.rights = static_cast<vm::Access>(rights);
+            entry.asid = in.get16();
+            entry.aid = in.get16();
+            entry.dirty = in.getBool();
+            entry.referenced = in.getBool();
+            return entry;
+        });
+}
+
 } // namespace sasos::hw

@@ -156,6 +156,12 @@ class Tlb
         });
     }
 
+    /** @name Snapshot hooks */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
     /** @name Statistics */
     /// @{
     stats::Group statsGroup;

@@ -3,6 +3,7 @@
 #include "obs/tracer.hh"
 #include "os/pager.hh"
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::os
 {
@@ -357,6 +358,35 @@ vm::Access
 Kernel::canonicalRights(DomainId domain, vm::Vpn vpn) const
 {
     return state_.effectiveRights(domain, vpn);
+}
+
+void
+Kernel::save(snap::SnapWriter &w) const
+{
+    w.putTag("kernel");
+    w.put16(current_);
+    w.put64(onDisk_.size());
+    for (vm::Vpn vpn : onDisk_)
+        w.put64(vpn.number());
+}
+
+void
+Kernel::load(snap::SnapReader &r)
+{
+    r.expectTag("kernel");
+    const DomainId current = static_cast<DomainId>(r.get16());
+    if (current != 0 && state_.findDomain(current) == nullptr)
+        SASOS_FATAL("corrupt snapshot: current domain ", current,
+                    " does not exist");
+    current_ = current;
+    onDisk_.clear();
+    const u32 on_disk = r.getCount(8);
+    for (u32 i = 0; i < on_disk; ++i) {
+        const vm::Vpn vpn(r.get64());
+        if (!onDisk_.insert(vpn).second)
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " on disk twice");
+    }
 }
 
 } // namespace sasos::os

@@ -123,6 +123,16 @@ class Kernel
     const CostModel &costs() const { return costs_; }
     CycleAccount &account() { return account_; }
 
+    /** @name Snapshot hooks
+     * Serializes the current domain and the on-disk page set; the
+     * referenced VmState/model/account snapshot separately. Segment
+     * server and pager registrations are runtime wiring, re-done by
+     * the owner after load. */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
     /** @name Statistics */
     /// @{
     stats::Group statsGroup;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::os
 {
@@ -427,6 +428,175 @@ PageGroupManager::invalidateSegmentDefaults(vm::SegmentId seg)
     // VmState, so there is no cached state to invalidate; the hook
     // exists so hardware models have a single notification point.
     (void)seg;
+}
+
+namespace
+{
+
+vm::Access
+readGroupAccess(snap::SnapReader &r)
+{
+    const u8 raw = r.get8();
+    if (raw > static_cast<u8>(vm::Access::All))
+        SASOS_FATAL("corrupt snapshot: invalid rights byte ", u32(raw));
+    return static_cast<vm::Access>(raw);
+}
+
+void
+saveVector(snap::SnapWriter &w, const RightsVector &vector)
+{
+    w.put64(vector.size());
+    for (const auto &[domain, rights] : vector) {
+        w.put16(domain);
+        w.put8(static_cast<u8>(rights));
+    }
+}
+
+RightsVector
+loadVector(snap::SnapReader &r)
+{
+    RightsVector vector;
+    const u32 count = r.getCount(3);
+    vector.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        const DomainId domain = static_cast<DomainId>(r.get16());
+        vector.emplace_back(domain, readGroupAccess(r));
+    }
+    return vector;
+}
+
+} // namespace
+
+void
+PageGroupManager::save(snap::SnapWriter &w) const
+{
+    w.putTag("pgmgr");
+    w.put16(nextAid_);
+    w.put64(freeAids_.size());
+    for (GroupId aid : freeAids_)
+        w.put16(aid);
+    w.put64(groups_.size());
+    for (const auto &[aid, info] : groups_) {
+        w.put16(aid);
+        w.put32(info.segment);
+        w.put8(static_cast<u8>(info.rights));
+        w.put64(info.members.size());
+        for (const auto &[domain, disabled] : info.members) {
+            w.put16(domain);
+            w.putBool(disabled);
+        }
+        w.put64(info.pageCount);
+        w.putBool(info.isDefault);
+        w.putBool(info.exact);
+        w.putBool(info.key.has_value());
+        if (info.key) {
+            w.put32(info.key->segment);
+            w.put8(info.key->rights);
+            saveVector(w, info.key->vector);
+        }
+    }
+    w.put64(defaultGroups_.size());
+    for (const auto &[seg, aid] : defaultGroups_) {
+        w.put32(seg);
+        w.put16(aid);
+    }
+    w.put64(assignments_.size());
+    for (const auto &[vpn, state] : assignments_) {
+        w.put64(vpn.number());
+        w.put16(state.aid);
+        w.put8(static_cast<u8>(state.rights));
+    }
+    w.put64(domainGroups_.size());
+    for (const auto &[domain, groups] : domainGroups_) {
+        w.put16(domain);
+        w.put64(groups.size());
+        for (GroupId aid : groups)
+            w.put16(aid);
+    }
+}
+
+void
+PageGroupManager::load(snap::SnapReader &r)
+{
+    r.expectTag("pgmgr");
+    nextAid_ = static_cast<GroupId>(r.get16());
+    freeAids_.clear();
+    groups_.clear();
+    defaultGroups_.clear();
+    byKey_.clear();
+    assignments_.clear();
+    domainGroups_.clear();
+    const u32 free_count = r.getCount(2);
+    freeAids_.reserve(free_count);
+    for (u32 i = 0; i < free_count; ++i)
+        freeAids_.push_back(static_cast<GroupId>(r.get16()));
+    const u32 group_count = r.getCount(18);
+    for (u32 i = 0; i < group_count; ++i) {
+        const GroupId aid = static_cast<GroupId>(r.get16());
+        auto [it, inserted] = groups_.emplace(aid, GroupInfo{});
+        if (!inserted)
+            SASOS_FATAL("corrupt snapshot: group ", aid, " listed twice");
+        GroupInfo &info = it->second;
+        info.segment = r.get32();
+        info.rights = readGroupAccess(r);
+        const u32 member_count = r.getCount(3);
+        for (u32 j = 0; j < member_count; ++j) {
+            const DomainId domain = static_cast<DomainId>(r.get16());
+            if (!info.members.emplace(domain, r.getBool()).second)
+                SASOS_FATAL("corrupt snapshot: domain ", domain,
+                            " is a member of group ", aid, " twice");
+        }
+        info.pageCount = r.get64();
+        info.isDefault = r.getBool();
+        info.exact = r.getBool();
+        if (r.getBool()) {
+            GroupKey key;
+            key.segment = r.get32();
+            key.rights = r.get8();
+            key.vector = loadVector(r);
+            info.key = key;
+            if (!byKey_.emplace(key, aid).second)
+                SASOS_FATAL("corrupt snapshot: two groups share one key");
+        }
+    }
+    const u32 default_count = r.getCount(6);
+    for (u32 i = 0; i < default_count; ++i) {
+        const vm::SegmentId seg = r.get32();
+        const GroupId aid = static_cast<GroupId>(r.get16());
+        if (groups_.find(aid) == groups_.end())
+            SASOS_FATAL("corrupt snapshot: default group ", aid,
+                        " of segment ", seg, " does not exist");
+        if (!defaultGroups_.emplace(seg, aid).second)
+            SASOS_FATAL("corrupt snapshot: segment ", seg,
+                        " has two default groups");
+    }
+    const u32 assign_count = r.getCount(11);
+    for (u32 i = 0; i < assign_count; ++i) {
+        const vm::Vpn vpn(r.get64());
+        PageGroupState state;
+        state.aid = static_cast<GroupId>(r.get16());
+        state.rights = readGroupAccess(r);
+        if (state.aid != kNullGroup &&
+            groups_.find(state.aid) == groups_.end()) {
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " assigned to unknown group ", state.aid);
+        }
+        if (!assignments_.emplace(vpn, state).second)
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " assigned twice");
+    }
+    const u32 domain_count = r.getCount(6);
+    for (u32 i = 0; i < domain_count; ++i) {
+        const DomainId domain = static_cast<DomainId>(r.get16());
+        std::set<GroupId> &groups = domainGroups_[domain];
+        const u32 count = r.getCount(2);
+        for (u32 j = 0; j < count; ++j) {
+            if (!groups.insert(static_cast<GroupId>(r.get16())).second)
+                SASOS_FATAL("corrupt snapshot: duplicate group record for "
+                            "domain ",
+                            domain);
+        }
+    }
 }
 
 } // namespace sasos::os

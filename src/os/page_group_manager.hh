@@ -129,6 +129,16 @@ class PageGroupManager
     /** Live (allocated) group count. */
     std::size_t liveGroups() const { return groups_.size(); }
 
+    /** @name Snapshot hooks
+     * The full derived grouping is serialized (AID recycling order
+     * included) so restored runs regroup identically; byKey_ is
+     * rebuilt from the group records. The onGroupFreed callback is
+     * runtime wiring, re-set by the owning model. */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
     /**
      * Invoked whenever a group is freed (its AID may be recycled).
      * The hardware model uses this to evict the stale PID from the

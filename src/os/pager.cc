@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::os
 {
@@ -85,6 +86,24 @@ Pager::chooseVictim()
     const vm::Vpn victim = unreferenced ? *unreferenced : *any;
     kernel_.state().pageTable.clearUsage(victim);
     return victim;
+}
+
+void
+Pager::save(snap::SnapWriter &w) const
+{
+    w.putTag("pager");
+    w.put16(domain_);
+}
+
+void
+Pager::load(snap::SnapReader &r)
+{
+    r.expectTag("pager");
+    const DomainId domain = static_cast<DomainId>(r.get16());
+    if (kernel_.state().findDomain(domain) == nullptr)
+        SASOS_FATAL("corrupt snapshot: pager domain ", domain,
+                    " does not exist");
+    domain_ = domain;
 }
 
 } // namespace sasos::os

@@ -36,6 +36,8 @@ class Pager
     /** The pager's own protection domain. */
     DomainId domainId() const { return domain_; }
 
+    const PagerConfig &config() const { return config_; }
+
     /**
      * Move a mapped page to secondary store: exclude applications,
      * (compress and) write, unmap, free the frame.
@@ -54,6 +56,15 @@ class Pager
      * it out.
      */
     void evictOne();
+
+    /** @name Snapshot hooks
+     * The pager's domain id is canonical state; its construction-time
+     * domain creation is superseded when the owner restores VmState
+     * and then calls load(). */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
     /** @name Statistics */
     /// @{

@@ -29,6 +29,12 @@ namespace sasos::fault
 class FaultInjector;
 }
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::os
 {
 
@@ -133,6 +139,17 @@ class ProtectionModel
      * kernel's canonical tables.
      */
     virtual vm::Access effectiveRights(DomainId domain, vm::Vpn vpn) = 0;
+
+    /** @name Snapshot hooks
+     * Serialize the model's cached hardware state (PLB, TLBs,
+     * page-group cache, data cache, replacement state). The defaults
+     * are no-ops for stateless models; every model owning hardware
+     * structures overrides both.
+     */
+    /// @{
+    virtual void save(snap::SnapWriter &w) const { (void)w; }
+    virtual void load(snap::SnapReader &r) { (void)r; }
+    /// @}
 
     /**
      * Attach a fault injector whose schedule each access() consults

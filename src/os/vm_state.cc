@@ -1,6 +1,7 @@
 #include "os/vm_state.hh"
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::os
 {
@@ -191,6 +192,117 @@ VmState::effectiveRights(DomainId domain, vm::Vpn vpn) const
     if (d == nullptr)
         return vm::Access::None;
     return d->prot.effectiveRights(vpn, segments) & pageMask(vpn, domain);
+}
+
+namespace
+{
+
+vm::Access
+readAccessByte(snap::SnapReader &r)
+{
+    const u8 raw = r.get8();
+    if (raw > static_cast<u8>(vm::Access::All))
+        SASOS_FATAL("corrupt snapshot: invalid rights byte ", u32(raw));
+    return static_cast<vm::Access>(raw);
+}
+
+} // namespace
+
+void
+VmState::save(snap::SnapWriter &w) const
+{
+    w.putTag("vmstate");
+    segments.save(w);
+    pageTable.save(w);
+    frameAllocator.save(w);
+    w.put16(nextDomainId_);
+    w.put64(domains_.size());
+    for (const auto &[id, domain] : domains_) {
+        w.put16(id);
+        w.putString(domain.name);
+        domain.prot.save(w);
+    }
+    w.put64(attached_.size());
+    for (const auto &[seg, members] : attached_) {
+        w.put32(seg);
+        w.put64(members.size());
+        for (DomainId id : members)
+            w.put16(id);
+    }
+    w.put64(overrides_.size());
+    for (const auto &[vpn, holders] : overrides_) {
+        w.put64(vpn.number());
+        w.put64(holders.size());
+        for (DomainId id : holders)
+            w.put16(id);
+    }
+    w.put64(masks_.size());
+    for (const auto &[vpn, mask] : masks_) {
+        w.put64(vpn.number());
+        w.put8(static_cast<u8>(mask.mask));
+        w.put16(mask.exempt);
+    }
+}
+
+void
+VmState::load(snap::SnapReader &r)
+{
+    r.expectTag("vmstate");
+    segments.load(r);
+    pageTable.load(r);
+    frameAllocator.load(r);
+    
+    nextDomainId_ = static_cast<DomainId>(r.get16());
+    domains_.clear();
+    attached_.clear();
+    overrides_.clear();
+    masks_.clear();
+    const u32 domain_count = r.getCount(4);
+    for (u32 i = 0; i < domain_count; ++i) {
+        const DomainId id = static_cast<DomainId>(r.get16());
+        if (id == 0)
+            SASOS_FATAL("corrupt snapshot: domain id 0 is reserved");
+        Domain &domain = domains_[id];
+        if (domain.id != 0)
+            SASOS_FATAL("corrupt snapshot: domain ", id, " listed twice");
+        domain.id = id;
+        domain.name = r.getString();
+        domain.prot.load(r);
+    }
+    const u32 attach_count = r.getCount(8);
+    for (u32 i = 0; i < attach_count; ++i) {
+        const vm::SegmentId seg = r.get32();
+        std::set<DomainId> &members = attached_[seg];
+        const u32 member_count = r.getCount(2);
+        for (u32 j = 0; j < member_count; ++j) {
+            if (!members.insert(static_cast<DomainId>(r.get16())).second)
+                SASOS_FATAL("corrupt snapshot: duplicate attach record for "
+                            "segment ",
+                            seg);
+        }
+    }
+    const u32 override_count = r.getCount(12);
+    for (u32 i = 0; i < override_count; ++i) {
+        const vm::Vpn vpn(r.get64());
+        std::set<DomainId> &holders = overrides_[vpn];
+        const u32 holder_count = r.getCount(2);
+        for (u32 j = 0; j < holder_count; ++j) {
+            if (!holders.insert(static_cast<DomainId>(r.get16())).second)
+                SASOS_FATAL("corrupt snapshot: duplicate override record "
+                            "for page ",
+                            vpn.number());
+        }
+    }
+    const u32 mask_count = r.getCount(11);
+    for (u32 i = 0; i < mask_count; ++i) {
+        const vm::Vpn vpn(r.get64());
+        Mask mask;
+        mask.mask = readAccessByte(r);
+        mask.exempt = static_cast<DomainId>(r.get16());
+        if (!masks_.emplace(vpn, mask).second)
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " masked twice");
+    }
 }
 
 std::vector<vm::Vpn>

@@ -122,6 +122,12 @@ class VmState
      * (override or mask); used for segment-wide regrouping. */
     std::vector<vm::Vpn> pagesWithStateIn(vm::Vpn first, u64 pages) const;
 
+    /** @name Snapshot hooks (the entire canonical state) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
   private:
     struct Mask
     {

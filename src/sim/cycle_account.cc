@@ -1,6 +1,7 @@
 #include "sim/cycle_account.hh"
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos
 {
@@ -75,6 +76,27 @@ CycleAccount::operator+=(const CycleAccount &other)
     for (unsigned i = 0; i < kCount; ++i)
         totals_[i] += other.totals_[i];
     return *this;
+}
+
+void
+CycleAccount::save(snap::SnapWriter &w) const
+{
+    w.putTag("cycles");
+    w.put32(kCount);
+    for (Cycles c : totals_)
+        w.put64(c.count());
+}
+
+void
+CycleAccount::load(snap::SnapReader &r)
+{
+    r.expectTag("cycles");
+    const u32 count = r.get32();
+    if (count != kCount)
+        SASOS_FATAL("corrupt snapshot: cycle account carries ", count,
+                    " categories, this build has ", kCount);
+    for (unsigned i = 0; i < kCount; ++i)
+        totals_[i] = Cycles(r.get64());
 }
 
 CycleAccount

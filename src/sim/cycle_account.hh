@@ -17,6 +17,12 @@
 
 #include "sim/types.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos
 {
 
@@ -76,6 +82,12 @@ class CycleAccount
 
     /** Difference since a snapshot (other must be older). */
     CycleAccount since(const CycleAccount &snapshot) const;
+
+    /** @name Snapshot hooks */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
   private:
     static constexpr unsigned kCount =

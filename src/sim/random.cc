@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos
 {
@@ -81,6 +82,29 @@ bool
 Rng::bernoulli(double p)
 {
     return nextReal() < p;
+}
+
+void
+Rng::save(snap::SnapWriter &w) const
+{
+    w.putTag("rng");
+    for (u64 word : state_)
+        w.put64(word);
+}
+
+void
+Rng::load(snap::SnapReader &r)
+{
+    r.expectTag("rng");
+    u64 words[4];
+    for (auto &word : words)
+        word = r.get64();
+    // The all-zero state is xoshiro's one absorbing fixed point; no
+    // seeding can produce it, so its presence means corruption.
+    if (words[0] == 0 && words[1] == 0 && words[2] == 0 && words[3] == 0)
+        SASOS_FATAL("corrupt snapshot: all-zero rng state");
+    for (int i = 0; i < 4; ++i)
+        state_[i] = words[i];
 }
 
 ZipfDistribution::ZipfDistribution(std::size_t n, double theta)

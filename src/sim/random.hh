@@ -15,6 +15,12 @@
 
 #include "sim/types.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos
 {
 
@@ -49,6 +55,12 @@ class Rng
             std::swap(items[i - 1], items[j]);
         }
     }
+
+    /** @name Snapshot hooks (position in the stream) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
   private:
     u64 state_[4];

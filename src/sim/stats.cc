@@ -4,6 +4,7 @@
 #include <iomanip>
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::stats
 {
@@ -19,6 +20,18 @@ void
 Scalar::dump(std::ostream &os, const std::string &prefix) const
 {
     os << prefix << name() << " " << value_ << " # " << desc() << "\n";
+}
+
+void
+Scalar::saveValue(snap::SnapWriter &w) const
+{
+    w.put64(value_);
+}
+
+void
+Scalar::loadValue(snap::SnapReader &r)
+{
+    value_ = r.get64();
 }
 
 Histogram::Histogram(Group *parent, std::string name, std::string desc,
@@ -87,6 +100,41 @@ Histogram::reset()
     max_ = 0;
 }
 
+void
+Histogram::saveValue(snap::SnapWriter &w) const
+{
+    w.put64(bucketWidth_);
+    w.put64(buckets_.size());
+    for (u64 bucket : buckets_)
+        w.put64(bucket);
+    w.put64(overflow_);
+    w.put64(samples_);
+    w.put64(sum_);
+    w.put64(min_);
+    w.put64(max_);
+}
+
+void
+Histogram::loadValue(snap::SnapReader &r)
+{
+    // Geometry is structure, not value: the constructed histogram
+    // must already match the snapshot's shape.
+    const u64 width = r.get64();
+    const u64 count = r.get64();
+    if (width != bucketWidth_ || count != buckets_.size())
+        SASOS_FATAL("corrupt snapshot: histogram '", name(), "' has ",
+                    count, " buckets of width ", width,
+                    ", this build expects ", buckets_.size(),
+                    " of width ", bucketWidth_);
+    for (auto &bucket : buckets_)
+        bucket = r.get64();
+    overflow_ = r.get64();
+    samples_ = r.get64();
+    sum_ = r.get64();
+    min_ = r.get64();
+    max_ = r.get64();
+}
+
 Formula::Formula(Group *parent, std::string name, std::string desc,
                  std::function<double()> fn)
     : Stat(parent, std::move(name), std::move(desc)), fn_(std::move(fn))
@@ -128,6 +176,51 @@ Group::reset()
         stat->reset();
     for (Group *child : children_)
         child->reset();
+}
+
+void
+Group::save(snap::SnapWriter &w) const
+{
+    w.putTag("group");
+    w.putString(name_);
+    w.put64(stats_.size());
+    for (const Stat *stat : stats_) {
+        w.putString(stat->name());
+        stat->saveValue(w);
+    }
+    w.put64(children_.size());
+    for (const Group *child : children_)
+        child->save(w);
+}
+
+void
+Group::load(snap::SnapReader &r)
+{
+    r.expectTag("group");
+    const std::string name = r.getString();
+    if (name != name_)
+        SASOS_FATAL("corrupt snapshot: stats group '", name,
+                    "' does not match this build's '", name_, "'");
+    const u64 stat_count = r.getCount();
+    if (stat_count != stats_.size())
+        SASOS_FATAL("corrupt snapshot: stats group '", name_,
+                    "' carries ", stat_count, " stats, this build has ",
+                    stats_.size());
+    for (Stat *stat : stats_) {
+        const std::string stat_name = r.getString();
+        if (stat_name != stat->name())
+            SASOS_FATAL("corrupt snapshot: stat '", stat_name,
+                        "' does not match this build's '", stat->name(),
+                        "' in group '", name_, "'");
+        stat->loadValue(r);
+    }
+    const u64 child_count = r.getCount();
+    if (child_count != children_.size())
+        SASOS_FATAL("corrupt snapshot: stats group '", name_,
+                    "' carries ", child_count,
+                    " child groups, this build has ", children_.size());
+    for (Group *child : children_)
+        child->load(r);
 }
 
 const Scalar *

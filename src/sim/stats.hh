@@ -20,6 +20,12 @@
 
 #include "sim/types.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::stats
 {
 
@@ -43,6 +49,13 @@ class Stat
 
     /** Reset to the post-construction state. */
     virtual void reset() = 0;
+
+    /** @name Snapshot hooks: value only, never structure. Formula
+     * recomputes, so the default is stateless. */
+    /// @{
+    virtual void saveValue(snap::SnapWriter &) const {}
+    virtual void loadValue(snap::SnapReader &) {}
+    /// @}
 
   private:
     std::string name_;
@@ -75,6 +88,9 @@ class Scalar : public Stat
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override { value_ = 0; }
 
+    void saveValue(snap::SnapWriter &w) const override;
+    void loadValue(snap::SnapReader &r) override;
+
   private:
     u64 value_ = 0;
 };
@@ -104,6 +120,9 @@ class Histogram : public Stat
 
     void dump(std::ostream &os, const std::string &prefix) const override;
     void reset() override;
+
+    void saveValue(snap::SnapWriter &w) const override;
+    void loadValue(snap::SnapReader &r) override;
 
   private:
     u64 bucketWidth_;
@@ -156,6 +175,18 @@ class Group
 
     /** Reset all stats in this group and descendants. */
     void reset();
+
+    /** @name Snapshot hooks
+     * The restore path a loader can rebind counters through: save()
+     * records the tree shape (names, in registration order) alongside
+     * the values; load() walks the identically-shaped tree of the
+     * freshly constructed owner and re-seats every value, failing
+     * cleanly when the snapshot's shape does not match this build.
+     */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
     /** Find a scalar by dotted path relative to this group, or null. */
     const Scalar *findScalar(const std::string &path) const;

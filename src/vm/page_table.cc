@@ -1,5 +1,10 @@
 #include "vm/page_table.hh"
 
+#include <algorithm>
+#include <vector>
+
+#include "snap/snapio.hh"
+
 #include "sim/logging.hh"
 
 namespace sasos::vm
@@ -84,6 +89,49 @@ GlobalPageTable::clearUsage(Vpn vpn)
                  vpn.number());
     translation->dirty = false;
     translation->referenced = false;
+}
+
+void
+GlobalPageTable::save(snap::SnapWriter &w) const
+{
+    w.putTag("pagetable");
+    std::vector<std::pair<Vpn, Translation>> sorted(entries_.begin(),
+                                                    entries_.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first.number() < b.first.number();
+              });
+    w.put64(sorted.size());
+    for (const auto &[vpn, translation] : sorted) {
+        w.put64(vpn.number());
+        w.put64(translation.pfn.number());
+        w.putBool(translation.dirty);
+        w.putBool(translation.referenced);
+    }
+}
+
+void
+GlobalPageTable::load(snap::SnapReader &r)
+{
+    r.expectTag("pagetable");
+    entries_.clear();
+    reverse_.clear();
+    lastTranslation_ = nullptr;
+    const u64 count = r.getCount(18);
+    for (u64 i = 0; i < count; ++i) {
+        const Vpn vpn(r.get64());
+        Translation translation;
+        translation.pfn = Pfn(r.get64());
+        translation.dirty = r.getBool();
+        translation.referenced = r.getBool();
+        if (!entries_.emplace(vpn, translation).second)
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " mapped twice (homonym)");
+        if (!reverse_.emplace(translation.pfn, vpn).second)
+            SASOS_FATAL("corrupt snapshot: frame ",
+                        translation.pfn.number(),
+                        " backs two pages (synonym)");
+    }
 }
 
 } // namespace sasos::vm

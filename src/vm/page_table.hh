@@ -23,6 +23,12 @@
 
 #include "vm/address.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::vm
 {
 
@@ -69,6 +75,15 @@ class GlobalPageTable
     void clearUsage(Vpn vpn);
 
     std::size_t size() const { return entries_.size(); }
+
+    /** @name Snapshot hooks
+     * Entries go out sorted by VPN (byte-stable images); load()
+     * re-validates the homonym/synonym invariants as clean fatals,
+     * rebuilds the reverse map and drops the MRU memo. */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
     /** Visit every mapped page: fn(vpn, translation). */
     template <typename Fn>

@@ -1,5 +1,7 @@
 #include "vm/phys_mem.hh"
 
+#include "snap/snapio.hh"
+
 #include "sim/logging.hh"
 
 namespace sasos::vm
@@ -42,6 +44,70 @@ bool
 FrameAllocator::isAllocated(Pfn pfn) const
 {
     return pfn.number() < allocated_.size() && allocated_[pfn.number()];
+}
+
+void
+FrameAllocator::save(snap::SnapWriter &w) const
+{
+    w.putTag("frames");
+    w.put64(allocated_.size());
+    u8 bits = 0;
+    for (std::size_t i = 0; i < allocated_.size(); ++i) {
+        if (allocated_[i])
+            bits |= static_cast<u8>(1u << (i % 8));
+        if (i % 8 == 7 || i + 1 == allocated_.size()) {
+            w.put8(bits);
+            bits = 0;
+        }
+    }
+    w.put64(inUse_);
+    w.put64(freeList_.size());
+    for (u64 frame : freeList_)
+        w.put64(frame);
+}
+
+void
+FrameAllocator::load(snap::SnapReader &r)
+{
+    r.expectTag("frames");
+    const u64 capacity = r.get64();
+    if (capacity != allocated_.size())
+        SASOS_FATAL("corrupt snapshot: ", capacity,
+                    " physical frames, this configuration has ",
+                    allocated_.size());
+    u64 marked = 0;
+    u8 bits = 0;
+    for (std::size_t i = 0; i < allocated_.size(); ++i) {
+        if (i % 8 == 0)
+            bits = r.get8();
+        allocated_[i] = (bits >> (i % 8)) & 1;
+        marked += allocated_[i] ? 1 : 0;
+    }
+    inUse_ = r.get64();
+    if (inUse_ != marked)
+        SASOS_FATAL("corrupt snapshot: frame allocator claims ", inUse_,
+                    " frames in use but marks ", marked);
+    const u64 free_count = r.getCount(8);
+    if (free_count != capacity - inUse_)
+        SASOS_FATAL("corrupt snapshot: free list carries ", free_count,
+                    " frames, expected ", capacity - inUse_);
+    freeList_.clear();
+    freeList_.reserve(free_count);
+    std::vector<bool> seen(capacity, false);
+    for (u64 i = 0; i < free_count; ++i) {
+        const u64 frame = r.get64();
+        if (frame >= capacity)
+            SASOS_FATAL("corrupt snapshot: free frame ", frame,
+                        " beyond capacity ", capacity);
+        if (allocated_[frame])
+            SASOS_FATAL("corrupt snapshot: frame ", frame,
+                        " both allocated and free");
+        if (seen[frame])
+            SASOS_FATAL("corrupt snapshot: frame ", frame,
+                        " on the free list twice");
+        seen[frame] = true;
+        freeList_.push_back(frame);
+    }
 }
 
 } // namespace sasos::vm

@@ -11,6 +11,12 @@
 
 #include "vm/address.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::vm
 {
 
@@ -36,6 +42,14 @@ class FrameAllocator
     u64 capacity() const { return allocated_.size(); }
     u64 inUse() const { return inUse_; }
     u64 available() const { return capacity() - inUse_; }
+
+    /** @name Snapshot hooks (free-list order decides future frame
+     * assignment, so it is serialized verbatim and cross-checked
+     * against the allocation bitmap on load) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
   private:
     std::vector<bool> allocated_;

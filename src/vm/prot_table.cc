@@ -1,5 +1,7 @@
 #include "vm/prot_table.hh"
 
+#include "snap/snapio.hh"
+
 #include "sim/logging.hh"
 
 namespace sasos::vm
@@ -96,6 +98,70 @@ ProtectionTable::effectiveRights(Vpn vpn, const SegmentTable &segments) const
         return Access::None;
     auto sit = segments_.find(seg->id);
     return sit == segments_.end() ? Access::None : sit->second;
+}
+
+namespace
+{
+
+Access
+readRights(snap::SnapReader &r)
+{
+    const u8 rights = r.get8();
+    if (rights > static_cast<u8>(Access::All))
+        SASOS_FATAL("corrupt snapshot: invalid rights byte ",
+                    static_cast<unsigned>(rights));
+    return static_cast<Access>(rights);
+}
+
+} // namespace
+
+void
+ProtectionTable::save(snap::SnapWriter &w) const
+{
+    w.putTag("prot");
+    std::vector<std::pair<SegmentId, Access>> segs(segments_.begin(),
+                                                   segments_.end());
+    std::sort(segs.begin(), segs.end());
+    w.put64(segs.size());
+    for (const auto &[id, rights] : segs) {
+        w.put32(id);
+        w.put8(static_cast<u8>(rights));
+    }
+    std::vector<std::pair<Vpn, Access>> pages(pages_.begin(),
+                                              pages_.end());
+    std::sort(pages.begin(), pages.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first.number() < b.first.number();
+              });
+    w.put64(pages.size());
+    for (const auto &[vpn, rights] : pages) {
+        w.put64(vpn.number());
+        w.put8(static_cast<u8>(rights));
+    }
+}
+
+void
+ProtectionTable::load(snap::SnapReader &r)
+{
+    r.expectTag("prot");
+    segments_.clear();
+    pages_.clear();
+    const u64 seg_count = r.getCount(5);
+    for (u64 i = 0; i < seg_count; ++i) {
+        const SegmentId id = r.get32();
+        const Access rights = readRights(r);
+        if (!segments_.emplace(id, rights).second)
+            SASOS_FATAL("corrupt snapshot: duplicate segment grant ",
+                        id);
+    }
+    const u64 page_count = r.getCount(9);
+    for (u64 i = 0; i < page_count; ++i) {
+        const Vpn vpn(r.get64());
+        const Access rights = readRights(r);
+        if (!pages_.emplace(vpn, rights).second)
+            SASOS_FATAL("corrupt snapshot: duplicate page override ",
+                        vpn.number());
+    }
 }
 
 } // namespace sasos::vm

@@ -19,6 +19,12 @@
 #include "vm/rights.hh"
 #include "vm/segment.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::vm
 {
 
@@ -76,6 +82,12 @@ class ProtectionTable
     {
         return (segments_.size() + pages_.size()) * entry_bytes;
     }
+
+    /** @name Snapshot hooks */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
   private:
     std::unordered_map<SegmentId, Access> segments_;

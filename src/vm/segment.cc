@@ -1,5 +1,7 @@
 #include "vm/segment.hh"
 
+#include "snap/snapio.hh"
+
 #include <bit>
 
 #include "sim/logging.hh"
@@ -87,6 +89,83 @@ SegmentTable::liveIds() const
     for (const auto &[base, id] : byBase_)
         ids.push_back(id);
     return ids;
+}
+
+void
+AddressSpaceAllocator::save(snap::SnapWriter &w) const
+{
+    w.putTag("asalloc");
+    w.put64(nextPage_);
+    w.put64(allocatedPages_);
+}
+
+void
+AddressSpaceAllocator::load(snap::SnapReader &r)
+{
+    r.expectTag("asalloc");
+    nextPage_ = r.get64();
+    allocatedPages_ = r.get64();
+}
+
+void
+SegmentTable::save(snap::SnapWriter &w) const
+{
+    w.putTag("segments");
+    allocator_.save(w);
+    w.put32(nextId_);
+    std::vector<const Segment *> sorted;
+    sorted.reserve(segments_.size());
+    for (const auto &[id, seg] : segments_)
+        sorted.push_back(&seg);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Segment *a, const Segment *b) {
+                  return a->id < b->id;
+              });
+    w.put64(sorted.size());
+    for (const Segment *seg : sorted) {
+        w.put32(seg->id);
+        w.put64(seg->firstPage.number());
+        w.put64(seg->pages);
+        w.putString(seg->name);
+    }
+}
+
+void
+SegmentTable::load(snap::SnapReader &r)
+{
+    r.expectTag("segments");
+    allocator_.load(r);
+    nextId_ = r.get32();
+    segments_.clear();
+    byBase_.clear();
+    const u64 count = r.getCount(24);
+    for (u64 i = 0; i < count; ++i) {
+        Segment seg;
+        seg.id = r.get32();
+        seg.firstPage = Vpn(r.get64());
+        seg.pages = r.get64();
+        seg.name = r.getString();
+        if (seg.id == kInvalidSegment)
+            SASOS_FATAL("corrupt snapshot: segment with invalid id 0");
+        if (seg.pages == 0 ||
+            seg.pages > ~u64{0} - seg.firstPage.number())
+            SASOS_FATAL("corrupt snapshot: segment ", seg.id,
+                        " spans an impossible page range");
+        if (!byBase_.emplace(seg.firstPage.number(), seg.id).second)
+            SASOS_FATAL("corrupt snapshot: two segments based at page ",
+                        seg.firstPage.number());
+        if (!segments_.emplace(seg.id, std::move(seg)).second)
+            SASOS_FATAL("corrupt snapshot: duplicate segment id");
+    }
+    // Bases are now sorted; neighboring ranges must not overlap.
+    const Segment *prev = nullptr;
+    for (const auto &[base, id] : byBase_) {
+        const Segment &seg = segments_.at(id);
+        if (prev != nullptr && seg.firstPage <= prev->lastPage())
+            SASOS_FATAL("corrupt snapshot: segments ", prev->id,
+                        " and ", seg.id, " overlap");
+        prev = &seg;
+    }
 }
 
 } // namespace sasos::vm

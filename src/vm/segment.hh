@@ -21,6 +21,12 @@
 
 #include "vm/address.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::vm
 {
 
@@ -89,6 +95,13 @@ class AddressSpaceAllocator
     /** Total pages handed out so far. */
     u64 allocatedPages() const { return allocatedPages_; }
 
+    /** @name Snapshot hooks (the bump pointer is simulator state:
+     * post-restore allocations must not reuse retired ranges) */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
+
   private:
     u64 nextPage_;
     u64 allocatedPages_ = 0;
@@ -125,6 +138,12 @@ class SegmentTable
 
     /** Every live segment id, in creation order. */
     std::vector<SegmentId> liveIds() const;
+
+    /** @name Snapshot hooks */
+    /// @{
+    void save(snap::SnapWriter &w) const;
+    void load(snap::SnapReader &r);
+    /// @}
 
   private:
     AddressSpaceAllocator allocator_;

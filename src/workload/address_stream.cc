@@ -1,8 +1,10 @@
 #include "workload/address_stream.hh"
 
+#include <algorithm>
 #include <numeric>
 
 #include "sim/logging.hh"
+#include "snap/snapio.hh"
 
 namespace sasos::wl
 {
@@ -79,6 +81,54 @@ WorkingSetStream::next(Rng &rng)
     const u64 page = workingSet_[rng.nextBelow(workingSet_.size())];
     const u64 offset = rng.nextBelow(vm::kPageBytes / 8) * 8;
     return base_ + page * vm::kPageBytes + offset;
+}
+
+void
+SequentialStream::save(snap::SnapWriter &w) const
+{
+    w.putTag("seqstream");
+    w.put64(offset_);
+}
+
+void
+SequentialStream::load(snap::SnapReader &r)
+{
+    r.expectTag("seqstream");
+    const u64 offset = r.get64();
+    if (offset >= bytes_)
+        SASOS_FATAL("corrupt snapshot: stream offset ", offset,
+                    " beyond range of ", bytes_, " bytes");
+    offset_ = offset;
+}
+
+void
+WorkingSetStream::save(snap::SnapWriter &w) const
+{
+    w.putTag("wsstream");
+    w.put64(refsLeft_);
+    w.put64(workingSet_.size());
+    for (u64 page : workingSet_)
+        w.put64(page);
+}
+
+void
+WorkingSetStream::load(snap::SnapReader &r)
+{
+    r.expectTag("wsstream");
+    refsLeft_ = r.get64();
+    workingSet_.clear();
+    const u32 count = r.getCount(8);
+    if (count != 0 && count != std::min(wsPages_, pages_))
+        SASOS_FATAL("corrupt snapshot: working set of ", count,
+                    " pages; expected ", std::min(wsPages_, pages_));
+    workingSet_.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        const u64 page = r.get64();
+        if (page >= pages_)
+            SASOS_FATAL("corrupt snapshot: working-set page ", page,
+                        " beyond range of ", pages_, " pages");
+        workingSet_.push_back(page);
+    }
 }
 
 } // namespace sasos::wl

@@ -17,6 +17,12 @@
 #include "sim/random.hh"
 #include "vm/address.hh"
 
+namespace sasos::snap
+{
+class SnapWriter;
+class SnapReader;
+} // namespace sasos::snap
+
 namespace sasos::wl
 {
 
@@ -27,6 +33,16 @@ class AddressStream
     virtual ~AddressStream() = default;
 
     virtual vm::VAddr next(Rng &rng) = 0;
+
+    /** @name Snapshot hooks
+     * Mid-stream position, for streams that have one. Stateless
+     * streams (uniform, Zipf) inherit the no-ops: their next() is a
+     * pure function of the caller's Rng, which snapshots separately.
+     */
+    /// @{
+    virtual void save(snap::SnapWriter &w) const { (void)w; }
+    virtual void load(snap::SnapReader &r) { (void)r; }
+    /// @}
 };
 
 /** Walks a range with a fixed stride, wrapping around. */
@@ -36,6 +52,9 @@ class SequentialStream : public AddressStream
     SequentialStream(vm::VAddr base, u64 bytes, u64 stride = 8);
 
     vm::VAddr next(Rng &rng) override;
+
+    void save(snap::SnapWriter &w) const override;
+    void load(snap::SnapReader &r) override;
 
   private:
     vm::VAddr base_;
@@ -87,6 +106,9 @@ class WorkingSetStream : public AddressStream
                      u64 phase_refs);
 
     vm::VAddr next(Rng &rng) override;
+
+    void save(snap::SnapWriter &w) const override;
+    void load(snap::SnapReader &r) override;
 
   private:
     void redraw(Rng &rng);

@@ -1,0 +1,746 @@
+/**
+ * @file
+ * The snapshot/restore subsystem's test suite.
+ *
+ * The centerpiece is the resume-equivalence oracle: run N references,
+ * snapshot, overlay the image onto freshly constructed objects,
+ * continue -- and every statistic, simulated cycle and traced event
+ * must be bit-identical to the uninterrupted run. That is checked for
+ * all three protection models, for a fault-injected machine, and for
+ * the four-core multi-core engine (through a file round trip).
+ *
+ * Around it: snapio primitive round trips, corrupt-image rejection
+ * (truncation, bit flips, bad magic/version, hostile lengths, config
+ * mismatches -- all clean fatals, rerouted into exceptions here),
+ * stateful stream resume, warm-start sweep identity, the restored
+ * counters vs. obs event-stream reconciliation, and a checked-in v1
+ * image guarding format compatibility (SASOS_GOLDEN_REGEN=1
+ * regenerates it).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/mc/mc_system.hh"
+#include "obs/tracer.hh"
+#include "snap/snapshot.hh"
+#include "sweep_runner.hh"
+#include "workload/address_stream.hh"
+
+using namespace sasos;
+
+namespace
+{
+
+std::string
+dataPath(const char *name)
+{
+    return std::string(SASOS_TEST_DATA_DIR) + "/" + name;
+}
+
+/** SASOS_FATAL rerouted into a catchable exception, per test scope. */
+struct FatalRejection : std::runtime_error
+{
+    explicit FatalRejection(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow()
+    {
+        previous_ = setFatalHandler([](const std::string &message) -> void {
+            throw FatalRejection(message);
+        });
+    }
+    ~ScopedFatalThrow() { setFatalHandler(previous_); }
+
+  private:
+    FatalHandler previous_;
+};
+
+constexpr u64 kPages = 64;
+constexpr u64 kSeed = 42;
+
+vm::VAddr
+setupHeap(core::System &sys, u64 pages = kPages)
+{
+    const os::DomainId app = sys.kernel().createDomain("app");
+    const vm::SegmentId seg = sys.kernel().createSegment("heap", pages);
+    sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+    sys.kernel().switchTo(app);
+    return sys.state().segments.find(seg)->base();
+}
+
+std::string
+dumpOf(core::System &sys)
+{
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+std::string
+dumpOf(core::mc::McSystem &sys)
+{
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+/** An event stripped of its merge-local sequence number: traces from
+ * a split run are compared against the uninterrupted one by content,
+ * not by where stopTracing() renumbered them. */
+using EventEssence = std::tuple<u64, u64, u64, u32, obs::EventKind>;
+
+std::vector<EventEssence>
+essenceOf(const std::vector<obs::Event> &events)
+{
+    std::vector<EventEssence> out;
+    out.reserve(events.size());
+    for (const obs::Event &event : events)
+        out.emplace_back(event.cycle, event.addr, event.arg, event.tid,
+                         event.kind);
+    return out;
+}
+
+std::unique_ptr<wl::AddressStream>
+makeWorkingSet(vm::VAddr base, u64 pages)
+{
+    return std::make_unique<wl::WorkingSetStream>(
+        base, pages, pages / 8 ? pages / 8 : 1, 512);
+}
+
+struct RunOutcome
+{
+    std::string stats;
+    u64 cycles = 0;
+    u64 completed = 0;
+    u64 failed = 0;
+    std::vector<EventEssence> events;
+};
+
+/** The reference run: `total` references, never interrupted. */
+RunOutcome
+runStraight(const core::SystemConfig &config, u64 total)
+{
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System sys(config);
+    const vm::VAddr base = setupHeap(sys);
+    Rng rng(kSeed);
+    auto stream = makeWorkingSet(base, kPages);
+    const core::RunResult run = sys.run(*stream, total, rng);
+    RunOutcome out;
+    out.events = essenceOf(obs::stopTracing());
+    out.stats = dumpOf(sys);
+    out.cycles = sys.cycles().count();
+    out.completed = run.completed;
+    out.failed = run.failed;
+    return out;
+}
+
+/** The split run: `prefix` references, snapshot, restore onto fresh
+ * objects, continue with `rest` more. */
+RunOutcome
+runSplit(const core::SystemConfig &config, u64 prefix, u64 rest)
+{
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System warm(config);
+    const vm::VAddr base = setupHeap(warm);
+    Rng rng(kSeed);
+    auto stream = makeWorkingSet(base, kPages);
+    const core::RunResult first = warm.run(*stream, prefix, rng);
+
+    snap::Snapshotter snapper;
+    snapper.add(warm);
+    snapper.add(rng);
+    snapper.add(*stream);
+    const snap::Snapshot image = snapper.finish();
+    std::vector<EventEssence> events = essenceOf(obs::stopTracing());
+
+    // Fresh process stand-ins: same construction recipe, different
+    // seeds, overlaid from the image.
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System sys(config);
+    setupHeap(sys);
+    Rng resumed(kSeed + 999);
+    auto resumedStream = makeWorkingSet(base, kPages);
+    snap::Restorer restorer(image);
+    restorer.restore(sys);
+    restorer.restore(resumed);
+    restorer.restore(*resumedStream);
+    restorer.finish();
+
+    const core::RunResult second = sys.run(*resumedStream, rest, resumed);
+    const std::vector<EventEssence> tail = essenceOf(obs::stopTracing());
+    events.insert(events.end(), tail.begin(), tail.end());
+
+    RunOutcome out;
+    out.events = std::move(events);
+    out.stats = dumpOf(sys);
+    out.cycles = sys.cycles().count();
+    out.completed = first.completed + second.completed;
+    out.failed = first.failed + second.failed;
+    return out;
+}
+
+void
+expectResumeEquivalent(const core::SystemConfig &config, u64 total)
+{
+    const RunOutcome straight = runStraight(config, total);
+    const RunOutcome split = runSplit(config, total / 2, total - total / 2);
+    EXPECT_EQ(straight.stats, split.stats);
+    EXPECT_EQ(straight.cycles, split.cycles);
+    EXPECT_EQ(straight.completed, split.completed);
+    EXPECT_EQ(straight.failed, split.failed);
+    EXPECT_EQ(straight.events, split.events);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// snapio primitives
+
+TEST(SnapIoTest, PrimitivesRoundTrip)
+{
+    snap::SnapWriter writer;
+    writer.putTag("hello");
+    writer.put8(7);
+    writer.put16(0xBEEF);
+    writer.put32(0xDEADBEEFu);
+    writer.put64(0x0123456789ABCDEFull);
+    writer.putBool(true);
+    writer.putBool(false);
+    writer.putDouble(3.25);
+    writer.putString("sasos");
+    writer.putString("");
+
+    snap::SnapReader reader(writer.seal());
+    reader.expectTag("hello");
+    EXPECT_EQ(reader.get8(), 7u);
+    EXPECT_EQ(reader.get16(), 0xBEEFu);
+    EXPECT_EQ(reader.get32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.get64(), 0x0123456789ABCDEFull);
+    EXPECT_TRUE(reader.getBool());
+    EXPECT_FALSE(reader.getBool());
+    EXPECT_EQ(reader.getDouble(), 3.25);
+    EXPECT_EQ(reader.getString(), "sasos");
+    EXPECT_EQ(reader.getString(), "");
+    EXPECT_EQ(reader.remaining(), 0u);
+    reader.finish();
+}
+
+TEST(SnapIoTest, TagMismatchIsFatal)
+{
+    ScopedFatalThrow bridge;
+    snap::SnapWriter writer;
+    writer.putTag("alpha");
+    const std::vector<u8> image = writer.seal();
+    snap::SnapReader reader(image);
+    EXPECT_THROW(reader.expectTag("beta"), FatalRejection);
+}
+
+TEST(SnapIoTest, HostileCountIsFatal)
+{
+    ScopedFatalThrow bridge;
+    snap::SnapWriter writer;
+    writer.put64(~u64{0}); // a count promising 2^64-1 elements
+    snap::SnapReader reader(writer.seal());
+    EXPECT_THROW(reader.getCount(8), FatalRejection);
+}
+
+// ---------------------------------------------------------------------
+// Resume equivalence: the subsystem's correctness bar
+
+TEST(SnapResumeTest, PlbModel)
+{
+    expectResumeEquivalent(core::SystemConfig::plbSystem(), 6000);
+}
+
+TEST(SnapResumeTest, PageGroupModel)
+{
+    expectResumeEquivalent(core::SystemConfig::pageGroupSystem(), 6000);
+}
+
+TEST(SnapResumeTest, ConventionalModel)
+{
+    expectResumeEquivalent(core::SystemConfig::conventionalSystem(), 6000);
+}
+
+TEST(SnapResumeTest, FaultInjectedMachine)
+{
+    core::SystemConfig config = core::SystemConfig::plbSystem();
+    config.faults.enabled = true;
+    config.faults.seed = 7;
+    config.faults.rate = 0.05;
+    expectResumeEquivalent(config, 6000);
+}
+
+TEST(SnapResumeTest, MidSweepCheckpointEveryQuarter)
+{
+    // Four checkpoint/restore hops across one run still land
+    // bit-identical on the uninterrupted stats.
+    const core::SystemConfig config = core::SystemConfig::pageGroupSystem();
+    const u64 total = 8000;
+    const RunOutcome straight = runStraight(config, total);
+
+    obs::setThreadId(1);
+    obs::startTracing();
+    auto sys = std::make_unique<core::System>(config);
+    const vm::VAddr base = setupHeap(*sys);
+    auto rng = std::make_unique<Rng>(kSeed);
+    auto stream = makeWorkingSet(base, kPages);
+    std::vector<EventEssence> events;
+    u64 completed = 0;
+    u64 failed = 0;
+    for (int hop = 0; hop < 4; ++hop) {
+        const core::RunResult run =
+            sys->run(*stream, total / 4, *rng);
+        completed += run.completed;
+        failed += run.failed;
+
+        snap::Snapshotter snapper;
+        snapper.add(*sys);
+        snapper.add(*rng);
+        snapper.add(*stream);
+        const snap::Snapshot image = snapper.finish();
+        const std::vector<EventEssence> part =
+            essenceOf(obs::stopTracing());
+        events.insert(events.end(), part.begin(), part.end());
+
+        obs::setThreadId(1);
+        obs::startTracing();
+        sys = std::make_unique<core::System>(config);
+        setupHeap(*sys);
+        rng = std::make_unique<Rng>(hop + 1);
+        stream = makeWorkingSet(base, kPages);
+        snap::Restorer restorer(image);
+        restorer.restore(*sys);
+        restorer.restore(*rng);
+        restorer.restore(*stream);
+        restorer.finish();
+    }
+    const std::vector<EventEssence> part = essenceOf(obs::stopTracing());
+    events.insert(events.end(), part.begin(), part.end());
+
+    EXPECT_EQ(straight.stats, dumpOf(*sys));
+    EXPECT_EQ(straight.cycles, sys->cycles().count());
+    EXPECT_EQ(straight.completed, completed);
+    EXPECT_EQ(straight.failed, failed);
+    EXPECT_EQ(straight.events, events);
+}
+
+// ---------------------------------------------------------------------
+// Multi-core engine resume
+
+namespace
+{
+
+core::mc::McConfig
+mcConfig()
+{
+    core::mc::McConfig config;
+    config.system = core::SystemConfig::plbSystem();
+    config.cores = 4;
+    config.scheduleSeed = 3;
+    config.workload.stepsPerCore = 800;
+    config.workload.churnProb = 0.05;
+    config.workload.seed = 11;
+    config.recordOutcomes = true;
+    return config;
+}
+
+void
+expectSameResult(const core::mc::McResult &a, const core::mc::McResult &b)
+{
+    EXPECT_EQ(a.slots, b.slots);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.kernelOps, b.kernelOps);
+    EXPECT_EQ(a.shootdowns, b.shootdowns);
+    EXPECT_EQ(a.acks, b.acks);
+    EXPECT_EQ(a.staleWindowRefs, b.staleWindowRefs);
+    EXPECT_EQ(a.staleGrants, b.staleGrants);
+    EXPECT_EQ(a.invariantViolations, b.invariantViolations);
+    EXPECT_EQ(a.hwViolations, b.hwViolations);
+    EXPECT_EQ(a.quiescentChecks, b.quiescentChecks);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.coreCycles, b.coreCycles);
+    EXPECT_EQ(a.coreCompleted, b.coreCompleted);
+    EXPECT_EQ(a.coreFailed, b.coreFailed);
+    EXPECT_EQ(a.quiescentOutcomes, b.quiescentOutcomes);
+    EXPECT_EQ(a.coreOutcomes, b.coreOutcomes);
+    EXPECT_EQ(a.firstViolation, b.firstViolation);
+}
+
+} // namespace
+
+TEST(SnapMcTest, FourCoreResumeThroughFileRoundTrip)
+{
+    const core::mc::McConfig config = mcConfig();
+
+    core::mc::McSystem straight(config);
+    const core::mc::McResult full = straight.run();
+    const std::string fullStats = dumpOf(straight);
+
+    // Half the schedule: 4 cores x 800 steps is ~400 quantum-8 turns.
+    core::mc::McSystem first(config);
+    first.run(200);
+    ASSERT_FALSE(first.done())
+        << "partial run finished early; shrink max_slots";
+
+    snap::Snapshotter snapper;
+    snapper.add(first);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "snap_mc_test.snap")
+            .string();
+    snapper.finish().toFile(path);
+
+    core::mc::McSystem resumed(config);
+    snap::Restorer restorer(snap::Snapshot::fromFile(path));
+    restorer.restore(resumed);
+    restorer.finish();
+    std::filesystem::remove(path);
+
+    const core::mc::McResult continued = resumed.run();
+    EXPECT_TRUE(resumed.done());
+    expectSameResult(full, continued);
+    EXPECT_EQ(fullStats, dumpOf(resumed));
+}
+
+// ---------------------------------------------------------------------
+// Untrusted images: every malformation is a clean fatal
+
+namespace
+{
+
+/** A small valid image to deface. */
+snap::Snapshot
+smallImage()
+{
+    core::System sys(core::SystemConfig::plbSystem());
+    setupHeap(sys, 8);
+    Rng rng(1);
+    snap::Snapshotter snapper;
+    snapper.add(sys);
+    snapper.add(rng);
+    return snapper.finish();
+}
+
+void
+expectRejected(const snap::Snapshot &image)
+{
+    EXPECT_THROW(
+        {
+            core::System sys(core::SystemConfig::plbSystem());
+            setupHeap(sys, 8);
+            Rng rng(9);
+            snap::Restorer restorer(image);
+            restorer.restore(sys);
+            restorer.restore(rng);
+            restorer.finish();
+        },
+        FatalRejection);
+}
+
+} // namespace
+
+TEST(SnapCorruptionTest, TruncationsAreRejected)
+{
+    ScopedFatalThrow bridge;
+    const snap::Snapshot valid = smallImage();
+    for (const std::size_t keep :
+         {std::size_t{0}, std::size_t{7}, std::size_t{31}, std::size_t{32},
+          valid.bytes.size() / 2, valid.bytes.size() - 1}) {
+        snap::Snapshot cut = valid;
+        cut.bytes.resize(keep);
+        expectRejected(cut);
+    }
+}
+
+TEST(SnapCorruptionTest, BitFlipsAreRejected)
+{
+    ScopedFatalThrow bridge;
+    const snap::Snapshot valid = smallImage();
+    // One flip in the magic, the version, the length, the checksum,
+    // and a sweep of payload positions.
+    std::vector<std::size_t> positions = {0, 9, 17, 25};
+    for (std::size_t at = 32; at < valid.bytes.size();
+         at += valid.bytes.size() / 13 + 1)
+        positions.push_back(at);
+    for (const std::size_t at : positions) {
+        snap::Snapshot flipped = valid;
+        flipped.bytes[at] ^= 0x10;
+        expectRejected(flipped);
+    }
+}
+
+TEST(SnapCorruptionTest, FutureVersionIsRejected)
+{
+    ScopedFatalThrow bridge;
+    snap::Snapshot valid = smallImage();
+    valid.bytes[8] = 0xFF; // version field, little-endian low byte
+    expectRejected(valid);
+}
+
+TEST(SnapCorruptionTest, HostileLengthIsRejected)
+{
+    ScopedFatalThrow bridge;
+    snap::Snapshot valid = smallImage();
+    for (int i = 0; i < 8; ++i)
+        valid.bytes[16 + i] = 0xFF; // promises ~2^64 payload bytes
+    expectRejected(valid);
+}
+
+TEST(SnapCorruptionTest, TrailingBytesAreRejected)
+{
+    ScopedFatalThrow bridge;
+    const snap::Snapshot image = smallImage();
+    EXPECT_THROW(
+        {
+            core::System sys(core::SystemConfig::plbSystem());
+            setupHeap(sys, 8);
+            snap::Restorer restorer(image);
+            restorer.restore(sys);
+            // The image still holds the Rng section.
+            restorer.finish();
+        },
+        FatalRejection);
+}
+
+TEST(SnapCorruptionTest, ConfigMismatchNamesTheField)
+{
+    ScopedFatalThrow bridge;
+    const snap::Snapshot image = smallImage();
+    core::System other(core::SystemConfig::conventionalSystem());
+    setupHeap(other, 8);
+    snap::Restorer restorer(image);
+    try {
+        restorer.restore(other);
+        FAIL() << "mismatched config was accepted";
+    } catch (const FatalRejection &rejection) {
+        EXPECT_NE(std::string(rejection.what()).find("model"),
+                  std::string::npos)
+            << "fatal should name the mismatched field: "
+            << rejection.what();
+    }
+}
+
+TEST(SnapCorruptionTest, MissingFileIsFatal)
+{
+    ScopedFatalThrow bridge;
+    EXPECT_THROW(snap::Snapshot::fromFile("/nonexistent/no.snap"),
+                 FatalRejection);
+}
+
+// ---------------------------------------------------------------------
+// Stateful streams resume mid-sequence
+
+TEST(SnapStreamTest, SequentialStreamResumes)
+{
+    const vm::VAddr base{0x100000};
+    wl::SequentialStream original(base, 64 * vm::kPageBytes, 64);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i)
+        original.next(rng);
+
+    snap::Snapshotter snapper;
+    snapper.add(original);
+    snapper.add(rng);
+    const snap::Snapshot image = snapper.finish();
+
+    wl::SequentialStream resumed(base, 64 * vm::kPageBytes, 64);
+    Rng resumedRng(77);
+    snap::Restorer restorer(image);
+    restorer.restore(resumed);
+    restorer.restore(resumedRng);
+    restorer.finish();
+
+    for (int i = 0; i < 300; ++i)
+        EXPECT_EQ(original.next(rng).raw(), resumed.next(resumedRng).raw());
+}
+
+TEST(SnapStreamTest, WorkingSetStreamResumes)
+{
+    const vm::VAddr base{0x100000};
+    wl::WorkingSetStream original(base, 64, 8, 512);
+    Rng rng(5);
+    for (int i = 0; i < 700; ++i)
+        original.next(rng);
+
+    snap::Snapshotter snapper;
+    snapper.add(original);
+    snapper.add(rng);
+    const snap::Snapshot image = snapper.finish();
+
+    wl::WorkingSetStream resumed(base, 64, 8, 512);
+    Rng resumedRng(77);
+    snap::Restorer restorer(image);
+    restorer.restore(resumed);
+    restorer.restore(resumedRng);
+    restorer.finish();
+
+    for (int i = 0; i < 900; ++i)
+        EXPECT_EQ(original.next(rng).raw(), resumed.next(resumedRng).raw());
+}
+
+// ---------------------------------------------------------------------
+// Restored counters reconcile with the observed event stream
+
+TEST(SnapStatsTest, RestoredCountersMatchEventStream)
+{
+    const core::SystemConfig config = core::SystemConfig::plbSystem();
+    const u64 total = 3000;
+
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System sys(config);
+    const vm::VAddr base = setupHeap(sys);
+    Rng rng(kSeed);
+    auto stream = makeWorkingSet(base, kPages);
+    const core::RunResult run = sys.run(*stream, total, rng);
+    const std::vector<obs::Event> events = obs::stopTracing();
+
+    snap::Snapshotter snapper;
+    snapper.add(sys);
+    const snap::Snapshot image = snapper.finish();
+
+    core::System restored(config);
+    setupHeap(restored);
+    snap::Restorer restorer(image);
+    restorer.restore(restored);
+    restorer.finish();
+
+    // The restored scalars are the originals...
+    EXPECT_EQ(restored.references.value(), sys.references.value());
+    EXPECT_EQ(restored.failedReferences.value(),
+              sys.failedReferences.value());
+    EXPECT_EQ(dumpOf(sys), dumpOf(restored));
+
+    // ...and they reconcile with what the tracer observed: one
+    // access span per issued reference.
+    const u64 begins = static_cast<u64>(std::count_if(
+        events.begin(), events.end(), [](const obs::Event &event) {
+            return event.kind == obs::EventKind::AccessBegin;
+        }));
+    EXPECT_EQ(restored.references.value(), begins);
+    EXPECT_EQ(restored.references.value(), run.completed + run.failed);
+}
+
+// ---------------------------------------------------------------------
+// Warm-start sweeps: restoring the shared prefix image is invisible
+
+TEST(SnapSweepTest, WarmStartIsBitIdenticalAcrossSeeds)
+{
+    bench::SweepCell cell;
+    cell.model = "plb";
+    cell.workload = "zipf";
+    cell.config = core::SystemConfig::plbSystem();
+    cell.pages = kPages;
+    cell.references = 4000;
+    cell.warmRefs = 4000;
+    cell.warmSeed = 77;
+    cell.makeStream = [](vm::VAddr base, u64 pages, u64 seed) {
+        return std::make_unique<wl::ZipfPageStream>(base, pages, 0.8,
+                                                    seed);
+    };
+
+    const auto image = bench::SweepRunner::buildWarmImage(cell);
+    for (u64 seed = 1; seed <= 3; ++seed) {
+        cell.seed = seed;
+        cell.warmImage = nullptr;
+        const bench::CellResult cold = bench::SweepRunner::runCell(cell);
+        cell.warmImage = image;
+        const bench::CellResult warm = bench::SweepRunner::runCell(cell);
+        EXPECT_EQ(cold.statsDump, warm.statsDump) << "seed " << seed;
+        EXPECT_EQ(cold.simCycles, warm.simCycles) << "seed " << seed;
+        EXPECT_EQ(cold.completed, warm.completed) << "seed " << seed;
+        EXPECT_EQ(cold.failed, warm.failed) << "seed " << seed;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Options plumbing
+
+TEST(SnapOptionsTest, FromOptions)
+{
+    Options options;
+    options.set("snapshot_out", "out.snap");
+    options.set("restore", "in.snap");
+    options.set("snapshot_every", "5000");
+    const snap::SnapshotOptions opts =
+        snap::SnapshotOptions::fromOptions(options);
+    EXPECT_EQ(opts.out, "out.snap");
+    EXPECT_EQ(opts.restore, "in.snap");
+    EXPECT_EQ(opts.every, 5000u);
+
+    const snap::SnapshotOptions defaults =
+        snap::SnapshotOptions::fromOptions(Options{});
+    EXPECT_TRUE(defaults.out.empty());
+    EXPECT_TRUE(defaults.restore.empty());
+    EXPECT_EQ(defaults.every, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Format compatibility: the checked-in v1 image must keep loading
+
+TEST(SnapGoldenTest, V1ImageStillRestores)
+{
+    // The golden recipe: a PLB machine shrunk along its bulky axes
+    // (free-frame list, cache line maps) so the image stays a few
+    // tens of KB; 64-page heap, 2000 zipf references at seed 42,
+    // then System + Rng snapshotted.
+    const std::string path = dataPath("golden_v1.snap");
+    core::SystemConfig config = core::SystemConfig::plbSystem();
+    config.frames = 1024;
+    config.cache.sizeBytes = 8 * 1024;
+    config.l2Enabled = false;
+    const u64 prefix = 2000;
+
+    if (std::getenv("SASOS_GOLDEN_REGEN") != nullptr) {
+        core::System sys(config);
+        const vm::VAddr base = setupHeap(sys);
+        Rng rng(kSeed);
+        wl::ZipfPageStream stream(base, kPages, 0.8, kSeed);
+        sys.run(stream, prefix, rng);
+        snap::Snapshotter snapper;
+        snapper.add(sys);
+        snapper.add(rng);
+        snapper.finish().toFile(path);
+        GTEST_SKIP() << "regenerated " << path;
+    }
+
+    ASSERT_TRUE(std::filesystem::exists(path))
+        << "missing " << path
+        << "; run with SASOS_GOLDEN_REGEN=1 to create it";
+
+    core::System sys(config);
+    const vm::VAddr base = setupHeap(sys);
+    Rng rng(7);
+    snap::Restorer restorer(snap::Snapshot::fromFile(path));
+    restorer.restore(sys);
+    restorer.restore(rng);
+    restorer.finish();
+
+    EXPECT_EQ(sys.references.value(), prefix);
+
+    // The restored machine must still be a working machine.
+    wl::ZipfPageStream stream(base, kPages, 0.8, kSeed);
+    const core::RunResult run = sys.run(stream, 1000, rng);
+    EXPECT_EQ(run.completed + run.failed, 1000u);
+    EXPECT_EQ(sys.references.value(), prefix + 1000);
+}
