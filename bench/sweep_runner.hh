@@ -19,6 +19,10 @@
 #define SASOS_BENCH_SWEEP_RUNNER_HH
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <memory>
@@ -218,6 +222,157 @@ struct WarmReport
     }
 };
 
+/** One point of the perf history carried across changes. */
+struct TrajectoryEntry
+{
+    std::string date;
+    std::string commit;
+    u64 threads = 0;
+    double refsPerSec = 0.0;
+};
+
+namespace detail
+{
+
+/** Extract `"key": <value>` from a flat JSON object body; strings come
+ * back unquoted, anything else verbatim. Tolerant: missing keys yield
+ * an empty string rather than an error, so a hand-edited or
+ * older-schema artifact never blocks a rewrite. */
+inline std::string
+extractJsonField(std::string_view body, std::string_view key)
+{
+    const std::string pattern = "\"" + std::string(key) + "\"";
+    std::size_t pos = body.find(pattern);
+    if (pos == std::string_view::npos)
+        return {};
+    pos = body.find(':', pos + pattern.size());
+    if (pos == std::string_view::npos)
+        return {};
+    ++pos;
+    while (pos < body.size() &&
+           (body[pos] == ' ' || body[pos] == '\t' || body[pos] == '\n'))
+        ++pos;
+    if (pos >= body.size())
+        return {};
+    if (body[pos] == '"') {
+        const std::size_t end = body.find('"', pos + 1);
+        if (end == std::string_view::npos)
+            return {};
+        return std::string(body.substr(pos + 1, end - pos - 1));
+    }
+    std::size_t end = pos;
+    while (end < body.size() && body[end] != ',' && body[end] != '}' &&
+           body[end] != '\n')
+        ++end;
+    return std::string(body.substr(pos, end - pos));
+}
+
+} // namespace detail
+
+/** Recover the trajectory records of an existing sweep artifact so a
+ * rewrite appends to the perf history instead of erasing it. String
+ * extraction, not a parser: any file without a recognizable
+ * "trajectory" array simply contributes no history. */
+inline std::vector<TrajectoryEntry>
+readTrajectory(const std::string &path)
+{
+    std::vector<TrajectoryEntry> entries;
+    std::ifstream is(path);
+    if (!is)
+        return entries;
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const std::string text = buffer.str();
+    const std::size_t key = text.find("\"trajectory\"");
+    if (key == std::string::npos)
+        return entries;
+    const std::size_t open = text.find('[', key);
+    if (open == std::string::npos)
+        return entries;
+    const std::size_t close = text.find(']', open);
+    if (close == std::string::npos)
+        return entries;
+    std::size_t pos = open;
+    while (true) {
+        const std::size_t obj = text.find('{', pos);
+        if (obj == std::string::npos || obj > close)
+            break;
+        const std::size_t end = text.find('}', obj);
+        if (end == std::string::npos || end > close)
+            break;
+        const std::string_view body(text.data() + obj, end - obj + 1);
+        TrajectoryEntry e;
+        e.date = detail::extractJsonField(body, "date");
+        e.commit = detail::extractJsonField(body, "commit");
+        e.threads = static_cast<u64>(
+            std::strtoull(detail::extractJsonField(body, "threads").c_str(),
+                          nullptr, 10));
+        e.refsPerSec = std::strtod(
+            detail::extractJsonField(body, "refsPerSec").c_str(), nullptr);
+        entries.push_back(std::move(e));
+        pos = end + 1;
+    }
+    return entries;
+}
+
+/** The commit to stamp on a trajectory record: walk up from the
+ * working directory (benches run from build/) to the repository root
+ * and resolve .git/HEAD by hand -- loose ref, then packed-refs, then
+ * a detached HEAD hash. "unknown" when no repository is found, so the
+ * bench also runs from an exported tarball. */
+inline std::string
+headCommit()
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::path dir = fs::current_path(ec);
+    if (ec)
+        return "unknown";
+    while (true) {
+        const fs::path git = dir / ".git";
+        const fs::path head = git / "HEAD";
+        if (fs::exists(head, ec) && !ec) {
+            std::ifstream is(head);
+            std::string line;
+            if (!std::getline(is, line) || line.empty())
+                return "unknown";
+            if (line.rfind("ref: ", 0) != 0)
+                return line.substr(0, 12);
+            const std::string ref = line.substr(5);
+            std::ifstream loose(git / ref);
+            std::string hash;
+            if (loose && std::getline(loose, hash) && !hash.empty())
+                return hash.substr(0, 12);
+            std::ifstream packed(git / "packed-refs");
+            std::string pline;
+            while (std::getline(packed, pline)) {
+                if (pline.size() > ref.size() + 1 && pline[0] != '#' &&
+                    pline.compare(pline.size() - ref.size(), ref.size(),
+                                  ref) == 0)
+                    return pline.substr(0, 12);
+            }
+            return "unknown";
+        }
+        const fs::path parent = dir.parent_path();
+        if (parent == dir)
+            return "unknown";
+        dir = parent;
+    }
+}
+
+/** Today as YYYY-MM-DD (UTC), for trajectory records. */
+inline std::string
+utcDate()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", tm.tm_year + 1900,
+                  tm.tm_mon + 1, tm.tm_mday);
+    return buf;
+}
+
 /**
  * Emit the machine-readable sweep artifact. Schema:
  *
@@ -225,6 +380,7 @@ struct WarmReport
  *     "wallSeconds": W, "serialWallSeconds": S, "speedup": S/W,
  *     "totals": { "cells": N, "references": R, "simCycles": C,
  *                 "refsPerSec": R/W },
+ *     "trajectory": [ { "date", "commit", "threads", "refsPerSec" } ],
  *     "warm": { "warmRefs", "images", "coldWallSeconds",
  *               "buildWallSeconds", "warmWallSeconds", "speedup" },
  *     "cells": [ { "model", "workload", "seed", "references",
@@ -232,7 +388,11 @@ struct WarmReport
  *                  "simCyclesPerRef", "wallSeconds", "refsPerSec" } ] }
  *
  * serialWallSeconds/speedup are 0 when no threads=1 reference run was
- * taken; the "warm" block only appears for warm-start sweeps.
+ * taken; the "warm" block only appears for warm-start sweeps. The
+ * trajectory array is the perf history: records recovered from any
+ * existing artifact at `path` are preserved and this run's aggregate
+ * throughput is appended, so the file carries refs/sec across
+ * changes instead of only remembering the latest run.
  */
 inline void
 writeSweepJson(const std::string &path,
@@ -246,6 +406,18 @@ writeSweepJson(const std::string &path,
         total_refs += cell.references;
         total_cycles += cell.simCycles;
     }
+
+    // Recover the history before the ofstream truncates the file.
+    std::vector<TrajectoryEntry> trajectory = readTrajectory(path);
+    TrajectoryEntry now;
+    now.date = utcDate();
+    now.commit = headCommit();
+    now.threads = threads;
+    now.refsPerSec = wall_seconds > 0.0
+                         ? static_cast<double>(total_refs) / wall_seconds
+                         : 0.0;
+    trajectory.push_back(std::move(now));
+
     std::ofstream os(path);
     obs::JsonWriter json(os);
     json.beginObject();
@@ -266,6 +438,17 @@ writeSweepJson(const std::string &path,
                     ? static_cast<double>(total_refs) / wall_seconds
                     : 0.0);
     json.endObject();
+    json.key("trajectory");
+    json.beginArray();
+    for (const TrajectoryEntry &e : trajectory) {
+        json.beginObject();
+        json.member("date", e.date);
+        json.member("commit", e.commit);
+        json.member("threads", e.threads);
+        json.member("refsPerSec", e.refsPerSec);
+        json.endObject();
+    }
+    json.endArray();
     if (warm) {
         json.key("warm");
         json.beginObject();

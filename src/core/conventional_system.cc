@@ -1,5 +1,6 @@
 #include "core/conventional_system.hh"
 
+#include "core/system.hh" // driveBatch
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
 #include "snap/snapio.hh"
@@ -78,6 +79,10 @@ os::AccessResult
 ConventionalSystem::access(os::DomainId domain, vm::VAddr va,
                            vm::AccessType type)
 {
+    // A per-call access (kernel fault-retry excursions included) may
+    // insert or evict behind the coalescing memo; drop it.
+    memo_.valid = false;
+
     if (injector_ != nullptr) {
         const fault::Perturbation p = injector_->tick();
         if (p.any() && applyPerturbation(p))
@@ -149,21 +154,100 @@ os::BatchOutcome
 ConventionalSystem::accessBatch(os::DomainId domain, const vm::VAddr *vas,
                                 u64 n, vm::AccessType type)
 {
-    // The batched hot path: a direct (inlinable) call per reference,
-    // one virtual dispatch per batch.
-    for (u64 i = 0; i < n; ++i) {
-        const os::AccessResult result =
-            ConventionalSystem::access(domain, vas[i], type);
-        if (!result.completed)
-            return {i, result};
+    return driveBatch(*this, domain, vas, n, type);
+}
+
+os::AccessResult
+ConventionalSystem::accessFast(os::DomainId domain, vm::VAddr va,
+                               vm::AccessType type, BatchAccum &acc)
+{
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+    const hw::DomainId asid = tagOf(domain);
+
+    acc.refCycles += config_.costs.l1Hit;
+    acc.refCycles += config_.costs.tlbLookup;
+
+    hw::TlbEntry *entry;
+    if (memo_.valid && memo_.domain == domain &&
+        memo_.vpn == vpn.number()) {
+        // The previous reference resolved this page: replay exactly
+        // what its TLB hit would do again -- the stats deltas and the
+        // replacement touch -- without re-scanning the set.
+        entry = memo_.entry;
+        ++acc.tlbLookups;
+        ++acc.tlbHits;
+        tlb_.touchHit(memo_.loc);
+    } else {
+        // From here on the memo describes a stale reference, and the
+        // refill below may evict the entry it points at.
+        memo_.valid = false;
+        hw::AssocLoc loc;
+        entry = tlb_.lookup(vpn, asid, &loc);
+        if (entry == nullptr) {
+            charge(CostCategory::Refill, config_.costs.tlbRefill);
+            const vm::Translation *translation =
+                state_.pageTable.lookup(vpn);
+            if (translation == nullptr) {
+                ++translationFaultsSeen;
+                return {false, os::FaultKind::Translation};
+            }
+            hw::TlbEntry fresh;
+            fresh.pfn = translation->pfn;
+            fresh.asid = asid;
+            fresh.rights = state_.effectiveRights(domain, vpn);
+            tlb_.insert(vpn, fresh);
+            entry = tlb_.find(vpn, asid);
+            SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+            // A fill's way is unknown without re-probing, so this
+            // reference does not memoize; the next same-page one does.
+        } else {
+            memo_.valid = true;
+            memo_.domain = domain;
+            memo_.vpn = vpn.number();
+            memo_.entry = entry;
+            memo_.loc = loc;
+        }
     }
-    return {n, {}};
+
+    if (!vm::includes(entry->rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    const vm::PAddr pa = vm::translate(va, entry->pfn);
+    if (!mem_.l1Access(va, pa, store)) {
+        if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            if (victim->dirty)
+                charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    entry->referenced = true;
+    if (store)
+        entry->dirty = true;
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+void
+ConventionalSystem::flushBatch(BatchAccum &acc)
+{
+    account_.charge(CostCategory::Reference, acc.refCycles);
+    tlb_.lookups += acc.tlbLookups;
+    tlb_.hits += acc.tlbHits;
+    acc = {};
 }
 
 void
 ConventionalSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
                              vm::Access rights)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     // Entries fault in lazily, one per (domain, page).
     (void)domain;
     (void)seg;
@@ -173,6 +257,9 @@ ConventionalSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
 void
 ConventionalSystem::onDetach(os::DomainId domain, const vm::Segment &seg)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     const auto result =
         tlb_.purgeRange(tagOf(domain), seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
@@ -184,6 +271,9 @@ void
 ConventionalSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
                                     vm::Access rights)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     if (config_.purgeTlbOnSwitch) {
         // Untagged entries belong to whichever domain runs; the only
         // safe update is a purge-and-refill.
@@ -204,6 +294,9 @@ ConventionalSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
 void
 ConventionalSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     (void)rights;
     // Every domain's replica must go; refills apply the mask.
     const u64 dropped = tlb_.purgePage(vpn);
@@ -215,6 +308,9 @@ ConventionalSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
 void
 ConventionalSystem::onClearPageRightsAllDomains(vm::Vpn vpn)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     const u64 dropped = tlb_.purgePage(vpn);
     charge(CostCategory::KernelWork,
            dropped * config_.costs.invalidateEntry +
@@ -226,6 +322,9 @@ ConventionalSystem::onSetSegmentRights(os::DomainId domain,
                                        const vm::Segment &seg,
                                        vm::Access rights)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     (void)rights;
     const auto result =
         tlb_.purgeRange(tagOf(domain), seg.firstPage, seg.pages);
@@ -237,6 +336,9 @@ ConventionalSystem::onSetSegmentRights(os::DomainId domain,
 void
 ConventionalSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     (void)from;
     (void)to;
     if (config_.purgeTlbOnSwitch) {
@@ -263,6 +365,9 @@ ConventionalSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
 void
 ConventionalSystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     (void)vpn;
     (void)pfn;
 }
@@ -270,6 +375,9 @@ ConventionalSystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
 void
 ConventionalSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     const u64 dropped = tlb_.purgePage(vpn);
     charge(CostCategory::KernelWork,
            dropped * config_.costs.invalidateEntry);
@@ -279,6 +387,9 @@ ConventionalSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
 void
 ConventionalSystem::onDomainDestroyed(os::DomainId domain)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     if (config_.purgeTlbOnSwitch)
         return; // no per-domain tags to clean
     const auto result = tlb_.purgeAsid(tagOf(domain));
@@ -290,6 +401,9 @@ ConventionalSystem::onDomainDestroyed(os::DomainId domain)
 void
 ConventionalSystem::onSegmentDestroyed(const vm::Segment &seg)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     const auto result =
         tlb_.purgeRange(std::nullopt, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
@@ -300,6 +414,9 @@ ConventionalSystem::onSegmentDestroyed(const vm::Segment &seg)
 bool
 ConventionalSystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     // Stale per-domain entry; drop it so the refill reads the tables.
     tlb_.purgePageAsid(vpn, tagOf(domain));
     charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
@@ -323,6 +440,9 @@ ConventionalSystem::save(snap::SnapWriter &w) const
 void
 ConventionalSystem::load(snap::SnapReader &r)
 {
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
     r.expectTag("convmodel");
     tlb_.load(r);
     mem_.load(r);

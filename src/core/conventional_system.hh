@@ -51,6 +51,29 @@ class ConventionalSystem : public os::ProtectionModel
     os::BatchOutcome accessBatch(os::DomainId domain, const vm::VAddr *vas,
                                  u64 n, vm::AccessType type) override;
 
+    /** @name Batched fast path (core::driveBatch)
+     * accessFast() is access() with the hit path's Scalar bumps and
+     * charge() calls deferred into a batch-local accumulator, plus a
+     * one-entry memo that lets consecutive references to the same
+     * (domain, page) replay the previous TLB resolution -- stats
+     * deltas and replacement touch included -- without re-probing.
+     * flushBatch() folds the accumulator into the real stats; the
+     * driver calls it once per chunk and before every faulting return.
+     */
+    /// @{
+    struct BatchAccum
+    {
+        Cycles refCycles{};
+        u64 tlbLookups = 0;
+        u64 tlbHits = 0;
+    };
+
+    os::AccessResult accessFast(os::DomainId domain, vm::VAddr va,
+                                vm::AccessType type, BatchAccum &acc);
+    void flushBatch(BatchAccum &acc);
+    void invalidateBatchMemo() override { memo_.valid = false; }
+    /// @}
+
     void onAttach(os::DomainId domain, const vm::Segment &seg,
                   vm::Access rights) override;
     void onDetach(os::DomainId domain, const vm::Segment &seg) override;
@@ -97,11 +120,28 @@ class ConventionalSystem : public os::ProtectionModel
     /** The ASID used to tag entries (0 in purge-on-switch mode). */
     hw::DomainId tagOf(os::DomainId domain) const;
 
+    /**
+     * The previous fast-path reference's TLB resolution. Valid only
+     * between two consecutive accessFast() calls: every full-path
+     * resolution overwrites or clears it, every maintenance hook and
+     * per-call access() clears it, so a match guarantees `entry` is
+     * still the live entry that resolved this (domain, page).
+     */
+    struct BatchMemo
+    {
+        bool valid = false;
+        os::DomainId domain = 0;
+        u64 vpn = 0;
+        hw::TlbEntry *entry = nullptr;
+        hw::AssocLoc loc{};
+    };
+
     SystemConfig config_;
     os::VmState &state_;
     CycleAccount &account_;
     hw::Tlb tlb_;
     MemoryPath mem_;
+    BatchMemo memo_;
 };
 
 } // namespace sasos::core

@@ -454,6 +454,9 @@ void
 McSystem::processAck(Core &c, const RemoteOp &op)
 {
     const u64 stale = purgeStale(c, op);
+    // The purge went straight at the core's structures; its batch memo
+    // may now point at a dead slot.
+    c.model->invalidateBatchMemo();
     staleEntriesPurged += stale;
     ackStaleEntries.sample(stale);
     account_.charge(CostCategory::Trap, config_.system.costs.ipiDispatch);

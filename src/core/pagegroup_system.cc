@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/system.hh" // driveBatch
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
 #include "snap/snapio.hh"
@@ -34,8 +35,10 @@ PageGroupSystem::PageGroupSystem(const SystemConfig &config,
     SASOS_ASSERT(config.tlb.kind == hw::TlbKind::PageGroup,
                  "the page-group system uses a page-group TLB");
     // A freed AID may be recycled for a group with different members;
-    // any PID still cached for it must go.
+    // any PID still cached for it must go (and with it any coalescing
+    // memo that could be replaying the stale group).
     manager_.onGroupFreed = [this](os::GroupId aid) {
+        memo_.valid = false;
         pgCache_.remove(aid);
     };
 }
@@ -82,6 +85,10 @@ os::AccessResult
 PageGroupSystem::access(os::DomainId domain, vm::VAddr va,
                         vm::AccessType type)
 {
+    // A per-call access (kernel fault-retry excursions included) may
+    // insert or evict behind the coalescing memo; drop it.
+    memo_.valid = false;
+
     if (injector_ != nullptr) {
         const fault::Perturbation p = injector_->tick();
         if (p.any() && applyPerturbation(p)) {
@@ -188,20 +195,141 @@ os::BatchOutcome
 PageGroupSystem::accessBatch(os::DomainId domain, const vm::VAddr *vas,
                              u64 n, vm::AccessType type)
 {
-    // The batched hot path: a direct (inlinable) call per reference,
-    // one virtual dispatch per batch.
-    for (u64 i = 0; i < n; ++i) {
-        const os::AccessResult result =
-            PageGroupSystem::access(domain, vas[i], type);
-        if (!result.completed)
-            return {i, result};
+    return driveBatch(*this, domain, vas, n, type);
+}
+
+os::AccessResult
+PageGroupSystem::accessFast(os::DomainId domain, vm::VAddr va,
+                            vm::AccessType type, BatchAccum &acc)
+{
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+    current_ = domain;
+
+    acc.refCycles += config_.costs.l1Hit;
+    acc.refCycles += config_.costs.tlbLookup;
+
+    hw::TlbEntry *entry;
+    bool write_disable;
+    if (memo_.valid && memo_.domain == domain &&
+        memo_.vpn == vpn.number()) {
+        // The previous reference resolved this page: replay exactly
+        // what its TLB hit and page-group check would do again -- the
+        // stats deltas and both replacement touches -- without
+        // re-probing either structure.
+        entry = memo_.entry;
+        ++acc.tlbLookups;
+        ++acc.tlbHits;
+        tlb_.touchHit(memo_.tlbLoc);
+        ++acc.pgLookups;
+        if (memo_.aidGlobal) {
+            ++acc.pgGlobalHits;
+        } else {
+            ++acc.pgHits;
+            pgCache_.touchHit(memo_.pgLoc);
+        }
+        write_disable = memo_.writeDisable;
+    } else {
+        // From here on the memo describes a stale reference, and the
+        // refills below may evict the entries it points at.
+        memo_.valid = false;
+
+        // --- Combined TLB: translation + AID + group rights.
+        hw::AssocLoc tlb_loc;
+        bool tlb_hit = true;
+        entry = tlb_.lookup(vpn, 0, &tlb_loc);
+        if (entry == nullptr) {
+            tlb_hit = false;
+            charge(CostCategory::Refill, config_.costs.tlbRefill);
+            const vm::Translation *translation =
+                state_.pageTable.lookup(vpn);
+            if (translation == nullptr) {
+                ++translationFaultsSeen;
+                return {false, os::FaultKind::Translation};
+            }
+            const os::PageGroupState st = manager_.pageState(vpn);
+            hw::TlbEntry fresh;
+            fresh.pfn = translation->pfn;
+            fresh.aid = st.aid;
+            fresh.rights = st.rights;
+            tlb_.insert(vpn, fresh);
+            entry = tlb_.find(vpn);
+            SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+        }
+
+        // --- Page-group check, dependent on the TLB output.
+        hw::AssocLoc pg_loc;
+        bool pg_memoizable = false;
+        if (auto pid = pgCache_.lookup(entry->aid, &pg_loc)) {
+            write_disable = pid->writeDisable;
+            pg_memoizable = true;
+        } else if (manager_.domainHasGroup(domain, entry->aid)) {
+            ++pgCacheRefills;
+            charge(CostCategory::Refill, config_.costs.pgCacheRefill);
+            write_disable = manager_.writeDisabled(domain, entry->aid);
+            // A fill's way is unknown without re-probing, so this
+            // reference does not memoize; the next same-page one does.
+            pgCache_.insert(entry->aid, write_disable);
+        } else {
+            ++protectionDenies;
+            return {false, os::FaultKind::Protection};
+        }
+
+        if (tlb_hit && pg_memoizable) {
+            memo_.valid = true;
+            memo_.domain = domain;
+            memo_.vpn = vpn.number();
+            memo_.entry = entry;
+            memo_.tlbLoc = tlb_loc;
+            memo_.aidGlobal = entry->aid == hw::kGlobalGroup;
+            memo_.pgLoc = pg_loc;
+            memo_.writeDisable = write_disable;
+        }
     }
-    return {n, {}};
+
+    vm::Access rights = entry->rights;
+    if (write_disable)
+        rights = rights & ~vm::Access::Write;
+    if (!vm::includes(rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    // --- Data cache (physical tag from the TLB's translation).
+    const vm::PAddr pa = vm::translate(va, entry->pfn);
+    if (!mem_.l1Access(va, pa, store)) {
+        if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            if (victim->dirty)
+                charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    entry->referenced = true;
+    if (store)
+        entry->dirty = true;
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+void
+PageGroupSystem::flushBatch(BatchAccum &acc)
+{
+    account_.charge(CostCategory::Reference, acc.refCycles);
+    tlb_.lookups += acc.tlbLookups;
+    tlb_.hits += acc.tlbHits;
+    pgCache_.lookups += acc.pgLookups;
+    pgCache_.hits += acc.pgHits;
+    pgCache_.globalHits += acc.pgGlobalHits;
+    acc = {};
 }
 
 void
 PageGroupSystem::syncTlbEntry(vm::Vpn vpn, const os::PageGroupState &st)
 {
+    // The rewritten entry may be the one the coalescing memo replays.
+    memo_.valid = false;
     if (tlb_.setGroup(vpn, st.aid, st.rights)) {
         ++groupMoves;
         charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
@@ -211,6 +339,7 @@ PageGroupSystem::syncTlbEntry(vm::Vpn vpn, const os::PageGroupState &st)
 void
 PageGroupSystem::checkUnionChanged(const vm::Segment &seg)
 {
+    memo_.valid = false;
     const vm::Access now = manager_.defaultRightsOf(seg.id);
     auto it = lastUnion_.find(seg.id);
     if (it != lastUnion_.end() && it->second == now)
@@ -242,6 +371,7 @@ PageGroupSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
     (void)rights;
     // Table 1: "add the page-group identifier for the segment to the
     // page-group cache" -- O(1), the model's headline advantage.
+    memo_.valid = false;
     const os::GroupId aid = manager_.defaultGroupOf(seg.id);
     manager_.invalidateSegmentDefaults(seg.id);
     if (domain == current_ && current_ != 0 &&
@@ -257,6 +387,7 @@ PageGroupSystem::onDetach(os::DomainId domain, const vm::Segment &seg)
 {
     // Table 1: "remove the appropriate page-group identifier from the
     // page-group cache".
+    memo_.valid = false;
     for (os::GroupId aid : manager_.groupsOfSegment(seg.id)) {
         if (domain == current_ && pgCache_.remove(aid))
             charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
@@ -276,6 +407,7 @@ PageGroupSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
     (void)rights;
     // Section 4.1.2: a per-domain change on a shared page may move
     // the page between groups (a split); the manager decides.
+    memo_.valid = false;
     const os::PageGroupState st = manager_.regroupPage(vpn);
     syncTlbEntry(vpn, st);
     // If the current domain gained a new group, it will fault it into
@@ -288,12 +420,14 @@ PageGroupSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
     (void)rights;
     // Table 1 paging rows: the page moves to the pager-private (or
     // null) group -- a single TLB entry update.
+    memo_.valid = false;
     syncTlbEntry(vpn, manager_.regroupPage(vpn));
 }
 
 void
 PageGroupSystem::onClearPageRightsAllDomains(vm::Vpn vpn)
 {
+    memo_.valid = false;
     syncTlbEntry(vpn, manager_.regroupPage(vpn));
 }
 
@@ -304,6 +438,7 @@ PageGroupSystem::onSetSegmentRights(os::DomainId domain,
 {
     (void)domain;
     (void)rights;
+    memo_.valid = false;
     manager_.invalidateSegmentDefaults(seg.id);
     // Membership and D bits are derived, so a grant change that keeps
     // the union intact (e.g. dropping one domain to read-only via its
@@ -343,6 +478,7 @@ PageGroupSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
     current_ = to;
     // Section 4.1.4: purge the page-group cache; reload eagerly or
     // let protection faults reload it lazily.
+    memo_.valid = false;
     pgCache_.purgeAll();
     charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
     if (config_.eagerPgReload) {
@@ -369,11 +505,13 @@ PageGroupSystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
 {
     (void)vpn;
     (void)pfn;
+    memo_.valid = false;
 }
 
 void
 PageGroupSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
 {
+    memo_.valid = false;
     if (tlb_.purgePage(vpn))
         charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
     mem_.flushPage(vpn, pfn);
@@ -386,11 +524,13 @@ PageGroupSystem::onDomainDestroyed(os::DomainId domain)
     // Memberships are derived from canonical state, which the kernel
     // has already cleared; cached PIDs belong to the current domain,
     // which cannot be the one destroyed.
+    memo_.valid = false;
 }
 
 void
 PageGroupSystem::onSegmentDestroyed(const vm::Segment &seg)
 {
+    memo_.valid = false;
     for (os::GroupId aid : manager_.groupsOfSegment(seg.id))
         pgCache_.remove(aid);
     manager_.releaseSegment(seg.id);
@@ -410,6 +550,7 @@ PageGroupSystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
     // field, or an inexpressible vector grouped toward another
     // domain). Regroup toward the faulting domain and refresh the
     // TLB and page-group cache.
+    memo_.valid = false;
     const os::PageGroupState st = manager_.regroupPageFor(vpn, domain);
     syncTlbEntry(vpn, st);
     if (tlb_.peek(vpn) == nullptr) {
@@ -448,6 +589,7 @@ void
 PageGroupSystem::load(snap::SnapReader &r)
 {
     r.expectTag("pgmodel");
+    memo_.valid = false;
     manager_.load(r);
     tlb_.load(r);
     pgCache_.load(r);

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "core/system.hh" // driveBatch
 #include "obs/tracer.hh"
 #include "sim/logging.hh"
 #include "snap/snapio.hh"
@@ -29,6 +30,7 @@ PlbSystem::PlbSystem(const SystemConfig &config, os::VmState &state,
 {
     SASOS_ASSERT(config.tlb.kind == hw::TlbKind::TranslationOnly,
                  "the PLB system uses a translation-only TLB");
+    plbPageUniform_ = plb_.pageUniform();
 }
 
 void
@@ -99,6 +101,10 @@ PlbSystem::applyPerturbation(const fault::Perturbation &p)
 os::AccessResult
 PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
 {
+    // A per-call access (kernel fault-retry excursions included) may
+    // insert or evict behind the coalescing memo; drop it.
+    memo_.valid = false;
+
     if (injector_ != nullptr) {
         const fault::Perturbation p = injector_->tick();
         if (p.any() && applyPerturbation(p)) {
@@ -187,15 +193,106 @@ os::BatchOutcome
 PlbSystem::accessBatch(os::DomainId domain, const vm::VAddr *vas, u64 n,
                       vm::AccessType type)
 {
-    // The batched hot path: a direct (inlinable) call per reference,
-    // one virtual dispatch per batch.
-    for (u64 i = 0; i < n; ++i) {
-        const os::AccessResult result =
-            PlbSystem::access(domain, vas[i], type);
-        if (!result.completed)
-            return {i, result};
+    return driveBatch(*this, domain, vas, n, type);
+}
+
+os::AccessResult
+PlbSystem::accessFast(os::DomainId domain, vm::VAddr va,
+                      vm::AccessType type, BatchAccum &acc)
+{
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+
+    // One base cycle covers the parallel PLB + VIVT cache probe.
+    acc.refCycles += config_.costs.l1Hit;
+
+    // --- Protection side: memo for same-page runs, else the PLB.
+    vm::Access rights;
+    if (memo_.valid && memo_.domain == domain &&
+        memo_.vpn == vpn.number()) {
+        // The previous reference resolved this page: replay exactly
+        // what its PLB hit would do again -- the stats deltas and the
+        // replacement touch -- without re-scanning the set.
+        ++acc.plbLookups;
+        ++acc.plbHits;
+        plb_.touchHit(memo_.loc);
+        rights = memo_.rights;
+    } else {
+        // From here on the memo describes a stale reference, and the
+        // refill below may evict the entry it points at.
+        memo_.valid = false;
+        hw::AssocLoc loc;
+        if (auto match = plb_.lookup(domain, va, &loc)) {
+            rights = match->rights;
+            if (plbPageUniform_) {
+                memo_.valid = true;
+                memo_.domain = domain;
+                memo_.vpn = vpn.number();
+                memo_.rights = rights;
+                memo_.loc = loc;
+            }
+        } else {
+            charge(CostCategory::Refill, config_.costs.plbRefill);
+            rights = state_.effectiveRights(domain, vpn);
+            const vm::Segment *seg = state_.segments.findByPage(vpn);
+            const int shift = refillShift(domain, vpn, seg);
+            if (shift > vm::kPageShift)
+                ++superPageFills;
+            else
+                ++pageFills;
+            // The filled way is unknown without re-probing, so a fill
+            // does not memoize; the next same-page reference's hit
+            // establishes the memo.
+            plb_.insert(domain, va, shift, rights);
+        }
     }
-    return {n, {}};
+
+    // --- Data side: the cache is probed in parallel.
+    const bool cache_hit = mem_.l1Access(va, std::nullopt, store);
+
+    if (!vm::includes(rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    if (cache_hit) {
+        state_.pageTable.markReferenced(vpn);
+        if (store)
+            state_.pageTable.markDirty(vpn);
+        return {true, os::FaultKind::None};
+    }
+
+    // Cache miss: translation is needed, from the off-chip TLB.
+    const auto pfn = translateOffChip(vpn);
+    if (!pfn) {
+        ++translationFaultsSeen;
+        return {false, os::FaultKind::Translation};
+    }
+
+    const vm::PAddr pa = vm::translate(va, *pfn);
+    if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+        if (victim->dirty) {
+            ++writebackTranslations;
+            const vm::Vpn victim_vpn(victim->vline * config_.cache.lineBytes
+                                     >> vm::kPageShift);
+            (void)translateOffChip(victim_vpn);
+            charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+void
+PlbSystem::flushBatch(BatchAccum &acc)
+{
+    account_.charge(CostCategory::Reference, acc.refCycles);
+    plb_.lookups += acc.plbLookups;
+    plb_.hits += acc.plbHits;
+    acc = {};
 }
 
 std::optional<vm::Pfn>
@@ -230,6 +327,7 @@ PlbSystem::onAttach(os::DomainId domain, const vm::Segment &seg,
     (void)domain;
     (void)seg;
     (void)rights;
+    memo_.valid = false;
 }
 
 void
@@ -237,6 +335,7 @@ PlbSystem::onDetach(os::DomainId domain, const vm::Segment &seg)
 {
     // Worst case from the paper: inspect every PLB entry and drop
     // those for the (segment, domain) pair.
+    memo_.valid = false;
     const auto result = plb_.purgeRange(domain, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
@@ -253,6 +352,7 @@ PlbSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
     // carries the *effective* rights (a global mask may narrow the
     // new grant).
     (void)rights;
+    memo_.valid = false;
     const vm::VAddr va = vm::baseOf(vpn);
     const vm::Access effective = state_.effectiveRights(domain, vpn);
     if (auto match = plb_.peek(domain, va)) {
@@ -272,6 +372,7 @@ PlbSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
     // Restricting every domain: intersect any cached entry for the
     // page, whatever domain it belongs to. The cost scales with the
     // PLB size (a scan), as the paper notes for such operations.
+    memo_.valid = false;
     const auto result = plb_.intersectRightsRange(vpn, 1, rights);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry);
@@ -282,6 +383,7 @@ PlbSystem::onClearPageRightsAllDomains(vm::Vpn vpn)
 {
     // Per-domain rights apply again; entries were narrowed, so purge
     // and let refills read the canonical tables.
+    memo_.valid = false;
     const auto result = plb_.purgeRange(std::nullopt, vpn, 1);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
@@ -296,6 +398,7 @@ PlbSystem::onSetSegmentRights(os::DomainId domain, const vm::Segment &seg,
     // segment; refills pick up the new grant (and respect any page
     // overrides, which an in-place blanket update could not).
     (void)rights;
+    memo_.valid = false;
     const auto result = plb_.purgeRange(domain, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
@@ -306,9 +409,11 @@ void
 PlbSystem::onDomainSwitch(os::DomainId from, os::DomainId to)
 {
     // The whole point: a switch writes the PD-ID register, nothing
-    // else. Neither the PLB nor the TLB is purged.
+    // else. Neither the PLB nor the TLB is purged. The memo is keyed
+    // by domain, but drop it anyway: one uniform rule for every hook.
     (void)from;
     (void)to;
+    memo_.valid = false;
     charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
 }
 
@@ -318,6 +423,7 @@ PlbSystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
     // Translations are loaded lazily by the off-chip TLB.
     (void)vpn;
     (void)pfn;
+    memo_.valid = false;
 }
 
 void
@@ -326,6 +432,7 @@ PlbSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
     // Purge the translation and flush the page's lines. The PLB is
     // deliberately left alone: a stale entry may still allow the
     // access, but the missing translation faults it (Section 4.1.3).
+    memo_.valid = false;
     tlb_.purgePage(vpn);
     charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
     mem_.flushPage(vpn, pfn);
@@ -334,6 +441,7 @@ PlbSystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
 void
 PlbSystem::onDomainDestroyed(os::DomainId domain)
 {
+    memo_.valid = false;
     const auto result = plb_.purgeDomain(domain);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
@@ -343,6 +451,7 @@ PlbSystem::onDomainDestroyed(os::DomainId domain)
 void
 PlbSystem::onSegmentDestroyed(const vm::Segment &seg)
 {
+    memo_.valid = false;
     const auto result =
         plb_.purgeRange(std::nullopt, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
@@ -355,6 +464,7 @@ PlbSystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
 {
     // The canonical tables allow the access, so the PLB holds a stale
     // deny; replace it with a fresh page-grain entry.
+    memo_.valid = false;
     const vm::VAddr va = vm::baseOf(vpn);
     plb_.invalidateCovering(domain, va);
     plb_.insert(domain, va, vm::kPageShift,
@@ -383,6 +493,7 @@ void
 PlbSystem::load(snap::SnapReader &r)
 {
     r.expectTag("plbmodel");
+    memo_.valid = false;
     plb_.load(r);
     tlb_.load(r);
     mem_.load(r);

@@ -52,6 +52,30 @@ class PlbSystem : public os::ProtectionModel
     os::BatchOutcome accessBatch(os::DomainId domain, const vm::VAddr *vas,
                                  u64 n, vm::AccessType type) override;
 
+    /** @name Batched fast path (core::driveBatch)
+     * accessFast() is access() with the per-reference Scalar bumps and
+     * charge() calls of the hit path deferred into a batch-local
+     * accumulator, plus a one-entry memo that lets consecutive
+     * references to the same (domain, page) replay the previous
+     * resolution -- stats deltas and replacement touch included --
+     * without re-probing the PLB. flushBatch() folds the accumulator
+     * into the real stats; the driver calls it once per chunk and
+     * before every faulting return.
+     */
+    /// @{
+    struct BatchAccum
+    {
+        Cycles refCycles{};
+        u64 plbLookups = 0;
+        u64 plbHits = 0;
+    };
+
+    os::AccessResult accessFast(os::DomainId domain, vm::VAddr va,
+                                vm::AccessType type, BatchAccum &acc);
+    void flushBatch(BatchAccum &acc);
+    void invalidateBatchMemo() override { memo_.valid = false; }
+    /// @}
+
     void onAttach(os::DomainId domain, const vm::Segment &seg,
                   vm::Access rights) override;
     void onDetach(os::DomainId domain, const vm::Segment &seg) override;
@@ -105,12 +129,32 @@ class PlbSystem : public os::ProtectionModel
     int refillShift(os::DomainId domain, vm::Vpn vpn,
                     const vm::Segment *seg) const;
 
+    /**
+     * The previous fast-path reference's PLB resolution. Valid only
+     * between two consecutive accessFast() calls: every full-path
+     * resolution overwrites or clears it, every maintenance hook and
+     * per-call access() clears it, so a match guarantees the entry at
+     * `loc` is still the one that granted `rights`.
+     */
+    struct BatchMemo
+    {
+        bool valid = false;
+        os::DomainId domain = 0;
+        u64 vpn = 0;
+        vm::Access rights = vm::Access::None;
+        hw::AssocLoc loc{};
+    };
+
     SystemConfig config_;
     os::VmState &state_;
     CycleAccount &account_;
     hw::Plb plb_;
     hw::Tlb tlb_;
     MemoryPath mem_;
+    BatchMemo memo_;
+    /** Cached plb_.pageUniform(): sub-page block classes make a
+     * VPN-grain memo unsound, so memoization is disabled. */
+    bool plbPageUniform_ = false;
 };
 
 } // namespace sasos::core

@@ -19,6 +19,7 @@
 #include "core/plb_system.hh"
 #include "core/system_config.hh"
 #include "fault/fault.hh"
+#include "obs/tracer.hh"
 #include "os/kernel.hh"
 #include "os/pager.hh"
 #include "sim/random.hh"
@@ -50,6 +51,49 @@ struct RunResult
 void saveConfigSignature(snap::SnapWriter &w, const SystemConfig &config);
 void checkConfigSignature(snap::SnapReader &r, const SystemConfig &config);
 /// @}
+
+/**
+ * The shared batch driver behind every model's accessBatch override.
+ *
+ * Each model supplies two ingredients: a `BatchAccum` type of
+ * batch-local stat/cycle accumulators, and an `accessFast(domain, va,
+ * type, acc)` hit path that defers its Scalar bumps and charge()
+ * calls into the accumulator and coalesces same-page runs through the
+ * model's one-entry memo. flushBatch(acc) folds the accumulator into
+ * the real stats exactly once per chunk (and before every faulting
+ * return, so a fault observer sees fully up-to-date totals).
+ *
+ * When tracing is live or a fault injector is attached, per-reference
+ * observability matters more than throughput, so the driver falls
+ * back to the model's exact access() body per reference -- statically
+ * dispatched, which is what the old per-model accessBatch loops did.
+ */
+template <typename Model>
+os::BatchOutcome
+driveBatch(Model &model, os::DomainId domain, const vm::VAddr *vas, u64 n,
+           vm::AccessType type)
+{
+    if (obs::enabled() || model.injector() != nullptr) {
+        for (u64 i = 0; i < n; ++i) {
+            const os::AccessResult result =
+                model.Model::access(domain, vas[i], type);
+            if (!result.completed)
+                return {i, result};
+        }
+        return {n, {}};
+    }
+    typename Model::BatchAccum acc;
+    for (u64 i = 0; i < n; ++i) {
+        const os::AccessResult result =
+            model.accessFast(domain, vas[i], type, acc);
+        if (!result.completed) {
+            model.flushBatch(acc);
+            return {i, result};
+        }
+    }
+    model.flushBatch(acc);
+    return {n, {}};
+}
 
 /** One simulated machine running the SASOS kernel. */
 class System

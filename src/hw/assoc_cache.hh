@@ -7,6 +7,13 @@
  * page-group cache. Callers map their key to (set index, tag); the
  * store handles validity, replacement and scans.
  *
+ * Storage is structure-of-arrays: the valid bits, tags and payloads
+ * live in three parallel vectors, so the probe loop -- the simulator's
+ * single hottest scan -- walks a dense byte array and a dense tag
+ * array instead of striding over padded (valid, tag, payload) records.
+ * The external API (lookup/probe/insert/purge scans) and the snapshot
+ * byte format are unchanged from the AoS layout.
+ *
  * Purge operations report how many entries were *scanned* as well as
  * how many were invalidated, because the paper's cost arguments
  * distinguish a full inspect-every-entry pass (PLB detach) from an
@@ -34,6 +41,17 @@ struct PurgeResult
 };
 
 /**
+ * Location of a lookup hit. Callers that coalesce consecutive
+ * references to the same entry remember the location and replay the
+ * replacement touch through touch() without re-scanning the set.
+ */
+struct AssocLoc
+{
+    std::size_t set = 0;
+    std::size_t way = 0;
+};
+
+/**
  * Set-associative storage of (Tag -> Payload).
  *
  * @tparam Tag      equality-comparable lookup key (within a set).
@@ -43,13 +61,6 @@ template <typename Tag, typename Payload>
 class AssocCache
 {
   public:
-    struct Entry
-    {
-        bool valid = false;
-        Tag tag{};
-        Payload payload{};
-    };
-
     /** An evicted valid entry, reported to the caller on insert. */
     struct Victim
     {
@@ -60,42 +71,66 @@ class AssocCache
     AssocCache(std::size_t sets, std::size_t ways, PolicyKind policy,
                u64 seed = 1)
         : sets_(sets), ways_(ways),
-          entries_(sets * ways),
-          policy_(makePolicy(policy, sets, ways, seed))
+          valid_(sets * ways, 0),
+          tags_(sets * ways),
+          payloads_(sets * ways),
+          policy_(makePolicy(policy, sets, ways, seed)),
+          needsTouch_(policy_->needsTouch())
     {
         SASOS_ASSERT(sets > 0 && ways > 0, "degenerate cache geometry");
     }
 
     std::size_t sets() const { return sets_; }
     std::size_t ways() const { return ways_; }
-    std::size_t capacity() const { return entries_.size(); }
+    std::size_t capacity() const { return valid_.size(); }
 
     /** Valid entries currently stored. */
     std::size_t occupancy() const { return occupancy_; }
 
-    /** Find and touch (updates replacement state). Null on miss. */
+    /**
+     * Find and touch (updates replacement state). Null on miss.
+     * @param loc filled with the hit's (set, way) when non-null, so
+     *            the caller can replay the touch on a coalesced
+     *            re-reference.
+     */
     Payload *
-    lookup(std::size_t set, const Tag &tag)
+    lookup(std::size_t set, const Tag &tag, AssocLoc *loc = nullptr)
     {
-        Entry *entry = findEntry(set, tag);
-        if (entry == nullptr)
+        const std::size_t way = findWay(set, tag);
+        if (way == kNoWay)
             return nullptr;
-        policy_->touch(set, static_cast<std::size_t>(entry - setBase(set)));
-        return &entry->payload;
+        if (needsTouch_)
+            policy_->touch(set, way);
+        if (loc != nullptr)
+            *loc = {set, way};
+        return &payloads_[set * ways_ + way];
     }
 
     /** Find without touching replacement state. Null on miss. */
     Payload *
     probe(std::size_t set, const Tag &tag)
     {
-        Entry *entry = findEntry(set, tag);
-        return entry ? &entry->payload : nullptr;
+        const std::size_t way = findWay(set, tag);
+        return way == kNoWay ? nullptr : &payloads_[set * ways_ + way];
     }
 
     const Payload *
     probe(std::size_t set, const Tag &tag) const
     {
         return const_cast<AssocCache *>(this)->probe(set, tag);
+    }
+
+    /**
+     * Replay the replacement touch of a remembered hit, exactly as
+     * lookup() would have performed it. The caller guarantees the
+     * entry at `loc` is still the one it hit (nothing was inserted or
+     * invalidated since).
+     */
+    void
+    touch(const AssocLoc &loc)
+    {
+        if (needsTouch_)
+            policy_->touch(loc.set, loc.way);
     }
 
     /**
@@ -107,15 +142,15 @@ class AssocCache
     std::optional<Victim>
     insert(std::size_t set, const Tag &tag, Payload payload)
     {
-        SASOS_ASSERT(findEntry(set, tag) == nullptr,
+        SASOS_ASSERT(findWay(set, tag) == kNoWay,
                      "inserting duplicate tag");
-        Entry *base = setBase(set);
+        const std::size_t base = set * ways_;
         // Prefer an invalid way.
         for (std::size_t way = 0; way < ways_; ++way) {
-            if (!base[way].valid) {
-                base[way].valid = true;
-                base[way].tag = tag;
-                base[way].payload = std::move(payload);
+            if (!valid_[base + way]) {
+                valid_[base + way] = 1;
+                tags_[base + way] = tag;
+                payloads_[base + way] = std::move(payload);
                 policy_->fill(set, way);
                 ++occupancy_;
                 return std::nullopt;
@@ -123,9 +158,9 @@ class AssocCache
         }
         const std::size_t way = policy_->victim(set);
         SASOS_ASSERT(way < ways_, "policy returned bad way");
-        Victim victim{base[way].tag, std::move(base[way].payload)};
-        base[way].tag = tag;
-        base[way].payload = std::move(payload);
+        Victim victim{tags_[base + way], std::move(payloads_[base + way])};
+        tags_[base + way] = tag;
+        payloads_[base + way] = std::move(payload);
         policy_->fill(set, way);
         return victim;
     }
@@ -134,10 +169,10 @@ class AssocCache
     bool
     invalidate(std::size_t set, const Tag &tag)
     {
-        Entry *entry = findEntry(set, tag);
-        if (entry == nullptr)
+        const std::size_t way = findWay(set, tag);
+        if (way == kNoWay)
             return false;
-        entry->valid = false;
+        valid_[set * ways_ + way] = 0;
         --occupancy_;
         return true;
     }
@@ -155,12 +190,12 @@ class AssocCache
         // Hardware inspects every slot of the structure, valid or
         // not; the scan cost is the capacity, which is what the
         // paper's "inspecting all the entries" worst case charges.
-        result.scanned = entries_.size();
-        for (Entry &entry : entries_) {
-            if (!entry.valid)
+        result.scanned = valid_.size();
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            if (!valid_[i])
                 continue;
-            if (pred(entry.tag, entry.payload)) {
-                entry.valid = false;
+            if (pred(tags_[i], payloads_[i])) {
+                valid_[i] = 0;
                 --occupancy_;
                 ++result.invalidated;
             }
@@ -179,13 +214,13 @@ class AssocCache
     std::optional<Victim>
     invalidateNth(std::size_t n)
     {
-        for (Entry &entry : entries_) {
-            if (!entry.valid)
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            if (!valid_[i])
                 continue;
             if (n-- == 0) {
-                entry.valid = false;
+                valid_[i] = 0;
                 --occupancy_;
-                return Victim{entry.tag, entry.payload};
+                return Victim{tags_[i], payloads_[i]};
             }
         }
         return std::nullopt;
@@ -196,9 +231,9 @@ class AssocCache
     invalidateAll()
     {
         u64 dropped = 0;
-        for (Entry &entry : entries_) {
-            if (entry.valid) {
-                entry.valid = false;
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            if (valid_[i]) {
+                valid_[i] = 0;
                 ++dropped;
             }
         }
@@ -212,9 +247,9 @@ class AssocCache
     void
     forEach(Fn fn)
     {
-        for (Entry &entry : entries_) {
-            if (entry.valid)
-                fn(entry.tag, entry.payload);
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            if (valid_[i])
+                fn(tags_[i], payloads_[i]);
         }
     }
 
@@ -222,9 +257,9 @@ class AssocCache
     void
     forEach(Fn fn) const
     {
-        for (const Entry &entry : entries_) {
-            if (entry.valid)
-                fn(entry.tag, entry.payload);
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            if (valid_[i])
+                fn(tags_[i], payloads_[i]);
         }
     }
 
@@ -233,10 +268,10 @@ class AssocCache
     void
     forEachInSet(std::size_t set, Fn fn)
     {
-        Entry *base = setBase(set);
+        const std::size_t base = set * ways_;
         for (std::size_t way = 0; way < ways_; ++way) {
-            if (base[way].valid)
-                fn(base[way].tag, base[way].payload);
+            if (valid_[base + way])
+                fn(tags_[base + way], payloads_[base + way]);
         }
     }
 
@@ -250,12 +285,13 @@ class AssocCache
      *   load_tag(r) -> Tag / load_payload(r) -> Payload
      *
      * Slots are walked in (set, way) order, so the image is byte
-     * stable. load() runs against a cache constructed with the same
-     * geometry and validates it: the set/way shape must match, and a
-     * set may not carry duplicate valid tags (insert() would treat
-     * that as a caller bug and abort; for untrusted input it must be
-     * a clean fatal instead). Occupancy is recomputed, and the
-     * replacement policy restores its own history afterwards.
+     * stable (and identical to the pre-SoA layout's image). load()
+     * runs against a cache constructed with the same geometry and
+     * validates it: the set/way shape must match, and a set may not
+     * carry duplicate valid tags (insert() would treat that as a
+     * caller bug and abort; for untrusted input it must be a clean
+     * fatal instead). Occupancy is recomputed, and the replacement
+     * policy restores its own history afterwards.
      */
     /// @{
     template <typename SaveTag, typename SavePayload>
@@ -266,11 +302,11 @@ class AssocCache
         w.putTag("assoc");
         w.put64(sets_);
         w.put64(ways_);
-        for (const Entry &entry : entries_) {
-            w.putBool(entry.valid);
-            if (entry.valid) {
-                save_tag(w, entry.tag);
-                save_payload(w, entry.payload);
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            w.putBool(valid_[i] != 0);
+            if (valid_[i]) {
+                save_tag(w, tags_[i]);
+                save_payload(w, payloads_[i]);
             }
         }
         policy_->save(w);
@@ -288,24 +324,25 @@ class AssocCache
                         ways, " does not match this build's ", sets_,
                         "x", ways_);
         occupancy_ = 0;
-        for (Entry &entry : entries_) {
-            entry.valid = r.getBool();
-            if (entry.valid) {
-                entry.tag = load_tag(r);
-                entry.payload = load_payload(r);
+        for (std::size_t i = 0; i < valid_.size(); ++i) {
+            valid_[i] = r.getBool() ? 1 : 0;
+            if (valid_[i]) {
+                tags_[i] = load_tag(r);
+                payloads_[i] = load_payload(r);
                 ++occupancy_;
             } else {
-                entry.tag = Tag{};
-                entry.payload = Payload{};
+                tags_[i] = Tag{};
+                payloads_[i] = Payload{};
             }
         }
         for (std::size_t set = 0; set < sets_; ++set) {
-            const Entry *base = &entries_[set * ways_];
+            const std::size_t base = set * ways_;
             for (std::size_t a = 0; a < ways_; ++a) {
-                if (!base[a].valid)
+                if (!valid_[base + a])
                     continue;
                 for (std::size_t b = a + 1; b < ways_; ++b) {
-                    if (base[b].valid && base[a].tag == base[b].tag)
+                    if (valid_[base + b] &&
+                        tags_[base + a] == tags_[base + b])
                         SASOS_FATAL("corrupt snapshot: duplicate tag "
                                     "in cache set ",
                                     set);
@@ -317,25 +354,33 @@ class AssocCache
     /// @}
 
   private:
-    Entry *setBase(std::size_t set) { return &entries_[set * ways_]; }
+    static constexpr std::size_t kNoWay = static_cast<std::size_t>(-1);
 
-    Entry *
-    findEntry(std::size_t set, const Tag &tag)
+    /** The tight probe: dense valid/tag scan, no payload traffic. */
+    std::size_t
+    findWay(std::size_t set, const Tag &tag) const
     {
         SASOS_ASSERT(set < sets_, "set index ", set, " out of range");
-        Entry *base = setBase(set);
+        const std::size_t base = set * ways_;
+        const u8 *valid = valid_.data() + base;
+        const Tag *tags = tags_.data() + base;
         for (std::size_t way = 0; way < ways_; ++way) {
-            if (base[way].valid && base[way].tag == tag)
-                return &base[way];
+            if (valid[way] && tags[way] == tag)
+                return way;
         }
-        return nullptr;
+        return kNoWay;
     }
 
     std::size_t sets_;
     std::size_t ways_;
-    std::vector<Entry> entries_;
+    std::vector<u8> valid_;
+    std::vector<Tag> tags_;
+    std::vector<Payload> payloads_;
     std::unique_ptr<ReplacementPolicy> policy_;
     std::size_t occupancy_ = 0;
+    /** Cached policy_->needsTouch(): lookup skips the virtual touch
+     * call entirely for FIFO/Random structures. */
+    bool needsTouch_;
 };
 
 } // namespace sasos::hw

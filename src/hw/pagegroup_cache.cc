@@ -20,14 +20,14 @@ PageGroupCache::PageGroupCache(const PageGroupCacheConfig &config,
 }
 
 std::optional<PidMatch>
-PageGroupCache::lookup(GroupId aid)
+PageGroupCache::lookup(GroupId aid, AssocLoc *loc)
 {
     ++lookups;
     if (aid == kGlobalGroup) {
         ++globalHits;
         return PidMatch{false};
     }
-    PidMatch *match = array_.lookup(0, aid);
+    PidMatch *match = array_.lookup(0, aid, loc);
     if (match == nullptr) {
         ++misses;
         return std::nullopt;

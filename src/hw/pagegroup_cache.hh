@@ -55,8 +55,18 @@ class PageGroupCache
     /**
      * Check whether the current domain may access a group.
      * Group 0 always matches with writes enabled.
+     * @param loc filled with the hit's array location when non-null
+     *            (left untouched for group-0 hits, which never probe
+     *            the array), for touchHit() replay on coalesced runs.
      */
-    std::optional<PidMatch> lookup(GroupId aid);
+    std::optional<PidMatch> lookup(GroupId aid, AssocLoc *loc = nullptr);
+
+    /**
+     * Replay the replacement touch of a remembered hit, exactly as
+     * lookup() would. The caller guarantees the entry is still live
+     * (any insert or purge since invalidates the remembered loc).
+     */
+    void touchHit(const AssocLoc &loc) { array_.touch(loc); }
 
     /** Probe without stats/replacement updates. */
     std::optional<PidMatch> peek(GroupId aid) const;

@@ -65,12 +65,16 @@ Plb::blockSpan(const Key &key)
 }
 
 std::optional<PlbMatch>
-Plb::lookup(DomainId domain, vm::VAddr va)
+Plb::lookup(DomainId domain, vm::VAddr va, AssocLoc *loc)
 {
     ++lookups;
     for (int shift : probeOrder_) {
+        // A size class with no valid entries anywhere cannot hit, and
+        // probing it has no side effect, so skip the set scan.
+        if (shiftOccupancy_[static_cast<std::size_t>(shift)] == 0)
+            continue;
         const Key key = keyFor(domain, va, shift);
-        vm::Access *rights = array_.lookup(setOf(key.block), key);
+        vm::Access *rights = array_.lookup(setOf(key.block), key, loc);
         if (rights != nullptr) {
             ++hits;
             return PlbMatch{*rights, shift};
@@ -84,6 +88,8 @@ std::optional<PlbMatch>
 Plb::peek(DomainId domain, vm::VAddr va) const
 {
     for (int shift : probeOrder_) {
+        if (shiftOccupancy_[static_cast<std::size_t>(shift)] == 0)
+            continue;
         const Key key = keyFor(domain, va, shift);
         const vm::Access *rights = array_.probe(setOf(key.block), key);
         if (rights != nullptr)
@@ -106,8 +112,11 @@ Plb::insert(DomainId domain, vm::VAddr va, int size_shift, vm::Access rights)
         return;
     }
     ++insertions;
-    if (array_.insert(setOf(key.block), key, rights))
+    ++shiftOccupancy_[static_cast<std::size_t>(size_shift)];
+    if (const auto victim = array_.insert(setOf(key.block), key, rights)) {
         ++evictions;
+        --shiftOccupancy_[static_cast<std::size_t>(victim->tag.sizeShift)];
+    }
 }
 
 bool
@@ -132,6 +141,7 @@ Plb::invalidateCovering(DomainId domain, vm::VAddr va)
         const Key key = keyFor(domain, va, shift);
         if (array_.invalidate(setOf(key.block), key)) {
             ++purgedEntries;
+            --shiftOccupancy_[static_cast<std::size_t>(shift)];
             return shift;
         }
     }
@@ -168,6 +178,7 @@ Plb::updateRightsRange(std::optional<DomainId> domain, vm::Vpn first,
         if (array_.invalidate(setOf(key.block), key)) {
             ++result.invalidated;
             ++purgedEntries;
+            --shiftOccupancy_[static_cast<std::size_t>(key.sizeShift)];
         }
     }
     purgeScans += result.scanned;
@@ -203,8 +214,11 @@ PurgeResult
 Plb::purgeDomain(DomainId domain)
 {
     PurgeResult result = array_.invalidateIf(
-        [domain](const Key &key, const vm::Access &) {
-            return key.domain == domain;
+        [&](const Key &key, const vm::Access &) {
+            if (key.domain != domain)
+                return false;
+            --shiftOccupancy_[static_cast<std::size_t>(key.sizeShift)];
+            return true;
         });
     purgeScans += result.scanned;
     purgedEntries += result.invalidated;
@@ -222,7 +236,10 @@ Plb::purgeRange(std::optional<DomainId> domain, vm::Vpn first, u64 pages)
             if (domain && key.domain != *domain)
                 return false;
             const auto [block_first, block_last] = blockSpan(key);
-            return block_first <= range_last && block_last >= range_first;
+            if (block_first > range_last || block_last < range_first)
+                return false;
+            --shiftOccupancy_[static_cast<std::size_t>(key.sizeShift)];
+            return true;
         });
     purgeScans += result.scanned;
     purgedEntries += result.invalidated;
@@ -234,6 +251,7 @@ Plb::purgeAll()
 {
     const u64 dropped = array_.invalidateAll();
     purgedEntries += dropped;
+    shiftOccupancy_.fill(0);
     return dropped;
 }
 
@@ -261,7 +279,9 @@ Plb::evictOne(Rng &rng)
     const std::size_t live = array_.occupancy();
     if (live == 0)
         return false;
-    array_.invalidateNth(static_cast<std::size_t>(rng.nextBelow(live)));
+    if (const auto victim = array_.invalidateNth(
+            static_cast<std::size_t>(rng.nextBelow(live))))
+        --shiftOccupancy_[static_cast<std::size_t>(victim->tag.sizeShift)];
     ++injectedEvictions;
     return true;
 }
@@ -308,6 +328,10 @@ Plb::load(snap::SnapReader &r)
                             static_cast<unsigned>(rights));
             return static_cast<vm::Access>(rights);
         });
+    shiftOccupancy_.fill(0);
+    array_.forEach([this](const Key &key, const vm::Access &) {
+        ++shiftOccupancy_[static_cast<std::size_t>(key.sizeShift)];
+    });
 }
 
 } // namespace sasos::hw

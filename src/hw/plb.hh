@@ -20,6 +20,7 @@
 #ifndef SASOS_HW_PLB_HH
 #define SASOS_HW_PLB_HH
 
+#include <array>
 #include <optional>
 #include <vector>
 
@@ -71,11 +72,33 @@ class Plb
      * specific first. @return the match, or nullopt on PLB miss.
      * A match with rights None is a hit (an explicit deny), not a
      * miss; the caller raises a protection fault without refilling.
+     * @param loc filled with the hit entry's array location when
+     *            non-null, for touchHit() replay on coalesced runs.
      */
-    std::optional<PlbMatch> lookup(DomainId domain, vm::VAddr va);
+    std::optional<PlbMatch> lookup(DomainId domain, vm::VAddr va,
+                                   AssocLoc *loc = nullptr);
 
     /** Lookup without stats/replacement side effects. */
     std::optional<PlbMatch> peek(DomainId domain, vm::VAddr va) const;
+
+    /**
+     * Replay the replacement touch of a remembered hit, exactly as
+     * lookup() would. The caller guarantees the entry is still live
+     * (any insert or purge since invalidates the remembered loc).
+     */
+    void touchHit(const AssocLoc &loc) { array_.touch(loc); }
+
+    /**
+     * True when every configured size class covers at least a full
+     * translation page, i.e. any match for an address holds for every
+     * other address on the same page. Sub-page block classes break
+     * that, so VPN-grain memoization is only sound when this holds.
+     */
+    bool
+    pageUniform() const
+    {
+        return probeOrder_.front() >= vm::kPageShift;
+    }
 
     /**
      * Install (or update in place) the entry granting `domain`
@@ -214,6 +237,12 @@ class Plb
     /** Size shifts sorted ascending (most specific first). */
     std::vector<int> probeOrder_;
     AssocCache<Key, vm::Access> array_;
+    /**
+     * Valid entries per size class. A configured class that holds no
+     * entries (e.g. a super-page class the workload never fills)
+     * cannot produce a hit, so lookup/peek skip its probe entirely.
+     */
+    std::array<u32, 64> shiftOccupancy_{};
 };
 
 } // namespace sasos::hw

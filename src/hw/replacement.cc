@@ -98,6 +98,7 @@ class FifoPolicy : public ReplacementPolicy
     }
 
     void touch(std::size_t, std::size_t) override {}
+    bool needsTouch() const override { return false; }
 
     void
     fill(std::size_t set, std::size_t way) override
@@ -143,6 +144,7 @@ class RandomPolicy : public ReplacementPolicy
     RandomPolicy(std::size_t ways, u64 seed) : ways_(ways), rng_(seed) {}
 
     void touch(std::size_t, std::size_t) override {}
+    bool needsTouch() const override { return false; }
     void fill(std::size_t, std::size_t) override {}
 
     std::size_t

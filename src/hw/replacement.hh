@@ -49,6 +49,13 @@ class ReplacementPolicy
     /** Record a hit on (set, way). */
     virtual void touch(std::size_t set, std::size_t way) = 0;
 
+    /**
+     * Whether touch() has any effect. FIFO and Random ignore hits, so
+     * the structure's lookup path can skip the virtual call entirely;
+     * recency-based policies return true.
+     */
+    virtual bool needsTouch() const { return true; }
+
     /** Record a fill of (set, way). */
     virtual void fill(std::size_t set, std::size_t way) = 0;
 

@@ -60,10 +60,10 @@ Tlb::keyOf(vm::Vpn vpn, DomainId asid) const
 }
 
 TlbEntry *
-Tlb::lookup(vm::Vpn vpn, DomainId asid)
+Tlb::lookup(vm::Vpn vpn, DomainId asid, AssocLoc *loc)
 {
     ++lookups;
-    TlbEntry *entry = array_.lookup(setOf(vpn), keyOf(vpn, asid));
+    TlbEntry *entry = array_.lookup(setOf(vpn), keyOf(vpn, asid), loc);
     if (entry == nullptr) {
         ++misses;
         return nullptr;

@@ -86,9 +86,19 @@ class Tlb
      * Look up a page.
      * @param vpn   page to translate.
      * @param asid  current domain; only used by Conventional TLBs.
+     * @param loc   filled with the hit's array location when non-null,
+     *              for touchHit() replay on coalesced runs.
      * @return entry on hit, null on miss. Counts stats.
      */
-    TlbEntry *lookup(vm::Vpn vpn, DomainId asid = 0);
+    TlbEntry *lookup(vm::Vpn vpn, DomainId asid = 0,
+                     AssocLoc *loc = nullptr);
+
+    /**
+     * Replay the replacement touch of a remembered hit, exactly as
+     * lookup() would. The caller guarantees the entry is still live
+     * (any insert or purge since invalidates the remembered loc).
+     */
+    void touchHit(const AssocLoc &loc) { array_.touch(loc); }
 
     /** Lookup without stats or replacement update (for tests). */
     const TlbEntry *peek(vm::Vpn vpn, DomainId asid = 0) const;

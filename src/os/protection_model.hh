@@ -96,6 +96,19 @@ class ProtectionModel
     virtual BatchOutcome accessBatch(DomainId domain, const vm::VAddr *vas,
                                      u64 n, vm::AccessType type);
 
+    /**
+     * Forget any same-page coalescing memo the batched fast path is
+     * holding. Models memoize the previous reference's resolution
+     * (entry pointer, replacement location, rights) to skip re-probing
+     * on same-page runs; anything that mutates hardware structures
+     * behind the model's back -- a remote shootdown ack, a test poking
+     * a structure directly -- must call this so a stale memo can never
+     * leak rights or touch a recycled slot. The model's own hooks and
+     * access() entry invalidate internally; the default is a no-op for
+     * models without a memo.
+     */
+    virtual void invalidateBatchMemo() {}
+
     /** @name Kernel-driven maintenance hooks
      * Called *after* the kernel has updated the canonical protection
      * state, so models may re-derive hardware state from it.

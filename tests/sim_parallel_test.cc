@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -253,6 +254,325 @@ TEST_P(BatchedRunTest, MatchesPerCallWhenReferencesFail)
     EXPECT_EQ(batched.cycles().count(), per_call.cycles().count());
     EXPECT_EQ(batched.failedReferences.value(),
               per_call.failedReferences.value());
+}
+
+namespace
+{
+
+/** Replays a fixed address list (wrapping), so a test can plant a
+ * faulting reference at an exact batch index. */
+class VectorStream : public wl::AddressStream
+{
+  public:
+    explicit VectorStream(std::vector<vm::VAddr> vas)
+        : vas_(std::move(vas))
+    {
+    }
+
+    vm::VAddr
+    next(Rng &) override
+    {
+        const vm::VAddr va = vas_[pos_ % vas_.size()];
+        ++pos_;
+        return va;
+    }
+
+  private:
+    std::vector<vm::VAddr> vas_;
+    std::size_t pos_ = 0;
+};
+
+/** Drive `vas` through both twins -- per-call on one, batched on the
+ * other -- and require bit-identical simulated results. */
+void
+expectTwinsMatch(TwinSystems &twins, const std::vector<vm::VAddr> &vas,
+                 vm::AccessType type)
+{
+    u64 completed_per_call = 0;
+    for (const vm::VAddr va : vas)
+        completed_per_call += twins.perCall.access(va, type);
+    VectorStream stream(vas);
+    Rng rng(1);
+    const core::RunResult result =
+        twins.batched.run(stream, vas.size(), rng, type);
+    EXPECT_EQ(result.completed, completed_per_call);
+    EXPECT_EQ(twins.batched.cycles().count(),
+              twins.perCall.cycles().count());
+    EXPECT_EQ(twins.dump(twins.batched), twins.dump(twins.perCall));
+}
+
+} // namespace
+
+TEST_P(BatchedRunTest, MatchesPerCallWithFaultAtChunkBoundaries)
+{
+    // System::run issues 512-reference chunks. A failing reference at
+    // index 0 (first of a chunk), 511 (last) and 512 (first of the
+    // next chunk) forces the batch driver to flush its accumulator
+    // and hand the fault to the kernel at every boundary position;
+    // cycles and stats must stay bit-identical to per-call.
+    for (const u64 fault_at : {u64{0}, u64{511}, u64{512}}) {
+        core::System per_call(core::SystemConfig::forModel(GetParam()));
+        core::System batched(core::SystemConfig::forModel(GetParam()));
+        vm::VAddr heap{};
+        vm::VAddr ro{};
+        for (core::System *sys : {&per_call, &batched}) {
+            const os::DomainId app = sys->kernel().createDomain("app");
+            const vm::SegmentId heap_seg =
+                sys->kernel().createSegment("heap", 16);
+            const vm::SegmentId ro_seg =
+                sys->kernel().createSegment("ro", 4);
+            sys->kernel().attach(app, heap_seg, vm::Access::ReadWrite);
+            sys->kernel().attach(app, ro_seg, vm::Access::Read);
+            sys->kernel().switchTo(app);
+            heap = sys->state().segments.find(heap_seg)->base();
+            ro = sys->state().segments.find(ro_seg)->base();
+        }
+        constexpr u64 kRefs = 1024;
+        std::vector<vm::VAddr> vas;
+        for (u64 i = 0; i < kRefs; ++i)
+            vas.push_back(heap + (i % 16) * vm::kPageBytes);
+        // A store into the read-only segment: protection fault, no
+        // server registered, so the reference becomes an exception.
+        vas[fault_at] = ro;
+
+        u64 completed_per_call = 0;
+        for (const vm::VAddr va : vas)
+            completed_per_call +=
+                per_call.access(va, vm::AccessType::Store);
+        VectorStream stream(vas);
+        Rng rng(1);
+        const core::RunResult result =
+            batched.run(stream, kRefs, rng, vm::AccessType::Store);
+
+        EXPECT_EQ(result.failed, 1u) << "fault_at " << fault_at;
+        EXPECT_EQ(result.completed, completed_per_call)
+            << "fault_at " << fault_at;
+        EXPECT_EQ(batched.cycles().count(), per_call.cycles().count())
+            << "fault_at " << fault_at;
+        std::ostringstream dump_b, dump_p;
+        batched.dumpStats(dump_b);
+        per_call.dumpStats(dump_p);
+        EXPECT_EQ(dump_b.str(), dump_p.str()) << "fault_at " << fault_at;
+    }
+}
+
+namespace
+{
+
+/** A server that services a write fault the expensive way: excursion
+ * to another domain and back (an RPC), then a rights grant, then
+ * retry. Everything the excursion touches -- domain switches, rights
+ * changes -- must invalidate the batch driver's coalescing memo. */
+class SwitchingServer : public os::SegmentServer
+{
+  public:
+    SwitchingServer(os::DomainId app, os::DomainId server)
+        : app_(app), server_(server)
+    {
+    }
+
+    bool
+    onProtectionFault(os::Kernel &kernel, os::DomainId domain,
+                      vm::VAddr va, vm::AccessType) override
+    {
+        kernel.switchTo(server_);
+        kernel.setPageRights(domain, vm::pageOf(va),
+                             vm::Access::ReadWrite);
+        kernel.switchTo(app_);
+        return true;
+    }
+
+  private:
+    os::DomainId app_;
+    os::DomainId server_;
+};
+
+} // namespace
+
+TEST_P(BatchedRunTest, MatchesPerCallAcrossMidChunkDomainSwitches)
+{
+    // Same-page stores over a read-only grant: every page's first
+    // store faults mid-chunk, the server RPCs to another domain,
+    // grants the right and retries. The batch restarts after each
+    // excursion with its memo dropped; replaying a pre-excursion
+    // resolution would diverge from per-call (or leak the old
+    // rights), so bit-identity here pins the invalidation.
+    core::System per_call(core::SystemConfig::forModel(GetParam()));
+    core::System batched(core::SystemConfig::forModel(GetParam()));
+    vm::VAddr base{};
+    std::vector<std::unique_ptr<SwitchingServer>> servers;
+    for (core::System *sys : {&per_call, &batched}) {
+        const os::DomainId app = sys->kernel().createDomain("app");
+        const os::DomainId srv = sys->kernel().createDomain("server");
+        const vm::SegmentId seg = sys->kernel().createSegment("heap", 8);
+        sys->kernel().attach(app, seg, vm::Access::Read);
+        sys->kernel().attach(srv, seg, vm::Access::ReadWrite);
+        servers.push_back(std::make_unique<SwitchingServer>(app, srv));
+        sys->kernel().setSegmentServer(seg, servers.back().get());
+        sys->kernel().switchTo(app);
+        base = sys->state().segments.find(seg)->base();
+    }
+    // Runs of same-page references around each fault so the memo is
+    // warm when the excursion happens.
+    std::vector<vm::VAddr> vas;
+    for (u64 page = 0; page < 8; ++page)
+        for (u64 rep = 0; rep < 40; ++rep)
+            vas.push_back(base + page * vm::kPageBytes);
+
+    u64 completed_per_call = 0;
+    for (const vm::VAddr va : vas)
+        completed_per_call += per_call.access(va, vm::AccessType::Store);
+    VectorStream stream(vas);
+    Rng rng(1);
+    const core::RunResult result =
+        batched.run(stream, vas.size(), rng, vm::AccessType::Store);
+
+    EXPECT_EQ(result.failed, 0u);
+    EXPECT_EQ(result.completed, completed_per_call);
+    EXPECT_EQ(batched.cycles().count(), per_call.cycles().count());
+    std::ostringstream dump_b, dump_p;
+    batched.dumpStats(dump_b);
+    per_call.dumpStats(dump_p);
+    EXPECT_EQ(dump_b.str(), dump_p.str());
+}
+
+TEST_P(BatchedRunTest, RightsRevocationReachesAWarmMemo)
+{
+    // Warm the coalescing memo with same-page stores, revoke the
+    // write right, and store again: every post-revocation reference
+    // must deny. A memo that survived onSetPageRights would keep
+    // completing stores the canonical state forbids.
+    TwinSystems twins(GetParam());
+    const std::vector<vm::VAddr> warm(64, twins.base);
+    expectTwinsMatch(twins, warm, vm::AccessType::Store);
+
+    const os::DomainId app = twins.batched.kernel().currentDomain();
+    twins.perCall.kernel().setPageRights(app, vm::pageOf(twins.base),
+                                         vm::Access::Read);
+    twins.batched.kernel().setPageRights(app, vm::pageOf(twins.base),
+                                         vm::Access::Read);
+
+    VectorStream stream(std::vector<vm::VAddr>(64, twins.base));
+    Rng rng(1);
+    const core::RunResult after =
+        twins.batched.run(stream, 64, rng, vm::AccessType::Store);
+    EXPECT_EQ(after.failed, 64u);
+    EXPECT_EQ(after.completed, 0u);
+    const std::vector<vm::VAddr> denied(64, twins.base);
+    for (const vm::VAddr va : denied)
+        EXPECT_FALSE(twins.perCall.access(va, vm::AccessType::Store));
+    EXPECT_EQ(twins.dump(twins.batched), twins.dump(twins.perCall));
+}
+
+TEST_P(BatchedRunTest, DetachReachesAWarmMemo)
+{
+    // Same shape with the whole grant revoked: detach mid-stream.
+    core::System per_call(core::SystemConfig::forModel(GetParam()));
+    core::System batched(core::SystemConfig::forModel(GetParam()));
+    vm::VAddr base{};
+    vm::SegmentId seg{};
+    os::DomainId app{};
+    for (core::System *sys : {&per_call, &batched}) {
+        app = sys->kernel().createDomain("app");
+        seg = sys->kernel().createSegment("heap", 8);
+        sys->kernel().attach(app, seg, vm::Access::ReadWrite);
+        sys->kernel().switchTo(app);
+        base = sys->state().segments.find(seg)->base();
+    }
+    const std::vector<vm::VAddr> warm(64, base);
+    u64 completed = 0;
+    for (const vm::VAddr va : warm)
+        completed += per_call.access(va, vm::AccessType::Load);
+    {
+        VectorStream stream(warm);
+        Rng rng(1);
+        const core::RunResult result =
+            batched.run(stream, warm.size(), rng, vm::AccessType::Load);
+        EXPECT_EQ(result.completed, completed);
+    }
+
+    per_call.kernel().detach(app, seg);
+    batched.kernel().detach(app, seg);
+
+    VectorStream stream(warm);
+    Rng rng(1);
+    const core::RunResult after =
+        batched.run(stream, 64, rng, vm::AccessType::Load);
+    EXPECT_EQ(after.completed, 0u);
+    EXPECT_EQ(after.failed, 64u);
+    for (const vm::VAddr va : warm)
+        EXPECT_FALSE(per_call.access(va, vm::AccessType::Load));
+    std::ostringstream dump_b, dump_p;
+    batched.dumpStats(dump_b);
+    per_call.dumpStats(dump_p);
+    EXPECT_EQ(dump_b.str(), dump_p.str());
+}
+
+TEST_P(BatchedRunTest, DirectPurgePlusMemoInvalidateStaysIdentical)
+{
+    // The multi-core ack path purges a core's structures directly
+    // (no kernel hook runs) and then calls invalidateBatchMemo().
+    // Mirror that sequence on both twins: after the purge the next
+    // batch must re-probe and refill exactly like per-call instead
+    // of replaying the pre-purge resolution from the memo.
+    TwinSystems twins(GetParam());
+    const std::vector<vm::VAddr> warm(64, twins.base);
+    expectTwinsMatch(twins, warm, vm::AccessType::Load);
+
+    const os::DomainId app = twins.batched.kernel().currentDomain();
+    const vm::Vpn first = vm::pageOf(twins.base);
+    for (core::System *sys : {&twins.perCall, &twins.batched}) {
+        if (auto *plb = sys->plbSystem()) {
+            plb->plb().purgeRange(app, first, 64);
+        } else if (auto *pg = sys->pageGroupSystem()) {
+            pg->pageGroupCache().purgeAll();
+            pg->tlb().purgeRange(std::nullopt, first, 64);
+        } else {
+            sys->conventionalSystem()->tlb().purgeRange(std::nullopt,
+                                                        first, 64);
+        }
+        sys->model().invalidateBatchMemo();
+    }
+
+    expectTwinsMatch(twins, warm, vm::AccessType::Load);
+}
+
+TEST_P(BatchedRunTest, FaultInjectedRunMatchesPerCall)
+{
+    // With the fault injector armed the batch driver must take the
+    // exact per-reference path (perturbations are scheduled per
+    // reference); A/B the two loops under an active campaign.
+    core::SystemConfig config = core::SystemConfig::forModel(GetParam());
+    config.faults.enabled = true;
+    config.faults.seed = 99;
+    config.faults.rate = 0.05;
+    core::System per_call(config);
+    core::System batched(config);
+    vm::VAddr base{};
+    for (core::System *sys : {&per_call, &batched}) {
+        const os::DomainId app = sys->kernel().createDomain("app");
+        const vm::SegmentId seg = sys->kernel().createSegment("heap", 64);
+        sys->kernel().attach(app, seg, vm::Access::ReadWrite);
+        sys->kernel().switchTo(app);
+        base = sys->state().segments.find(seg)->base();
+    }
+    constexpr u64 kRefs = 20'000;
+    wl::ZipfPageStream stream_a(base, 64, 0.8, 5);
+    wl::ZipfPageStream stream_b(base, 64, 0.8, 5);
+    Rng rng_a(5);
+    Rng rng_b(5);
+    u64 completed = 0;
+    for (u64 i = 0; i < kRefs; ++i)
+        completed += per_call.access(stream_a.next(rng_a),
+                                     vm::AccessType::Load);
+    const core::RunResult result =
+        batched.run(stream_b, kRefs, rng_b, vm::AccessType::Load);
+    EXPECT_EQ(result.completed, completed);
+    EXPECT_EQ(batched.cycles().count(), per_call.cycles().count());
+    std::ostringstream dump_b, dump_p;
+    batched.dumpStats(dump_b);
+    per_call.dumpStats(dump_p);
+    EXPECT_EQ(dump_b.str(), dump_p.str());
 }
 
 INSTANTIATE_TEST_SUITE_P(
