@@ -214,6 +214,7 @@ McConfig::fromOptions(const Options &options)
     // Churn defaults on for option-driven runs: without kernel ops
     // there are no shootdowns to measure.
     config.workload.churnProb = options.getDouble("churn", 0.05);
+    config.workload.forkProb = options.getDouble("mc_fork", 0.0);
     return config;
 }
 
@@ -798,6 +799,7 @@ walkMcSignature(Sig &&sig, const McConfig &config)
     sig.field("wl.sharedProbBits", std::bit_cast<u64>(wl.sharedProb));
     sig.field("wl.storeProbBits", std::bit_cast<u64>(wl.storeProb));
     sig.field("wl.churnProbBits", std::bit_cast<u64>(wl.churnProb));
+    sig.field("wl.forkProbBits", std::bit_cast<u64>(wl.forkProb));
     sig.field("wl.privateChurn", wl.privateChurn ? 1 : 0);
     sig.field("wl.zipfThetaBits", std::bit_cast<u64>(wl.zipfTheta));
     sig.field("wl.seed", wl.seed);

@@ -40,6 +40,15 @@ CoreScript::next()
 {
     SASOS_ASSERT(stepsLeft_ > 0, "script exhausted");
     --stepsLeft_;
+    if (config_.forkProb > 0.0 &&
+        layout_.privateSeg != vm::kInvalidSegment &&
+        rng_.bernoulli(config_.forkProb)) {
+        Step step;
+        step.kind = StepKind::ForkCow;
+        step.seg = layout_.privateSeg;
+        step.rights = vm::Access::ReadWrite;
+        return step;
+    }
     if (config_.churnProb > 0.0 && rng_.bernoulli(config_.churnProb))
         return makeChurnOp();
     return makeRef();
@@ -232,6 +241,12 @@ applyKernelStep(os::Kernel &kernel, os::DomainId domain, const Step &step)
         return;
       case StepKind::Attach:
         kernel.attach(domain, step.seg, step.rights);
+        return;
+      case StepKind::ForkCow:
+        // The forked segment belongs to the issuing domain; scripts
+        // never reference it again (its id depends on the schedule),
+        // the point is the CoW write protection it leaves behind.
+        kernel.forkSegmentCow(step.seg, domain, step.rights, "cow");
         return;
     }
     SASOS_PANIC("unreachable");

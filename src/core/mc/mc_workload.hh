@@ -41,6 +41,11 @@ struct McWorkloadConfig
     double storeProb = 0.3;
     /** Probability a step is a kernel protection op, not a reference. */
     double churnProb = 0.0;
+    /** Probability a step copy-on-write-forks the core's private
+     * segment (needs privatePages > 0). Each fork re-shares the
+     * private frames and write-protects them, so subsequent private
+     * stores exercise the CoW fault path under deferred shootdowns. */
+    double forkProb = 0.0;
     /** Churn the core's own private segment instead of the shared one
      * (core-local rights traffic: shootdowns still fire, but cores'
      * outcomes stay independent -- the projection-test workload). */
@@ -69,6 +74,8 @@ enum class StepKind : u8
     Detach,
     /** kernel.attach(domain, seg, rights). */
     Attach,
+    /** kernel.forkSegmentCow(seg, domain, rights, ...). */
+    ForkCow,
 };
 
 /** One decoded step; unused fields stay at their defaults. */

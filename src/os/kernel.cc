@@ -32,6 +32,13 @@ Kernel::Kernel(VmState &state, ProtectionModel &model,
       unmaps(&statsGroup, "unmaps", "pages unmapped"),
       faultRetries(&statsGroup, "faultRetries",
                    "faults resolved so the reference retries"),
+      forks(&statsGroup, "forks", "copy-on-write segment forks"),
+      cowFaults(&statsGroup, "cowFaults",
+                "stores faulted on CoW-protected pages"),
+      cowCopies(&statsGroup, "cowCopies",
+                "CoW faults resolved by a private copy"),
+      cowReuses(&statsGroup, "cowReuses",
+                "CoW faults resolved in place (last sharer)"),
       state_(state), model_(model), costs_(costs), account_(account)
 {
 }
@@ -167,6 +174,95 @@ Kernel::setSegmentServer(vm::SegmentId seg, SegmentServer *server)
         servers_[seg] = server;
 }
 
+vm::SegmentId
+Kernel::forkSegmentCow(vm::SegmentId src, DomainId child,
+                       vm::Access rights, std::string name)
+{
+    chargeTrap();
+    ++forks;
+    const vm::Segment *source = state_.segments.find(src);
+    if (source == nullptr)
+        SASOS_FATAL("forking unknown segment ", src);
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    const vm::SegmentId dst =
+        state_.segments.create(std::move(name), source->pages, true);
+    // segments.create may rehash; re-find both ends.
+    source = state_.segments.find(src);
+    const vm::Segment *dest = state_.segments.find(dst);
+    SASOS_ASSERT(source != nullptr && dest != nullptr,
+                 "fork lost its segments");
+    // Attach the child to its copy (inline: the fork is one trap).
+    ++attaches;
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    Domain &d = state_.domain(child);
+    d.prot.attachSegment(dst, rights);
+    state_.noteAttached(child, dst);
+    model_.onAttach(child, *dest, rights);
+    // Share every mapped source frame instead of copying it; both
+    // ends of a pair are write-protected until a store resolves them.
+    for (u64 i = 0; i < source->pages; ++i) {
+        const vm::Vpn svpn(source->firstPage.number() + i);
+        const vm::Translation *t = state_.pageTable.lookup(svpn);
+        if (t == nullptr)
+            continue; // untouched or on disk: child demand-zeros
+        const vm::Vpn dvpn(dest->firstPage.number() + i);
+        const vm::Pfn pfn = t->pfn;
+        state_.frameAllocator.ref(pfn);
+        charge(CostCategory::KernelWork, costs_.tableUpdate);
+        state_.pageTable.mapShared(dvpn, pfn);
+        model_.onPageMapped(dvpn, pfn);
+        protectCowPage(svpn);
+        protectCowPage(dvpn);
+    }
+    return dst;
+}
+
+bool
+Kernel::isCowProtected(vm::Vpn vpn) const
+{
+    return cowPages_.count(vpn) != 0;
+}
+
+void
+Kernel::protectCowPage(vm::Vpn vpn)
+{
+    if (!cowPages_.insert(vpn).second)
+        return; // already protected by an earlier fork
+    // The mask layer is single-slot: a CoW fork takes it over (any
+    // paging-era restriction is superseded; resolveCow clears it).
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    state_.setPageMask(vpn, vm::Access::ReadExecute);
+    model_.onSetPageRightsAllDomains(vpn, vm::Access::ReadExecute);
+}
+
+void
+Kernel::resolveCow(vm::Vpn vpn)
+{
+    ++cowFaults;
+    const vm::Translation *t = state_.pageTable.lookup(vpn);
+    SASOS_ASSERT(t != nullptr, "CoW fault on unmapped page ",
+                 vpn.number());
+    const vm::Pfn shared = t->pfn;
+    if (state_.frameAllocator.refCount(shared) > 1) {
+        // Still shared: move this mapping to a private copy.
+        model_.onPageUnmapped(vpn, shared);
+        state_.pageTable.unmap(vpn);
+        state_.frameAllocator.unref(shared);
+        const vm::Pfn copy = allocateFrame();
+        state_.pageTable.map(vpn, copy);
+        charge(CostCategory::KernelWork, costs_.pageCopy);
+        model_.onPageMapped(vpn, copy);
+        ++cowCopies;
+    } else {
+        // Last sharer: the frame is already private.
+        ++cowReuses;
+    }
+    charge(CostCategory::KernelWork, costs_.tableUpdate);
+    cowPages_.erase(vpn);
+    state_.clearPageMask(vpn);
+    model_.onClearPageRightsAllDomains(vpn);
+}
+
 void
 Kernel::setPageRights(DomainId domain, vm::Vpn vpn, vm::Access rights)
 {
@@ -204,6 +300,14 @@ Kernel::unrestrictPage(vm::Vpn vpn)
 {
     ++rightsChanges;
     charge(CostCategory::KernelWork, costs_.tableUpdate);
+    if (cowPages_.count(vpn) != 0) {
+        // The page still awaits CoW resolution: lifting a paging-era
+        // restriction re-establishes the kernel-owned write
+        // protection instead of exposing the shared frame.
+        state_.setPageMask(vpn, vm::Access::ReadExecute);
+        model_.onSetPageRightsAllDomains(vpn, vm::Access::ReadExecute);
+        return;
+    }
     state_.clearPageMask(vpn);
     model_.onClearPageRightsAllDomains(vpn);
 }
@@ -227,20 +331,30 @@ Kernel::isMapped(vm::Vpn vpn) const
     return state_.pageTable.isMapped(vpn);
 }
 
+vm::Pfn
+Kernel::allocateFrame()
+{
+    auto frame = state_.frameAllocator.allocate();
+    if (frame)
+        return *frame;
+    SASOS_ASSERT(pager_ != nullptr, "out of physical memory with no pager");
+    // Evicting a CoW-shared page only drops a reference, so it can
+    // take several evictions before a frame actually frees.
+    for (u64 i = 0; i < state_.frameAllocator.capacity() && !frame; ++i) {
+        pager_->evictOne();
+        frame = state_.frameAllocator.allocate();
+    }
+    SASOS_ASSERT(frame, "pager failed to free a frame");
+    return *frame;
+}
+
 void
 Kernel::mapPage(vm::Vpn vpn)
 {
-    auto frame = state_.frameAllocator.allocate();
-    if (!frame) {
-        SASOS_ASSERT(pager_ != nullptr,
-                     "out of physical memory with no pager");
-        pager_->evictOne();
-        frame = state_.frameAllocator.allocate();
-        SASOS_ASSERT(frame, "pager failed to free a frame");
-    }
+    const vm::Pfn frame = allocateFrame();
     charge(CostCategory::KernelWork, costs_.tableUpdate);
-    state_.pageTable.map(vpn, *frame);
-    model_.onPageMapped(vpn, *frame);
+    state_.pageTable.map(vpn, frame);
+    model_.onPageMapped(vpn, frame);
 }
 
 void
@@ -254,7 +368,15 @@ Kernel::unmapPage(vm::Vpn vpn)
     charge(CostCategory::KernelWork, costs_.tableUpdate);
     model_.onPageUnmapped(vpn, pfn);
     state_.pageTable.unmap(vpn);
-    state_.frameAllocator.free(pfn);
+    // A CoW-shared frame survives until its last mapper goes.
+    state_.frameAllocator.unref(pfn);
+    if (cowPages_.erase(vpn) != 0) {
+        // The translation is gone, so the missing mapping protects
+        // the page now; drop the CoW mask so a future re-map starts
+        // clean.
+        state_.clearPageMask(vpn);
+        model_.onClearPageRightsAllDomains(vpn);
+    }
 }
 
 void
@@ -284,6 +406,22 @@ Kernel::handleProtectionFault(DomainId domain, vm::VAddr va,
                     account_.total().count(), va.raw(), domain);
     chargeTrap();
     const vm::Vpn vpn = vm::pageOf(va);
+    if (type == vm::AccessType::Store && cowPages_.count(vpn) != 0) {
+        // A store against the CoW write protection. Legal iff the
+        // domain's rights *without* the mask include Write -- then
+        // this is the copy-on-write moment, not a real violation.
+        const Domain *d = state_.findDomain(domain);
+        const vm::Access unmasked =
+            d == nullptr ? vm::Access::None
+                         : d->prot.effectiveRights(vpn, state_.segments);
+        if (vm::includes(unmasked, vm::Access::Write)) {
+            resolveCow(vpn);
+            ++faultRetries;
+            SASOS_OBS_EVENT(obs::EventKind::FaultRetry,
+                            account_.total().count(), va.raw(), domain);
+            return true;
+        }
+    }
     const vm::Access canonical = state_.effectiveRights(domain, vpn);
     if (vm::includes(canonical, vm::requiredRight(type))) {
         // The kernel's tables grant the access; the hardware state
@@ -368,6 +506,9 @@ Kernel::save(snap::SnapWriter &w) const
     w.put64(onDisk_.size());
     for (vm::Vpn vpn : onDisk_)
         w.put64(vpn.number());
+    w.put64(cowPages_.size());
+    for (vm::Vpn vpn : cowPages_)
+        w.put64(vpn.number());
 }
 
 void
@@ -386,6 +527,17 @@ Kernel::load(snap::SnapReader &r)
         if (!onDisk_.insert(vpn).second)
             SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
                         " on disk twice");
+    }
+    cowPages_.clear();
+    const u32 cow_pages = r.getCount(8);
+    for (u32 i = 0; i < cow_pages; ++i) {
+        const vm::Vpn vpn(r.get64());
+        if (!state_.pageTable.isMapped(vpn))
+            SASOS_FATAL("corrupt snapshot: CoW page ", vpn.number(),
+                        " is not mapped");
+        if (!cowPages_.insert(vpn).second)
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " CoW-protected twice");
     }
 }
 

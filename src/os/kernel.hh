@@ -60,6 +60,21 @@ class Kernel
     void detach(DomainId domain, vm::SegmentId seg);
     /** Register the user-level server for a segment's faults. */
     void setSegmentServer(vm::SegmentId seg, SegmentServer *server);
+    /**
+     * μFork-style copy-on-write fork of a segment: creates a same-size
+     * segment, attaches `child` to it with `rights`, and shares every
+     * mapped source frame (refcounted) instead of copying. Both ends
+     * of each shared pair are write-protected through the page-mask
+     * layer; the first store to either side takes a protection fault
+     * that resolveCow() turns into a private copy (or a reuse when the
+     * store hits the last sharer). Unmapped source pages stay unmapped
+     * and demand-zero in the child on first touch.
+     * @return the new (child) segment id.
+     */
+    vm::SegmentId forkSegmentCow(vm::SegmentId src, DomainId child,
+                                 vm::Access rights, std::string name);
+    /** True while a page awaits its copy-on-write resolution. */
+    bool isCowProtected(vm::Vpn vpn) const;
     /// @}
 
     /** @name Rights manipulation (Table 1 applications) */
@@ -124,7 +139,8 @@ class Kernel
     CycleAccount &account() { return account_; }
 
     /** @name Snapshot hooks
-     * Serializes the current domain and the on-disk page set; the
+     * Serializes the current domain, the on-disk page set and the
+     * CoW-pending page set; the
      * referenced VmState/model/account snapshot separately. Segment
      * server and pager registrations are runtime wiring, re-done by
      * the owner after load. */
@@ -151,10 +167,31 @@ class Kernel
      * server grants, demand maps, page-ins) -- under fault injection,
      * the recovery work the engine forced. */
     stats::Scalar faultRetries;
+    /** @name Copy-on-write fork */
+    /// @{
+    stats::Scalar forks;
+    stats::Scalar cowFaults;
+    /** CoW faults resolved by copying to a private frame. */
+    stats::Scalar cowCopies;
+    /** CoW faults where the store hit the last sharer (no copy). */
+    stats::Scalar cowReuses;
+    /// @}
     /// @}
 
   private:
     void chargeTrap();
+
+    /** Allocate a frame, looping pager evictions under pressure (an
+     * eviction of a CoW-shared page drops a reference without freeing
+     * the frame, so one eviction is not always enough). */
+    vm::Pfn allocateFrame();
+
+    /** Write-protect a page pending CoW resolution. */
+    void protectCowPage(vm::Vpn vpn);
+
+    /** First store to a CoW page: privatize the frame (copy or
+     * last-sharer reuse) and lift the write protection. */
+    void resolveCow(vm::Vpn vpn);
 
     VmState &state_;
     ProtectionModel &model_;
@@ -164,6 +201,8 @@ class Kernel
     DomainId current_ = 0;
     std::unordered_map<vm::SegmentId, SegmentServer *> servers_;
     std::set<vm::Vpn> onDisk_;
+    /** Pages write-protected pending copy-on-write resolution. */
+    std::set<vm::Vpn> cowPages_;
     Pager *pager_ = nullptr;
 };
 

@@ -303,6 +303,20 @@ VmState::load(snap::SnapReader &r)
             SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
                         " masked twice");
     }
+    // Cross-check the two sides of CoW sharing: every mapped frame's
+    // refcount must equal the number of pages mapping it (the loader
+    // above allowed shared frames on the strength of this).
+    pageTable.forEach([&](vm::Vpn vpn, const vm::Translation &t) {
+        if (!frameAllocator.isAllocated(t.pfn))
+            SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
+                        " maps unallocated frame ", t.pfn.number());
+        if (frameAllocator.refCount(t.pfn) !=
+            pageTable.frameMappers(t.pfn))
+            SASOS_FATAL("corrupt snapshot: frame ", t.pfn.number(),
+                        " holds ", frameAllocator.refCount(t.pfn),
+                        " references but backs ",
+                        pageTable.frameMappers(t.pfn), " pages");
+    });
 }
 
 std::vector<vm::Vpn>

@@ -1,0 +1,90 @@
+#include "scenario/runner.hh"
+
+#include <algorithm>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+
+namespace sasos::scn
+{
+
+std::optional<bool>
+applyOp(core::System &sys, const Op &op, std::size_t index)
+{
+    os::Kernel &kernel = sys.kernel();
+    switch (op.kind) {
+      case OpKind::Ref:
+        return sys.access(vm::VAddr(op.addr), op.type);
+      case OpKind::Switch:
+        kernel.switchTo(op.domain);
+        return std::nullopt;
+      case OpKind::CreateDomain: {
+        const os::DomainId id =
+            kernel.createDomain("d" + std::to_string(index));
+        SASOS_ASSERT(id == op.domain, "scenario op ", index,
+                     ": created domain ", id, ", script recorded ",
+                     op.domain);
+        return std::nullopt;
+      }
+      case OpKind::DestroyDomain:
+        kernel.destroyDomain(op.domain);
+        return std::nullopt;
+      case OpKind::CreateSegment: {
+        const vm::SegmentId id =
+            kernel.createSegment("s" + std::to_string(index), op.pages);
+        SASOS_ASSERT(id == op.seg, "scenario op ", index,
+                     ": created segment ", id, ", script recorded ",
+                     op.seg);
+        return std::nullopt;
+      }
+      case OpKind::DestroySegment:
+        kernel.destroySegment(op.seg);
+        return std::nullopt;
+      case OpKind::Attach:
+        kernel.attach(op.domain, op.seg, op.rights);
+        return std::nullopt;
+      case OpKind::Detach:
+        kernel.detach(op.domain, op.seg);
+        return std::nullopt;
+      case OpKind::ForkCow: {
+        const vm::SegmentId id = kernel.forkSegmentCow(
+            op.seg, op.domain, op.rights, "f" + std::to_string(index));
+        SASOS_ASSERT(id == op.seg2, "scenario op ", index,
+                     ": fork produced segment ", id,
+                     ", script recorded ", op.seg2);
+        return std::nullopt;
+      }
+      case OpKind::SetPageRights:
+        kernel.setPageRights(op.domain, vm::pageOf(vm::VAddr(op.addr)),
+                             op.rights);
+        return std::nullopt;
+      case OpKind::RestrictPage:
+        kernel.restrictPage(vm::pageOf(vm::VAddr(op.addr)), op.rights);
+        return std::nullopt;
+      case OpKind::UnrestrictPage:
+        kernel.unrestrictPage(vm::pageOf(vm::VAddr(op.addr)));
+        return std::nullopt;
+    }
+    SASOS_PANIC("unreachable");
+}
+
+RunStats
+runScript(core::System &sys, const Script &script, std::size_t first,
+          std::size_t last, std::vector<u8> *decisions)
+{
+    RunStats stats;
+    const std::size_t end = std::min(last, script.ops.size());
+    for (std::size_t i = first; i < end; ++i) {
+        const std::optional<bool> decision =
+            applyOp(sys, script.ops[i], i);
+        if (!decision)
+            continue;
+        ++stats.refs;
+        ++(*decision ? stats.allowed : stats.denied);
+        if (decisions != nullptr)
+            decisions->push_back(*decision ? 1 : 0);
+    }
+    return stats;
+}
+
+} // namespace sasos::scn

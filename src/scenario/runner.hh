@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Scenario replay: apply a Script's operations to a core::System.
+ *
+ * The runner holds no state of its own -- a script position plus the
+ * System is the whole execution state -- so a run can be cut at any
+ * op index, snapshotted and resumed (the snap tests' mid-scenario
+ * round trip relies on this). Ref decisions are surfaced per
+ * reference for the differential oracle and the lockstep equivalence
+ * tests.
+ */
+
+#ifndef SASOS_SCENARIO_RUNNER_HH
+#define SASOS_SCENARIO_RUNNER_HH
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "scenario/scenario.hh"
+
+namespace sasos::core
+{
+class System;
+}
+
+namespace sasos::scn
+{
+
+/** Tally of one (partial) script replay. */
+struct RunStats
+{
+    u64 refs = 0;
+    u64 allowed = 0;
+    u64 denied = 0;
+};
+
+/**
+ * Apply one operation. Creation ops assert that the ids the system
+ * hands out match the ids the builder recorded (any divergence means
+ * the replayed machine is not the machine the script was built for).
+ * @return the allow/deny decision for Ref ops, nullopt otherwise.
+ */
+std::optional<bool> applyOp(core::System &sys, const Op &op,
+                            std::size_t index);
+
+/**
+ * Replay ops[first, last) (clamped to the script), appending per-Ref
+ * decisions to `decisions` when given.
+ */
+RunStats runScript(core::System &sys, const Script &script,
+                   std::size_t first = 0,
+                   std::size_t last = static_cast<std::size_t>(-1),
+                   std::vector<u8> *decisions = nullptr);
+
+} // namespace sasos::scn
+
+#endif // SASOS_SCENARIO_RUNNER_HH

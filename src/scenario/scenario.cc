@@ -1,0 +1,473 @@
+#include "scenario/scenario.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/system.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "vm/address.hh"
+
+namespace sasos::scn
+{
+
+namespace
+{
+
+/**
+ * Generates a script while replaying its kernel operations against a
+ * probe System, so every recorded id and address is the one a real
+ * replay must reproduce (domain ids, segment ids and bump-allocator
+ * bases depend only on creation order). References are recorded but
+ * not probed -- they cannot influence ids.
+ */
+class ScriptBuilder
+{
+  public:
+    explicit ScriptBuilder(std::string name)
+        : probe_(core::SystemConfig::forModel(core::ModelKind::Conventional))
+    {
+        script_.name = std::move(name);
+    }
+
+    os::DomainId
+    createDomain()
+    {
+        const os::DomainId id = probe_.kernel().createDomain(
+            "d" + std::to_string(script_.ops.size()));
+        Op op;
+        op.kind = OpKind::CreateDomain;
+        op.domain = id;
+        script_.ops.push_back(op);
+        return id;
+    }
+
+    void
+    destroyDomain(os::DomainId domain)
+    {
+        probe_.kernel().destroyDomain(domain);
+        Op op;
+        op.kind = OpKind::DestroyDomain;
+        op.domain = domain;
+        script_.ops.push_back(op);
+    }
+
+    vm::SegmentId
+    createSegment(u64 pages)
+    {
+        const vm::SegmentId id = probe_.kernel().createSegment(
+            "s" + std::to_string(script_.ops.size()), pages);
+        Op op;
+        op.kind = OpKind::CreateSegment;
+        op.seg = id;
+        op.pages = pages;
+        script_.ops.push_back(op);
+        return id;
+    }
+
+    void
+    destroySegment(vm::SegmentId seg)
+    {
+        probe_.kernel().destroySegment(seg);
+        Op op;
+        op.kind = OpKind::DestroySegment;
+        op.seg = seg;
+        script_.ops.push_back(op);
+    }
+
+    void
+    attach(os::DomainId domain, vm::SegmentId seg, vm::Access rights)
+    {
+        probe_.kernel().attach(domain, seg, rights);
+        Op op;
+        op.kind = OpKind::Attach;
+        op.domain = domain;
+        op.seg = seg;
+        op.rights = rights;
+        script_.ops.push_back(op);
+    }
+
+    void
+    detach(os::DomainId domain, vm::SegmentId seg)
+    {
+        probe_.kernel().detach(domain, seg);
+        Op op;
+        op.kind = OpKind::Detach;
+        op.domain = domain;
+        op.seg = seg;
+        script_.ops.push_back(op);
+    }
+
+    vm::SegmentId
+    forkCow(vm::SegmentId src, os::DomainId child, vm::Access rights)
+    {
+        const vm::SegmentId id = probe_.kernel().forkSegmentCow(
+            src, child, rights, "f" + std::to_string(script_.ops.size()));
+        Op op;
+        op.kind = OpKind::ForkCow;
+        op.domain = child;
+        op.seg = src;
+        op.seg2 = id;
+        op.rights = rights;
+        script_.ops.push_back(op);
+        return id;
+    }
+
+    void
+    switchTo(os::DomainId domain)
+    {
+        if (domain == probe_.kernel().currentDomain())
+            return;
+        probe_.kernel().switchTo(domain);
+        Op op;
+        op.kind = OpKind::Switch;
+        op.domain = domain;
+        script_.ops.push_back(op);
+    }
+
+    /** A reference by `domain` (switching if needed). */
+    void
+    refAs(os::DomainId domain, u64 addr, vm::AccessType type)
+    {
+        switchTo(domain);
+        Op op;
+        op.kind = OpKind::Ref;
+        op.type = type;
+        op.addr = addr;
+        script_.ops.push_back(op);
+        ++script_.refs;
+    }
+
+    void
+    restrictPage(u64 addr, vm::Access mask)
+    {
+        probe_.kernel().restrictPage(vm::pageOf(vm::VAddr(addr)), mask);
+        Op op;
+        op.kind = OpKind::RestrictPage;
+        op.addr = addr;
+        op.rights = mask;
+        script_.ops.push_back(op);
+    }
+
+    void
+    unrestrictPage(u64 addr)
+    {
+        probe_.kernel().unrestrictPage(vm::pageOf(vm::VAddr(addr)));
+        Op op;
+        op.kind = OpKind::UnrestrictPage;
+        op.addr = addr;
+        script_.ops.push_back(op);
+    }
+
+    bool
+    isAttached(os::DomainId domain, vm::SegmentId seg)
+    {
+        const os::Domain *d = probe_.state().findDomain(domain);
+        return d != nullptr && d->prot.isAttached(seg);
+    }
+
+    /** Base address of a probe-created segment. */
+    u64
+    base(vm::SegmentId seg)
+    {
+        const vm::Segment *segment = probe_.state().segments.find(seg);
+        SASOS_ASSERT(segment != nullptr, "builder lost segment ", seg);
+        return segment->base().raw();
+    }
+
+    Script
+    take()
+    {
+        return std::move(script_);
+    }
+
+  private:
+    core::System probe_;
+    Script script_;
+};
+
+/** A word-aligned address inside page `page` of a segment. */
+u64
+pageAddr(u64 seg_base, u64 page, Rng &rng)
+{
+    return seg_base + page * vm::kPageBytes +
+           rng.nextBelow(vm::kPageBytes / 8) * 8;
+}
+
+} // namespace
+
+Script
+buildForkScript(const ForkConfig &config)
+{
+    SASOS_ASSERT(config.pages > 0, "fork scenario needs a nonempty segment");
+    SASOS_ASSERT(config.fanout > 0, "fork scenario needs fanout >= 1");
+    // Size the tree up front and hold it against the segment budget.
+    u64 nodes = 1;
+    u64 level_width = 1;
+    for (u32 d = 0; d < config.depth; ++d) {
+        level_width *= config.fanout;
+        nodes += level_width;
+    }
+    if (nodes > config.maxSegments)
+        SASOS_FATAL("fork tree of ", nodes,
+                    " segments exceeds the segment budget of ",
+                    config.maxSegments, " (depth ", config.depth,
+                    ", fanout ", config.fanout, ")");
+
+    ScriptBuilder b("fork");
+    Rng rng(config.seed);
+
+    struct Task
+    {
+        os::DomainId domain;
+        vm::SegmentId seg;
+    };
+
+    const os::DomainId root = b.createDomain();
+    const vm::SegmentId root_seg = b.createSegment(config.pages);
+    b.attach(root, root_seg, vm::Access::ReadWrite);
+    // Populate every page so the forks below have frames to share.
+    for (u64 p = 0; p < config.pages; ++p)
+        b.refAs(root, pageAddr(b.base(root_seg), p, rng),
+                vm::AccessType::Store);
+
+    std::vector<Task> all{{root, root_seg}};
+    std::vector<Task> level{{root, root_seg}};
+    const u64 burst = std::max<u64>(1, config.refsPerTask /
+                                           (u64{config.depth} + 1));
+    for (u32 d = 0; d < config.depth; ++d) {
+        std::vector<Task> next;
+        for (const Task &parent : level) {
+            for (u32 c = 0; c < config.fanout; ++c) {
+                const os::DomainId child = b.createDomain();
+                const vm::SegmentId child_seg =
+                    b.forkCow(parent.seg, child, vm::Access::ReadWrite);
+                next.push_back({child, child_seg});
+            }
+        }
+        all.insert(all.end(), next.begin(), next.end());
+        // Every live task mutates its copy: stores take CoW faults,
+        // loads ride the shared frames.
+        for (const Task &task : all) {
+            for (u64 r = 0; r < burst; ++r) {
+                const u64 page = rng.nextBelow(config.pages);
+                const vm::AccessType type =
+                    rng.bernoulli(config.storeFraction)
+                        ? vm::AccessType::Store
+                        : vm::AccessType::Load;
+                b.refAs(task.domain,
+                        pageAddr(b.base(task.seg), page, rng), type);
+            }
+        }
+        level = std::move(next);
+    }
+
+    if (config.reap) {
+        b.switchTo(root);
+        // Reverse creation order; refcounted frames make any order
+        // legal, this one just retires leaves first.
+        for (std::size_t i = all.size(); i > 1; --i) {
+            b.destroySegment(all[i - 1].seg);
+            b.destroyDomain(all[i - 1].domain);
+        }
+    }
+    return b.take();
+}
+
+Script
+buildPortalScript(const PortalConfig &config)
+{
+    if (config.clients == 0)
+        SASOS_FATAL("portal scenario needs at least one client domain");
+    SASOS_ASSERT(config.servers > 0, "portal scenario needs servers");
+    SASOS_ASSERT(config.portalPages > 0, "portal segments need pages");
+    if (config.chainLen == 0 || config.chainLen > config.servers)
+        SASOS_FATAL("portal chain of length ", config.chainLen,
+                    " needs between 1 and ", config.servers,
+                    " exported portal segments");
+
+    ScriptBuilder b("portal");
+    Rng rng(config.seed);
+
+    std::vector<os::DomainId> server;
+    std::vector<vm::SegmentId> portal;
+    for (u32 k = 0; k < config.servers; ++k) {
+        server.push_back(b.createDomain());
+        portal.push_back(b.createSegment(config.portalPages));
+        b.attach(server[k], portal[k], vm::Access::ReadWrite);
+    }
+    // Chain wiring: each hop writes the next hop's request.
+    for (u32 k = 0; k + 1 < config.chainLen; ++k)
+        b.attach(server[k], portal[k + 1], vm::Access::ReadWrite);
+
+    std::vector<os::DomainId> client;
+    for (u32 i = 0; i < config.clients; ++i) {
+        client.push_back(b.createDomain());
+        b.attach(client[i], portal[0], vm::Access::ReadWrite);
+    }
+
+    if (config.dropPortalHop < config.chainLen)
+        b.detach(server[config.dropPortalHop],
+                 portal[config.dropPortalHop]);
+    // A portal is only traversable while its server exports it.
+    for (u32 k = 0; k < config.chainLen; ++k) {
+        if (!b.isAttached(server[k], portal[k]))
+            SASOS_FATAL("portal into a detached segment: hop ", k,
+                        " (segment ", portal[k],
+                        ") is no longer attached to its server domain");
+    }
+
+    const u64 half = std::max<u64>(1, config.refsPerHop / 2);
+    for (u64 call = 0; call < config.callsPerClient; ++call) {
+        for (u32 i = 0; i < config.clients; ++i) {
+            // Request: the client writes into the entry portal.
+            for (u64 r = 0; r < half; ++r)
+                b.refAs(client[i],
+                        pageAddr(b.base(portal[0]),
+                                 rng.nextBelow(config.portalPages), rng),
+                        vm::AccessType::Store);
+            // Occasionally a client snoops a later hop's portal it was
+            // never attached to -- a denied cross-domain reference.
+            if (config.chainLen > 1 && rng.bernoulli(0.05))
+                b.refAs(client[i],
+                        pageAddr(b.base(portal[1]),
+                                 rng.nextBelow(config.portalPages), rng),
+                        vm::AccessType::Load);
+            // Traverse the chain: each server reads its request and
+            // writes its reply (and the next hop's request).
+            for (u32 k = 0; k < config.chainLen; ++k) {
+                for (u64 r = 0; r < half; ++r) {
+                    const vm::AccessType type =
+                        rng.bernoulli(0.5) ? vm::AccessType::Load
+                                           : vm::AccessType::Store;
+                    b.refAs(server[k],
+                            pageAddr(b.base(portal[k]),
+                                     rng.nextBelow(config.portalPages),
+                                     rng),
+                            type);
+                }
+                if (k + 1 < config.chainLen) {
+                    b.refAs(server[k],
+                            pageAddr(b.base(portal[k + 1]),
+                                     rng.nextBelow(config.portalPages),
+                                     rng),
+                            vm::AccessType::Store);
+                }
+            }
+            // Return: the client reads the reply.
+            for (u64 r = 0; r < half; ++r)
+                b.refAs(client[i],
+                        pageAddr(b.base(portal[0]),
+                                 rng.nextBelow(config.portalPages), rng),
+                        vm::AccessType::Load);
+        }
+    }
+    return b.take();
+}
+
+Script
+buildServerMixScript(const ServerMixConfig &config)
+{
+    if (config.clientsPerWave == 0)
+        SASOS_FATAL("server mix needs client domains (clientsPerWave > 0)");
+    SASOS_ASSERT(config.services > 0, "server mix needs service domains");
+    SASOS_ASSERT(config.servicePages > 0, "service segments need pages");
+    const u64 total_domains = u64{config.services} +
+                              u64{config.waves} * config.clientsPerWave + 1;
+    if (total_domains > 60000)
+        SASOS_FATAL("server mix would create ", total_domains,
+                    " domains; the 16-bit domain id space allows 60000");
+
+    ScriptBuilder b("server-mix");
+    Rng rng(config.seed);
+    const ZipfDistribution zipf(config.servicePages, config.zipfTheta);
+
+    std::vector<os::DomainId> service;
+    std::vector<vm::SegmentId> sseg;
+    for (u32 k = 0; k < config.services; ++k) {
+        service.push_back(b.createDomain());
+        sseg.push_back(b.createSegment(config.servicePages));
+        b.attach(service[k], sseg[k], vm::Access::ReadWrite);
+        // Warm the service working set so client traffic hits mapped
+        // pages rather than a demand-zero storm.
+        for (u64 p = 0; p < config.servicePages; ++p)
+            b.refAs(service[k], pageAddr(b.base(sseg[k]), p, rng),
+                    vm::AccessType::Store);
+    }
+
+    constexpr u64 kScratchPages = 2;
+    for (u32 w = 0; w < config.waves; ++w) {
+        struct Client
+        {
+            os::DomainId domain;
+            vm::SegmentId scratch;
+            u32 svc;
+            bool writer;
+        };
+        std::vector<Client> wave;
+        for (u32 i = 0; i < config.clientsPerWave; ++i) {
+            Client c;
+            c.domain = b.createDomain();
+            c.scratch = b.createSegment(kScratchPages);
+            c.svc = static_cast<u32>(rng.nextBelow(config.services));
+            c.writer = rng.bernoulli(0.3);
+            b.attach(c.domain, c.scratch, vm::Access::ReadWrite);
+            b.attach(c.domain, sseg[c.svc],
+                     c.writer ? vm::Access::ReadWrite : vm::Access::Read);
+            wave.push_back(c);
+        }
+        // Paging-style exclusion on a few hot service pages while the
+        // wave runs: some client refs are denied mid-flight.
+        std::vector<u64> restricted;
+        for (u32 m = 0; m < config.restrictsPerWave; ++m) {
+            const u32 k = static_cast<u32>(rng.nextBelow(config.services));
+            const u64 addr =
+                pageAddr(b.base(sseg[k]), zipf(rng), rng);
+            b.restrictPage(addr, vm::Access::Read);
+            restricted.push_back(addr);
+        }
+        for (const Client &c : wave) {
+            for (u64 r = 0; r < config.refsPerClient; ++r) {
+                // Mostly service traffic (Zipf page), some scratch.
+                if (rng.bernoulli(0.85)) {
+                    const vm::AccessType type =
+                        rng.bernoulli(config.storeFraction)
+                            ? vm::AccessType::Store
+                            : vm::AccessType::Load;
+                    b.refAs(c.domain,
+                            pageAddr(b.base(sseg[c.svc]), zipf(rng), rng),
+                            type);
+                } else {
+                    b.refAs(c.domain,
+                            pageAddr(b.base(c.scratch),
+                                     rng.nextBelow(kScratchPages), rng),
+                            vm::AccessType::Store);
+                }
+            }
+        }
+        for (u64 addr : restricted)
+            b.unrestrictPage(addr);
+        // Reap the wave: short-lived clients die, services persist.
+        b.switchTo(service[0]);
+        for (const Client &c : wave) {
+            b.destroySegment(c.scratch);
+            b.destroyDomain(c.domain);
+        }
+    }
+    return b.take();
+}
+
+std::vector<Script>
+standardScripts(u64 seed)
+{
+    ForkConfig fork;
+    fork.seed = seed;
+    PortalConfig portal;
+    portal.seed = seed + 1;
+    ServerMixConfig mix;
+    mix.seed = seed + 2;
+    return {buildForkScript(fork), buildPortalScript(portal),
+            buildServerMixScript(mix)};
+}
+
+} // namespace sasos::scn

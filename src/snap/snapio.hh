@@ -39,8 +39,10 @@ namespace sasos::snap
 /** First eight bytes of every snapshot image. */
 constexpr char kMagic[8] = {'S', 'A', 'S', 'O', 'S', 'N', 'A', 'P'};
 
-/** Current format version; bumped on any incompatible change. */
-constexpr u32 kFormatVersion = 1;
+/** Current format version; bumped on any incompatible change.
+ * v2: frame refcounts in the allocator image, CoW page set in the
+ * kernel image, shared frames allowed in the page table. */
+constexpr u32 kFormatVersion = 2;
 
 /** Envelope size: magic[8] version[4] reserved[4] length[8] fnv[8]. */
 constexpr std::size_t kHeaderBytes = 32;

@@ -16,9 +16,23 @@ GlobalPageTable::map(Vpn vpn, Pfn pfn)
     auto [it, inserted] = entries_.emplace(vpn, Translation{pfn});
     SASOS_ASSERT(inserted, "homonym: page ", vpn.number(),
                  " already mapped");
-    auto [rit, rinserted] = reverse_.emplace(pfn, vpn);
+    auto [rit, rinserted] = reverse_.emplace(pfn, std::vector<Vpn>{vpn});
     SASOS_ASSERT(rinserted, "synonym: frame ", pfn.number(),
-                 " already backs page ", rit->second.number());
+                 " already backs page ", rit->second.front().number());
+}
+
+void
+GlobalPageTable::mapShared(Vpn vpn, Pfn pfn)
+{
+    auto rit = reverse_.find(pfn);
+    SASOS_ASSERT(rit != reverse_.end(), "sharing unmapped frame ",
+                 pfn.number());
+    auto [it, inserted] = entries_.emplace(vpn, Translation{pfn});
+    SASOS_ASSERT(inserted, "homonym: page ", vpn.number(),
+                 " already mapped");
+    std::vector<Vpn> &mappers = rit->second;
+    mappers.insert(std::upper_bound(mappers.begin(), mappers.end(), vpn),
+                   vpn);
 }
 
 Pfn
@@ -30,7 +44,16 @@ GlobalPageTable::unmap(Vpn vpn)
     lastTranslation_ = nullptr; // the memo may point at the dead node
     const Pfn pfn = it->second.pfn;
     entries_.erase(it);
-    reverse_.erase(pfn);
+    auto rit = reverse_.find(pfn);
+    SASOS_ASSERT(rit != reverse_.end(), "reverse map lost frame ",
+                 pfn.number());
+    std::vector<Vpn> &mappers = rit->second;
+    auto mit = std::find(mappers.begin(), mappers.end(), vpn);
+    SASOS_ASSERT(mit != mappers.end(), "reverse map lost page ",
+                 vpn.number());
+    mappers.erase(mit);
+    if (mappers.empty())
+        reverse_.erase(rit);
     return pfn;
 }
 
@@ -59,7 +82,14 @@ GlobalPageTable::pageOfFrame(Pfn pfn) const
     auto it = reverse_.find(pfn);
     if (it == reverse_.end())
         return std::nullopt;
-    return it->second;
+    return it->second.front();
+}
+
+u32
+GlobalPageTable::frameMappers(Pfn pfn) const
+{
+    auto it = reverse_.find(pfn);
+    return it == reverse_.end() ? 0 : static_cast<u32>(it->second.size());
 }
 
 void
@@ -127,11 +157,12 @@ GlobalPageTable::load(snap::SnapReader &r)
         if (!entries_.emplace(vpn, translation).second)
             SASOS_FATAL("corrupt snapshot: page ", vpn.number(),
                         " mapped twice (homonym)");
-        if (!reverse_.emplace(translation.pfn, vpn).second)
-            SASOS_FATAL("corrupt snapshot: frame ",
-                        translation.pfn.number(),
-                        " backs two pages (synonym)");
+        // Shared (CoW) frames legitimately back several pages; the
+        // owner cross-checks mapper counts against frame refcounts.
+        reverse_[translation.pfn].push_back(vpn);
     }
+    for (auto &[pfn, mappers] : reverse_)
+        std::sort(mappers.begin(), mappers.end());
 }
 
 } // namespace sasos::vm

@@ -10,6 +10,12 @@
  *  - no homonyms: a VPN has at most one translation, ever;
  *  - no synonyms: a PFN backs at most one VPN at a time.
  *
+ * Copy-on-write fork relaxes the synonym rule in a controlled way:
+ * mapShared() lets one frame back several VPNs, but the kernel keeps
+ * every such page write-protected (the CoW mask) until the first
+ * store resolves the page to a private frame -- read-only synonyms
+ * never create the cache-coherence hazard the rule exists for.
+ *
  * Protection lives elsewhere (per-domain ProtectionTable); this table
  * carries only VPN -> PFN plus the dirty and referenced bits, exactly
  * the contents the paper assigns to the PLB system's TLB.
@@ -54,6 +60,14 @@ class GlobalPageTable
      */
     void map(Vpn vpn, Pfn pfn);
 
+    /**
+     * Map a page onto a frame that already backs at least one other
+     * page (copy-on-write sharing). The homonym rule still holds; the
+     * caller owns the matching frame refcount and the write
+     * protection that keeps the shared frame VIVT-safe.
+     */
+    void mapShared(Vpn vpn, Pfn pfn);
+
     /** Remove a translation; returns the frame it used. */
     Pfn unmap(Vpn vpn);
 
@@ -62,8 +76,13 @@ class GlobalPageTable
 
     bool isMapped(Vpn vpn) const { return lookup(vpn) != nullptr; }
 
-    /** The page a frame currently backs, if any (reverse map). */
+    /** The lowest-numbered page a frame currently backs, if any
+     * (reverse map; a CoW-shared frame backs several). */
     std::optional<Vpn> pageOfFrame(Pfn pfn) const;
+
+    /** How many pages a frame currently backs (0 = frame unmapped,
+     * >1 = CoW-shared). */
+    u32 frameMappers(Pfn pfn) const;
 
     /** Set the dirty bit (store to the page). */
     void markDirty(Vpn vpn);
@@ -103,7 +122,9 @@ class GlobalPageTable
     Translation *cachedFind(Vpn vpn);
 
     std::unordered_map<Vpn, Translation> entries_;
-    std::unordered_map<Pfn, Vpn> reverse_;
+    /** Frame -> mapping pages. Almost always one entry; CoW sharing
+     * appends. Kept sorted so pageOfFrame() is deterministic. */
+    std::unordered_map<Pfn, std::vector<Vpn>> reverse_;
     Vpn lastVpn_{};
     Translation *lastTranslation_ = nullptr;
 };

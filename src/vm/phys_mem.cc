@@ -7,7 +7,8 @@
 namespace sasos::vm
 {
 
-FrameAllocator::FrameAllocator(u64 frame_count) : allocated_(frame_count)
+FrameAllocator::FrameAllocator(u64 frame_count)
+    : allocated_(frame_count), refCounts_(frame_count, 0)
 {
     SASOS_ASSERT(frame_count > 0, "no physical memory");
     freeList_.reserve(frame_count);
@@ -25,6 +26,7 @@ FrameAllocator::allocate()
     const u64 frame = freeList_.back();
     freeList_.pop_back();
     allocated_[frame] = true;
+    refCounts_[frame] = 1;
     ++inUse_;
     return Pfn(frame);
 }
@@ -35,9 +37,41 @@ FrameAllocator::free(Pfn pfn)
     const u64 frame = pfn.number();
     SASOS_ASSERT(frame < allocated_.size(), "freeing foreign frame ", frame);
     SASOS_ASSERT(allocated_[frame], "double free of frame ", frame);
+    SASOS_ASSERT(refCounts_[frame] == 1, "freeing shared frame ", frame,
+                 " with ", refCounts_[frame], " references");
+    unref(pfn);
+}
+
+void
+FrameAllocator::ref(Pfn pfn)
+{
+    const u64 frame = pfn.number();
+    SASOS_ASSERT(frame < allocated_.size(), "ref of foreign frame ", frame);
+    SASOS_ASSERT(allocated_[frame], "ref of unallocated frame ", frame);
+    ++refCounts_[frame];
+}
+
+void
+FrameAllocator::unref(Pfn pfn)
+{
+    const u64 frame = pfn.number();
+    SASOS_ASSERT(frame < allocated_.size(), "unref of foreign frame ",
+                 frame);
+    SASOS_ASSERT(allocated_[frame], "unref of unallocated frame ", frame);
+    SASOS_ASSERT(refCounts_[frame] > 0, "refcount underflow on frame ",
+                 frame);
+    if (--refCounts_[frame] > 0)
+        return;
     allocated_[frame] = false;
     freeList_.push_back(frame);
     --inUse_;
+}
+
+u32
+FrameAllocator::refCount(Pfn pfn) const
+{
+    const u64 frame = pfn.number();
+    return frame < refCounts_.size() ? refCounts_[frame] : 0;
 }
 
 bool
@@ -64,6 +98,12 @@ FrameAllocator::save(snap::SnapWriter &w) const
     w.put64(freeList_.size());
     for (u64 frame : freeList_)
         w.put64(frame);
+    // Refcounts of the allocated frames, in frame order (the bitmap
+    // above says which frames those are).
+    for (std::size_t i = 0; i < allocated_.size(); ++i) {
+        if (allocated_[i])
+            w.put32(refCounts_[i]);
+    }
 }
 
 void
@@ -107,6 +147,17 @@ FrameAllocator::load(snap::SnapReader &r)
                         " on the free list twice");
         seen[frame] = true;
         freeList_.push_back(frame);
+    }
+    for (std::size_t i = 0; i < allocated_.size(); ++i) {
+        if (!allocated_[i]) {
+            refCounts_[i] = 0;
+            continue;
+        }
+        const u32 refs = r.get32();
+        if (refs == 0)
+            SASOS_FATAL("corrupt snapshot: allocated frame ", i,
+                        " with zero references");
+        refCounts_[i] = refs;
     }
 }
 

@@ -23,19 +23,35 @@ namespace sasos::vm
 /**
  * A free-list allocator over a fixed pool of physical frames.
  *
- * Frames are recycled (unlike virtual addresses). Double-free and
- * foreign-free are simulator bugs and panic.
+ * Frames are recycled (unlike virtual addresses) and reference
+ * counted: allocate() hands out a frame with one reference, ref()
+ * adds a sharer (copy-on-write fork), and unref() drops one,
+ * returning the frame to the pool when the last reference goes.
+ * free() is the exclusive-owner form: it asserts the caller held the
+ * only reference. Double-free and foreign-free are simulator bugs and
+ * panic.
  */
 class FrameAllocator
 {
   public:
     explicit FrameAllocator(u64 frame_count);
 
-    /** Allocate a frame; nullopt when memory is exhausted. */
+    /** Allocate a frame with one reference; nullopt when memory is
+     * exhausted. */
     std::optional<Pfn> allocate();
 
-    /** Return a frame to the pool. */
+    /** Return a frame to the pool; asserts it has exactly one
+     * reference (use unref() for possibly-shared frames). */
     void free(Pfn pfn);
+
+    /** Add one reference to an allocated frame (CoW sharing). */
+    void ref(Pfn pfn);
+
+    /** Drop one reference; frees the frame when the count hits 0. */
+    void unref(Pfn pfn);
+
+    /** References held on a frame (0 when unallocated). */
+    u32 refCount(Pfn pfn) const;
 
     bool isAllocated(Pfn pfn) const;
 
@@ -45,7 +61,8 @@ class FrameAllocator
 
     /** @name Snapshot hooks (free-list order decides future frame
      * assignment, so it is serialized verbatim and cross-checked
-     * against the allocation bitmap on load) */
+     * against the allocation bitmap on load; refcounts ride along
+     * for the allocated frames) */
     /// @{
     void save(snap::SnapWriter &w) const;
     void load(snap::SnapReader &r);
@@ -53,6 +70,7 @@ class FrameAllocator
 
   private:
     std::vector<bool> allocated_;
+    std::vector<u32> refCounts_;
     std::vector<u64> freeList_;
     u64 inUse_ = 0;
 };

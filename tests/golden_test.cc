@@ -23,6 +23,8 @@
 #include <sstream>
 
 #include "core/mc/mc_system.hh"
+#include "scenario/runner.hh"
+#include "scenario/scenario.hh"
 #include "trace/trace.hh"
 
 using namespace sasos;
@@ -165,6 +167,58 @@ TEST(GoldenReplayTest, StatsJsonMatchesCheckedInSnapshot)
     expected << in.rdbuf();
     EXPECT_EQ(actual.str(), expected.str())
         << "golden stats JSON diverged; if intentional, regenerate "
+           "with SASOS_GOLDEN_REGEN=1";
+}
+
+/** The three application scenarios (CoW fork tree, portal RPC chains,
+ * server-style mix) replayed on every model, snapshotted through the
+ * stats exporter plus the replay tallies: any change to the scenario
+ * builders, the CoW fault path, portal attachment wiring or cost
+ * charging shows up as a diff against
+ * tests/data/golden_scenario_stats.json. Regenerate (and review the
+ * diff!) with SASOS_GOLDEN_REGEN=1 after intentional changes. */
+TEST(GoldenReplayTest, ScenarioStatsJsonMatchesCheckedInSnapshot)
+{
+    const std::vector<scn::Script> scripts = scn::standardScripts(1);
+
+    std::ostringstream actual;
+    actual << "[\n";
+    bool first = true;
+    for (const scn::Script &script : scripts) {
+        for (core::ModelKind kind :
+             {core::ModelKind::Plb, core::ModelKind::PageGroup,
+              core::ModelKind::Conventional}) {
+            core::System sys(core::SystemConfig::forModel(kind));
+            const scn::RunStats tally = scn::runScript(sys, script);
+            EXPECT_EQ(tally.refs, script.refs) << script.name;
+            if (!first)
+                actual << ",\n";
+            first = false;
+            actual << "{\"scenario\": \"" << script.name
+                   << "\", \"refs\": " << tally.refs
+                   << ", \"allowed\": " << tally.allowed
+                   << ", \"denied\": " << tally.denied << ",\n\"stats\": ";
+            sys.dumpStatsJson(actual);
+            actual << "}";
+        }
+    }
+    actual << "\n]\n";
+
+    const std::string expected_path = dataPath("golden_scenario_stats.json");
+    if (std::getenv("SASOS_GOLDEN_REGEN") != nullptr) {
+        std::ofstream out(expected_path);
+        out << actual.str();
+        GTEST_SKIP() << "regenerated " << expected_path;
+    }
+
+    std::ifstream in(expected_path);
+    ASSERT_TRUE(in.good())
+        << "missing " << expected_path
+        << "; run with SASOS_GOLDEN_REGEN=1 to create it";
+    std::stringstream expected;
+    expected << in.rdbuf();
+    EXPECT_EQ(actual.str(), expected.str())
+        << "golden scenario stats diverged; if intentional, regenerate "
            "with SASOS_GOLDEN_REGEN=1";
 }
 

@@ -244,6 +244,97 @@ TEST_P(KernelModelTest, CanonicalRightsReflectTables)
     EXPECT_EQ(kernel.canonicalRights(d, vpn), vm::Access::ReadWrite);
 }
 
+TEST_P(KernelModelTest, ForkCowSharesFramesUntilFirstStore)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId parent = kernel.createDomain("parent");
+    const os::DomainId child = kernel.createDomain("child");
+    const vm::SegmentId src = kernel.createSegment("src", 2);
+    kernel.attach(parent, src, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(src)->base();
+    kernel.switchTo(parent);
+    EXPECT_TRUE(sys_.store(base));
+
+    const vm::SegmentId dst =
+        kernel.forkSegmentCow(src, child, vm::Access::ReadWrite, "dst");
+    EXPECT_EQ(kernel.forks.value(), 1u);
+    const vm::Vpn src_vpn = vm::pageOf(base);
+    const vm::Vpn dst_vpn = sys_.state().segments.find(dst)->firstPage;
+    const auto &pages = sys_.state().pageTable;
+    ASSERT_TRUE(pages.isMapped(dst_vpn));
+    // One frame backs both pages, refcounted, CoW-masked on each end.
+    const vm::Pfn shared = pages.lookup(src_vpn)->pfn;
+    EXPECT_EQ(pages.lookup(dst_vpn)->pfn, shared);
+    EXPECT_EQ(sys_.state().frameAllocator.refCount(shared), 2u);
+    EXPECT_TRUE(kernel.isCowProtected(src_vpn));
+    EXPECT_TRUE(kernel.isCowProtected(dst_vpn));
+
+    // Loads on both ends still share; the first store resolves to a
+    // private copy and lifts the masks.
+    EXPECT_TRUE(sys_.load(base));
+    kernel.switchTo(child);
+    EXPECT_TRUE(sys_.load(sys_.state().segments.find(dst)->base()));
+    EXPECT_EQ(kernel.cowFaults.value(), 0u);
+    EXPECT_TRUE(sys_.store(sys_.state().segments.find(dst)->base()));
+    EXPECT_EQ(kernel.cowFaults.value(), 1u);
+    EXPECT_EQ(kernel.cowCopies.value(), 1u);
+    EXPECT_NE(pages.lookup(dst_vpn)->pfn, pages.lookup(src_vpn)->pfn);
+    EXPECT_EQ(sys_.state().frameAllocator.refCount(shared), 1u);
+    EXPECT_FALSE(kernel.isCowProtected(dst_vpn));
+
+    // The parent is now the last sharer: its store reuses in place.
+    kernel.switchTo(parent);
+    EXPECT_TRUE(sys_.store(base));
+    EXPECT_EQ(kernel.cowReuses.value(), 1u);
+    EXPECT_FALSE(kernel.isCowProtected(src_vpn));
+    EXPECT_EQ(pages.lookup(src_vpn)->pfn, shared);
+}
+
+TEST_P(KernelModelTest, ForkCowLeavesUnmappedPagesDemandZero)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId parent = kernel.createDomain("parent");
+    const os::DomainId child = kernel.createDomain("child");
+    const vm::SegmentId src = kernel.createSegment("src", 2);
+    kernel.attach(parent, src, vm::Access::ReadWrite);
+    // Fork with no source page ever touched: nothing to share.
+    const vm::SegmentId dst =
+        kernel.forkSegmentCow(src, child, vm::Access::ReadWrite, "dst");
+    const vm::Vpn dst_vpn = sys_.state().segments.find(dst)->firstPage;
+    EXPECT_FALSE(sys_.state().pageTable.isMapped(dst_vpn));
+    EXPECT_FALSE(kernel.isCowProtected(dst_vpn));
+    // First touch in the child demand-maps a private zero page.
+    kernel.switchTo(child);
+    EXPECT_TRUE(sys_.store(sys_.state().segments.find(dst)->base()));
+    EXPECT_EQ(kernel.cowFaults.value(), 0u);
+    ASSERT_TRUE(sys_.state().pageTable.isMapped(dst_vpn));
+    EXPECT_EQ(sys_.state().frameAllocator.refCount(
+                  sys_.state().pageTable.lookup(dst_vpn)->pfn),
+              1u);
+}
+
+TEST_P(KernelModelTest, CowMaskDeniesWritesWithoutSegmentWriteRight)
+{
+    auto &kernel = sys_.kernel();
+    const os::DomainId parent = kernel.createDomain("parent");
+    const os::DomainId child = kernel.createDomain("child");
+    const vm::SegmentId src = kernel.createSegment("src", 1);
+    kernel.attach(parent, src, vm::Access::ReadWrite);
+    const vm::VAddr base = sys_.state().segments.find(src)->base();
+    kernel.switchTo(parent);
+    EXPECT_TRUE(sys_.store(base));
+    // The child gets a read-only fork: a store there is a genuine
+    // protection fault, not a CoW resolution.
+    const vm::SegmentId dst =
+        kernel.forkSegmentCow(src, child, vm::Access::Read, "dst");
+    kernel.switchTo(child);
+    const vm::VAddr child_base = sys_.state().segments.find(dst)->base();
+    EXPECT_TRUE(sys_.load(child_base));
+    EXPECT_FALSE(sys_.store(child_base));
+    EXPECT_EQ(kernel.cowFaults.value(), 0u);
+    EXPECT_TRUE(kernel.isCowProtected(vm::pageOf(child_base)));
+}
+
 INSTANTIATE_TEST_SUITE_P(Models, KernelModelTest,
                          ::testing::Values(ModelKind::Plb,
                                            ModelKind::PageGroup,

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/system.hh"
+#include "scenario/runner.hh"
 #include "sim/random.hh"
 
 using namespace sasos;
@@ -415,6 +416,108 @@ TEST(CrossModelEquivalenceTest, AgreementSurvivesFaultInjection)
 {
     for (u64 seed : {11u, 22u, 33u})
         crossModelSoup(seed, true);
+}
+
+namespace
+{
+
+/** Replay one application scenario on all three architectures in
+ * lockstep: every reference must produce the same allow/deny decision
+ * on every model, and that decision must be predictable from the
+ * canonical tables alone (for copy-on-write pages a store succeeds
+ * through the CoW fault path exactly when the domain's unmasked
+ * rights include Write). After every operation, hardware rights on a
+ * sampled (domain, page) pair must not exceed canonical rights. */
+void
+lockstepScenario(const scn::Script &script, bool faults, u64 seed)
+{
+    std::vector<std::unique_ptr<core::System>> systems;
+    for (ModelKind kind : {ModelKind::Plb, ModelKind::PageGroup,
+                           ModelKind::Conventional}) {
+        SystemConfig config = SystemConfig::forModel(kind);
+        config.faults.enabled = faults;
+        config.faults.rate = 0.03;
+        config.faults.seed = seed;
+        systems.push_back(std::make_unique<core::System>(config));
+    }
+
+    Rng sample(seed ^ 0x5bd1e9955bd1e995ull);
+    u64 allows = 0, denies = 0;
+    for (std::size_t i = 0; i < script.ops.size(); ++i) {
+        const scn::Op &op = script.ops[i];
+        if (op.kind == scn::OpKind::Ref) {
+            // Expected outcome from system 0's canonical state before
+            // any system issues the reference (all canonical states
+            // are identical by construction).
+            os::Kernel &kernel0 = systems[0]->kernel();
+            const os::DomainId current = kernel0.currentDomain();
+            const vm::Vpn vpn = vm::pageOf(vm::VAddr(op.addr));
+            const os::Domain *d = systems[0]->state().findDomain(current);
+            const bool cow_writable =
+                kernel0.isCowProtected(vpn) && d != nullptr &&
+                vm::includes(d->prot.effectiveRights(
+                                 vpn, systems[0]->state().segments),
+                             vm::Access::Write);
+            const bool expected =
+                vm::includes(kernel0.canonicalRights(current, vpn),
+                             vm::requiredRight(op.type)) ||
+                (op.type == vm::AccessType::Store && cow_writable);
+            for (auto &sys : systems) {
+                const std::optional<bool> decision =
+                    scn::applyOp(*sys, op, i);
+                ASSERT_TRUE(decision.has_value());
+                ASSERT_EQ(*decision, expected)
+                    << script.name << " op " << i << " on "
+                    << toString(sys->config().model) << " va 0x"
+                    << std::hex << op.addr << std::dec
+                    << (faults ? " (faults on)" : "");
+            }
+            (expected ? allows : denies) += 1;
+        } else {
+            for (auto &sys : systems)
+                scn::applyOp(*sys, op, i);
+        }
+
+        // Per-step oracle sample: hardware never over-grants.
+        const auto &domains = systems[0]->state().domains();
+        const std::vector<vm::SegmentId> live =
+            systems[0]->state().segments.liveIds();
+        if (domains.empty() || live.empty())
+            continue;
+        auto it = domains.begin();
+        std::advance(it, sample.nextBelow(domains.size()));
+        const vm::Segment *seg = systems[0]->state().segments.find(
+            live[sample.nextBelow(live.size())]);
+        const vm::Vpn vpn(seg->firstPage.number() +
+                          sample.nextBelow(seg->pages));
+        for (auto &sys : systems) {
+            const vm::Access hw =
+                sys->model().effectiveRights(it->first, vpn);
+            const vm::Access canonical =
+                sys->kernel().canonicalRights(it->first, vpn);
+            ASSERT_TRUE(vm::includes(canonical, hw))
+                << script.name << " op " << i << " on "
+                << toString(sys->config().model)
+                << ": hw=" << vm::toString(hw)
+                << " canonical=" << vm::toString(canonical);
+        }
+    }
+    EXPECT_EQ(allows + denies, script.refs);
+    EXPECT_GT(allows, 0u);
+}
+
+} // namespace
+
+TEST(ScenarioEquivalenceTest, ScenariosAgreeOnEveryReference)
+{
+    for (const scn::Script &script : scn::standardScripts(7))
+        lockstepScenario(script, false, 7);
+}
+
+TEST(ScenarioEquivalenceTest, AgreementSurvivesFaultInjection)
+{
+    for (const scn::Script &script : scn::standardScripts(9))
+        lockstepScenario(script, true, 9);
 }
 
 INSTANTIATE_TEST_SUITE_P(

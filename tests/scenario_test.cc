@@ -1,0 +1,519 @@
+/**
+ * @file
+ * The application-scenario layer's test suite.
+ *
+ * The centerpiece is the copy-on-write soak: thousands of randomized
+ * fork/write/exit steps against an independent shadow model of frame
+ * sharing, asserting after every step that each frame's refcount
+ * equals its live mapper count, that the sharing structure (which
+ * pages share which frame) matches the shadow exactly, and at
+ * quiescence that no frame leaked and the kernel's cowCopies /
+ * cowReuses counters match the shadow's first-write bookkeeping.
+ *
+ * Around it: builder determinism (a script is a pure function of its
+ * config), replay determinism, cross-model outcome identity through
+ * the scenario differential oracle, death tests for invalid scenario
+ * configs (clean fatals rerouted into exceptions), and the multi-core
+ * engine's ForkCow step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/mc/mc_system.hh"
+#include "core/system.hh"
+#include "scenario/oracle.hh"
+#include "scenario/runner.hh"
+#include "scenario/scenario.hh"
+
+using namespace sasos;
+namespace mc = sasos::core::mc;
+
+namespace
+{
+
+/** SASOS_FATAL rerouted into a catchable exception, per test scope. */
+struct FatalRejection : std::runtime_error
+{
+    explicit FatalRejection(const std::string &message)
+        : std::runtime_error(message)
+    {
+    }
+};
+
+class ScopedFatalThrow
+{
+  public:
+    ScopedFatalThrow()
+    {
+        previous_ = setFatalHandler([](const std::string &message) -> void {
+            throw FatalRejection(message);
+        });
+    }
+    ~ScopedFatalThrow() { setFatalHandler(previous_); }
+
+  private:
+    FatalHandler previous_;
+};
+
+/** Expect `fn` to die with a fatal whose message contains `needle`. */
+template <typename Fn>
+void
+expectFatalContaining(Fn fn, const std::string &needle)
+{
+    ScopedFatalThrow reroute;
+    try {
+        fn();
+        FAIL() << "expected a fatal containing \"" << needle << "\"";
+    } catch (const FatalRejection &fatal) {
+        EXPECT_NE(std::string(fatal.what()).find(needle),
+                  std::string::npos)
+            << "fatal message was: " << fatal.what();
+    }
+}
+
+std::string
+dumpOf(core::System &sys)
+{
+    std::ostringstream os;
+    sys.dumpStats(os);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Builder and replay determinism.
+
+TEST(ScenarioBuildTest, BuildersArePureFunctionsOfTheirConfig)
+{
+    for (const auto &[a, b] :
+         {std::pair{scn::buildForkScript(scn::ForkConfig{}),
+                    scn::buildForkScript(scn::ForkConfig{})},
+          std::pair{scn::buildPortalScript(scn::PortalConfig{}),
+                    scn::buildPortalScript(scn::PortalConfig{})},
+          std::pair{scn::buildServerMixScript(scn::ServerMixConfig{}),
+                    scn::buildServerMixScript(scn::ServerMixConfig{})}}) {
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.refs, b.refs);
+        ASSERT_EQ(a.ops.size(), b.ops.size());
+        EXPECT_TRUE(a.ops == b.ops) << a.name;
+    }
+}
+
+TEST(ScenarioBuildTest, SeedChangesTheScript)
+{
+    scn::ForkConfig a, b;
+    a.seed = 1;
+    b.seed = 2;
+    EXPECT_FALSE(scn::buildForkScript(a).ops ==
+                 scn::buildForkScript(b).ops);
+}
+
+TEST(ScenarioBuildTest, StandardScriptsExerciseTheKernel)
+{
+    const std::vector<scn::Script> scripts = scn::standardScripts(1);
+    ASSERT_EQ(scripts.size(), 3u);
+    for (const scn::Script &script : scripts) {
+        EXPECT_GT(script.refs, 100u) << script.name;
+        bool has_kernel_op = false;
+        for (const scn::Op &op : script.ops)
+            has_kernel_op |= op.kind != scn::OpKind::Ref &&
+                             op.kind != scn::OpKind::Switch;
+        EXPECT_TRUE(has_kernel_op) << script.name;
+    }
+}
+
+TEST(ScenarioReplayTest, ReplayIsDeterministicPerModel)
+{
+    const scn::Script script = scn::buildForkScript(scn::ForkConfig{});
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        u64 cycles[2];
+        std::string stats[2];
+        for (int run = 0; run < 2; ++run) {
+            core::System sys(core::SystemConfig::forModel(kind));
+            const scn::RunStats tally = scn::runScript(sys, script);
+            EXPECT_EQ(tally.refs, script.refs);
+            cycles[run] = sys.cycles().count();
+            stats[run] = dumpOf(sys);
+        }
+        EXPECT_EQ(cycles[0], cycles[1]) << core::toString(kind);
+        EXPECT_EQ(stats[0], stats[1]) << core::toString(kind);
+    }
+}
+
+TEST(ScenarioReplayTest, ForkScenarioTakesCowFaults)
+{
+    core::System sys(
+        core::SystemConfig::forModel(core::ModelKind::Plb));
+    scn::runScript(sys, scn::buildForkScript(scn::ForkConfig{}));
+    EXPECT_GT(sys.kernel().forks.value(), 0u);
+    EXPECT_GT(sys.kernel().cowFaults.value(), 0u);
+    EXPECT_GT(sys.kernel().cowCopies.value(), 0u);
+    EXPECT_EQ(sys.kernel().cowFaults.value(),
+              sys.kernel().cowCopies.value() +
+                  sys.kernel().cowReuses.value());
+}
+
+// ---------------------------------------------------------------------------
+// The differential oracle over scenarios.
+
+TEST(ScenarioOracleTest, AllScenariosPassCleanAndInjected)
+{
+    fault::FaultConfig faults;
+    faults.rate = 0.02;
+    faults.seed = 7;
+    for (const scn::ScenarioVerdict &verdict :
+         scn::runStandardOracle(3, faults)) {
+        EXPECT_TRUE(verdict.passed) << verdict.scenario;
+        for (const std::string &violation : verdict.violations)
+            ADD_FAILURE() << violation;
+        ASSERT_EQ(verdict.runs.size(), 6u);
+        for (const scn::ScenarioRun &run : verdict.runs) {
+            EXPECT_EQ(run.decisions.size(), verdict.references)
+                << verdict.scenario << "/" << run.model;
+            EXPECT_TRUE(run.hwWithinCanonical);
+            if (run.injected)
+                EXPECT_GT(run.injectedEvents, 0u)
+                    << verdict.scenario << "/" << run.model;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The copy-on-write refcount soak.
+
+namespace
+{
+
+/** One live task of the soak: a domain plus its private segment. */
+struct SoakTask
+{
+    os::DomainId domain = 0;
+    vm::SegmentId seg = vm::kInvalidSegment;
+    u64 firstPage = 0;
+    u64 pages = 0;
+};
+
+/**
+ * Independent shadow of the frame-sharing structure. Pages are keyed
+ * by VPN; each mapped page points at a "block" (the shadow's name for
+ * a physical frame) with its own refcount. The shadow never looks at
+ * the kernel's frame numbers, so the comparison is a real
+ * cross-check, not a tautology.
+ */
+struct ShadowModel
+{
+    std::unordered_map<u64, u64> blockOf;
+    std::unordered_map<u64, u32> blockRefs;
+    std::set<u64> cowPending;
+    u64 nextBlock = 0;
+    u64 copies = 0;
+    u64 reuses = 0;
+
+    void
+    demandMap(u64 vpn)
+    {
+        blockOf[vpn] = nextBlock;
+        blockRefs[nextBlock] = 1;
+        ++nextBlock;
+    }
+
+    void
+    store(u64 vpn)
+    {
+        if (cowPending.count(vpn) == 0)
+            return;
+        const u64 block = blockOf[vpn];
+        if (blockRefs[block] > 1) {
+            --blockRefs[block];
+            demandMap(vpn); // fresh private block
+            ++copies;
+        } else {
+            ++reuses;
+        }
+        cowPending.erase(vpn);
+    }
+
+    void
+    fork(const SoakTask &parent, const SoakTask &child)
+    {
+        for (u64 p = 0; p < parent.pages; ++p) {
+            const u64 src = parent.firstPage + p;
+            const u64 dst = child.firstPage + p;
+            const auto it = blockOf.find(src);
+            if (it == blockOf.end())
+                continue; // unmapped: child page demand-zeros later
+            blockOf[dst] = it->second;
+            ++blockRefs[it->second];
+            cowPending.insert(src);
+            cowPending.insert(dst);
+        }
+    }
+
+    void
+    destroy(const SoakTask &task)
+    {
+        for (u64 p = 0; p < task.pages; ++p) {
+            const u64 vpn = task.firstPage + p;
+            const auto it = blockOf.find(vpn);
+            if (it == blockOf.end())
+                continue;
+            if (--blockRefs[it->second] == 0)
+                blockRefs.erase(it->second);
+            blockOf.erase(it);
+            cowPending.erase(vpn);
+        }
+    }
+};
+
+/** Every frame's refcount equals its mapper count, the sharing
+ * structure matches the shadow, and the CoW-pending sets agree. */
+void
+checkFrameInvariants(core::System &sys, const ShadowModel &shadow)
+{
+    std::unordered_map<u64, u32> mappers;
+    std::unordered_map<u64, u64> frameOfBlock;
+    bool structure_ok = true;
+    sys.state().pageTable.forEach(
+        [&](vm::Vpn vpn, const vm::Translation &t) {
+            ++mappers[t.pfn.number()];
+            const auto it = shadow.blockOf.find(vpn.number());
+            if (it == shadow.blockOf.end()) {
+                structure_ok = false;
+                return;
+            }
+            const auto [entry, inserted] =
+                frameOfBlock.emplace(it->second, t.pfn.number());
+            // All pages of one shadow block share one frame.
+            structure_ok &= entry->second == t.pfn.number();
+        });
+    ASSERT_TRUE(structure_ok) << "sharing structure diverged";
+    ASSERT_EQ(sys.state().pageTable.size(), shadow.blockOf.size());
+    // Distinct blocks <-> distinct frames (injective both ways since
+    // counts match).
+    ASSERT_EQ(frameOfBlock.size(), shadow.blockRefs.size());
+    ASSERT_EQ(frameOfBlock.size(), mappers.size());
+    ASSERT_EQ(sys.state().frameAllocator.inUse(), mappers.size());
+    for (const auto &[pfn, count] : mappers) {
+        ASSERT_EQ(sys.state().frameAllocator.refCount(vm::Pfn(pfn)),
+                  count)
+            << "frame " << pfn;
+        ASSERT_EQ(sys.state().pageTable.frameMappers(vm::Pfn(pfn)),
+                  count)
+            << "frame " << pfn;
+    }
+    for (const auto &[blk, refs] : shadow.blockRefs) {
+        const auto it = frameOfBlock.find(blk);
+        ASSERT_NE(it, frameOfBlock.end());
+        ASSERT_EQ(mappers[it->second], refs) << "block " << blk;
+    }
+    for (const u64 vpn : shadow.cowPending)
+        ASSERT_TRUE(sys.kernel().isCowProtected(vm::Vpn(vpn)))
+            << "page " << vpn;
+}
+
+} // namespace
+
+TEST(CowSoakTest, RefcountInvariantsHoldOverTenThousandSteps)
+{
+    constexpr int kSteps = 10'000;
+    constexpr u64 kTaskPages = 6;
+    constexpr std::size_t kMaxTasks = 32;
+
+    core::System sys(
+        core::SystemConfig::forModel(core::ModelKind::Plb));
+    auto &kernel = sys.kernel();
+    Rng rng(2026);
+    ShadowModel shadow;
+
+    std::vector<SoakTask> tasks;
+    auto makeTask = [&](os::DomainId domain, vm::SegmentId seg) {
+        const vm::Segment *segment = sys.state().segments.find(seg);
+        tasks.push_back(SoakTask{domain, seg,
+                                 segment->firstPage.number(),
+                                 segment->pages});
+    };
+
+    const os::DomainId root = kernel.createDomain("root");
+    const vm::SegmentId root_seg = kernel.createSegment("root", kTaskPages);
+    kernel.attach(root, root_seg, vm::Access::ReadWrite);
+    kernel.switchTo(root);
+    makeTask(root, root_seg);
+    for (u64 p = 0; p < kTaskPages; ++p) {
+        ASSERT_TRUE(sys.store(
+            vm::baseOf(vm::Vpn(tasks[0].firstPage + p)) + 8));
+        shadow.demandMap(tasks[0].firstPage + p);
+    }
+
+    for (int step = 0; step < kSteps; ++step) {
+        const double roll = rng.nextReal();
+        if (roll < 0.06 && tasks.size() < kMaxTasks) {
+            // Fork: a random task's segment into a fresh domain.
+            // (Copy: makeTask's push_back may reallocate `tasks`.)
+            const SoakTask parent = tasks[rng.nextBelow(tasks.size())];
+            const os::DomainId child = kernel.createDomain("child");
+            const vm::SegmentId child_seg = kernel.forkSegmentCow(
+                parent.seg, child, vm::Access::ReadWrite, "cow");
+            makeTask(child, child_seg);
+            shadow.fork(parent, tasks.back());
+        } else if (roll < 0.12 && tasks.size() > 1) {
+            // Exit: a random non-root task dies.
+            const std::size_t victim = 1 + rng.nextBelow(tasks.size() - 1);
+            const SoakTask task = tasks[victim];
+            if (kernel.currentDomain() == task.domain)
+                kernel.switchTo(tasks[0].domain);
+            kernel.destroySegment(task.seg);
+            kernel.destroyDomain(task.domain);
+            shadow.destroy(task);
+            tasks.erase(tasks.begin() + victim);
+        } else {
+            // A reference by a random task to a random page of its
+            // own segment.
+            const SoakTask &task = tasks[rng.nextBelow(tasks.size())];
+            const u64 vpn = task.firstPage + rng.nextBelow(task.pages);
+            const bool store = rng.bernoulli(0.55);
+            const bool mapped = shadow.blockOf.count(vpn) != 0;
+            kernel.switchTo(task.domain);
+            const vm::VAddr va =
+                vm::baseOf(vm::Vpn(vpn)) + rng.nextBelow(512) * 8;
+            ASSERT_TRUE(sys.access(va, store ? vm::AccessType::Store
+                                             : vm::AccessType::Load));
+            if (!mapped)
+                shadow.demandMap(vpn);
+            if (store)
+                shadow.store(vpn);
+        }
+        checkFrameInvariants(sys, shadow);
+        if (::testing::Test::HasFatalFailure())
+            FAIL() << "invariants broken at step " << step;
+    }
+
+    // The soak must genuinely exercise the machinery.
+    EXPECT_GT(kernel.forks.value(), 50u);
+    EXPECT_GT(shadow.copies, 100u);
+    EXPECT_GT(shadow.reuses, 10u);
+
+    // The kernel's counters match the shadow's first-write bookkeeping.
+    EXPECT_EQ(kernel.cowCopies.value(), shadow.copies);
+    EXPECT_EQ(kernel.cowReuses.value(), shadow.reuses);
+    EXPECT_EQ(kernel.cowFaults.value(), shadow.copies + shadow.reuses);
+
+    // Quiescence: reap everything but the root; zero leaked frames.
+    while (tasks.size() > 1) {
+        const SoakTask task = tasks.back();
+        if (kernel.currentDomain() == task.domain)
+            kernel.switchTo(tasks[0].domain);
+        kernel.destroySegment(task.seg);
+        kernel.destroyDomain(task.domain);
+        shadow.destroy(task);
+        tasks.pop_back();
+    }
+    checkFrameInvariants(sys, shadow);
+    EXPECT_EQ(sys.state().frameAllocator.inUse(),
+              sys.state().pageTable.size());
+    EXPECT_LE(sys.state().frameAllocator.inUse(), kTaskPages);
+    for (const auto &[vpn, block] : shadow.blockOf)
+        EXPECT_EQ(shadow.blockRefs.at(block), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Death tests: invalid scenario configs are clean fatals.
+
+TEST(ScenarioDeathTest, ZeroClientDomainsIsFatal)
+{
+    scn::PortalConfig config;
+    config.clients = 0;
+    expectFatalContaining(
+        [&] { scn::buildPortalScript(config); },
+        "needs at least one client domain");
+}
+
+TEST(ScenarioDeathTest, ForkDepthPastSegmentBudgetIsFatal)
+{
+    scn::ForkConfig config;
+    config.depth = 10;
+    config.fanout = 2;
+    config.maxSegments = 96;
+    expectFatalContaining(
+        [&] { scn::buildForkScript(config); },
+        "exceeds the segment budget");
+}
+
+TEST(ScenarioDeathTest, PortalIntoDetachedSegmentIsFatal)
+{
+    scn::PortalConfig config;
+    config.dropPortalHop = 1;
+    expectFatalContaining(
+        [&] { scn::buildPortalScript(config); },
+        "portal into a detached segment");
+}
+
+TEST(ScenarioDeathTest, ForkOfUnknownSegmentIsFatal)
+{
+    core::System sys(
+        core::SystemConfig::forModel(core::ModelKind::Plb));
+    const os::DomainId child = sys.kernel().createDomain("c");
+    expectFatalContaining(
+        [&] {
+            sys.kernel().forkSegmentCow(vm::SegmentId{9999}, child,
+                                        vm::Access::ReadWrite, "f");
+        },
+        "unknown segment");
+}
+
+// ---------------------------------------------------------------------------
+// The multi-core engine's ForkCow step.
+
+TEST(ScenarioMcTest, ForkCowStepsAreDeterministicAcrossRuns)
+{
+    mc::McConfig config;
+    config.system = core::SystemConfig::forModel(core::ModelKind::Plb);
+    config.cores = 4;
+    config.workload.stepsPerCore = 300;
+    config.workload.churnProb = 0.05;
+    config.workload.forkProb = 0.08;
+    config.workload.seed = 11;
+
+    mc::McSystem a(config);
+    const mc::McResult ra = a.run();
+    mc::McSystem b(config);
+    const mc::McResult rb = b.run();
+
+    EXPECT_GT(a.kernel().forks.value(), 0u);
+    EXPECT_EQ(a.kernel().forks.value(), b.kernel().forks.value());
+    EXPECT_EQ(a.kernel().cowFaults.value(), b.kernel().cowFaults.value());
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_EQ(ra.failed, rb.failed);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.shootdowns, rb.shootdowns);
+    EXPECT_EQ(ra.invariantViolations, 0u);
+    EXPECT_EQ(ra.hwViolations, 0u);
+}
+
+TEST(ScenarioMcTest, ForkCowRunsOnEveryModel)
+{
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional}) {
+        mc::McConfig config;
+        config.system = core::SystemConfig::forModel(kind);
+        config.cores = 2;
+        config.workload.stepsPerCore = 200;
+        config.workload.forkProb = 0.1;
+        config.workload.seed = 5;
+        mc::McSystem engine(config);
+        const mc::McResult result = engine.run();
+        EXPECT_GT(engine.kernel().forks.value(), 0u)
+            << core::toString(kind);
+        EXPECT_EQ(result.invariantViolations, 0u) << core::toString(kind);
+        EXPECT_EQ(result.hwViolations, 0u) << core::toString(kind);
+    }
+}

@@ -31,6 +31,8 @@
 
 #include "core/mc/mc_system.hh"
 #include "obs/tracer.hh"
+#include "scenario/runner.hh"
+#include "scenario/scenario.hh"
 #include "snap/snapshot.hh"
 #include "sweep_runner.hh"
 #include "workload/address_stream.hh"
@@ -423,6 +425,135 @@ TEST(SnapMcTest, FourCoreResumeThroughFileRoundTrip)
 }
 
 // ---------------------------------------------------------------------
+// Mid-scenario snapshots: fork tree half-built, portals in flight
+
+namespace
+{
+
+/** Tally of one (possibly split) scenario replay. */
+struct ScenarioOutcome
+{
+    std::string stats;
+    u64 cycles = 0;
+    u64 allowed = 0;
+    u64 denied = 0;
+    std::vector<EventEssence> events;
+};
+
+ScenarioOutcome
+runScenarioStraight(const core::SystemConfig &config,
+                    const scn::Script &script)
+{
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System sys(config);
+    const scn::RunStats tally = scn::runScript(sys, script);
+    ScenarioOutcome out;
+    out.events = essenceOf(obs::stopTracing());
+    out.stats = dumpOf(sys);
+    out.cycles = sys.cycles().count();
+    out.allowed = tally.allowed;
+    out.denied = tally.denied;
+    return out;
+}
+
+/** Replay ops [0, cut), snapshot, restore onto a fresh System, and
+ * replay the rest. The runner is stateless, so the op index is the
+ * only resume cursor needed. */
+ScenarioOutcome
+runScenarioSplit(const core::SystemConfig &config,
+                 const scn::Script &script, std::size_t cut)
+{
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System warm(config);
+    const scn::RunStats first = scn::runScript(warm, script, 0, cut);
+
+    snap::Snapshotter snapper;
+    snapper.add(warm);
+    const snap::Snapshot image = snapper.finish();
+    std::vector<EventEssence> events = essenceOf(obs::stopTracing());
+
+    obs::setThreadId(1);
+    obs::startTracing();
+    core::System sys(config);
+    snap::Restorer restorer(image);
+    restorer.restore(sys);
+    restorer.finish();
+    const scn::RunStats second = scn::runScript(sys, script, cut);
+    const std::vector<EventEssence> tail = essenceOf(obs::stopTracing());
+    events.insert(events.end(), tail.begin(), tail.end());
+
+    ScenarioOutcome out;
+    out.events = std::move(events);
+    out.stats = dumpOf(sys);
+    out.cycles = sys.cycles().count();
+    out.allowed = first.allowed + second.allowed;
+    out.denied = first.denied + second.denied;
+    return out;
+}
+
+/** The op index just past the last ForkCow: the fork tree is fully
+ * built and every shared page still awaits its CoW resolution, so the
+ * image carries shared frames, elevated refcounts and a nonempty CoW
+ * set. Scripts without forks cut mid-stream. */
+std::size_t
+interestingCut(const scn::Script &script)
+{
+    for (std::size_t i = script.ops.size(); i > 0; --i)
+        if (script.ops[i - 1].kind == scn::OpKind::ForkCow)
+            return i;
+    return script.ops.size() / 2;
+}
+
+void
+expectScenarioResumeEquivalent(const core::SystemConfig &config,
+                               const scn::Script &script)
+{
+    const ScenarioOutcome straight = runScenarioStraight(config, script);
+    for (const std::size_t cut :
+         {interestingCut(script), script.ops.size() / 2,
+          script.ops.size() / 3}) {
+        const ScenarioOutcome split =
+            runScenarioSplit(config, script, cut);
+        EXPECT_EQ(straight.stats, split.stats)
+            << script.name << " cut at op " << cut;
+        EXPECT_EQ(straight.cycles, split.cycles)
+            << script.name << " cut at op " << cut;
+        EXPECT_EQ(straight.allowed, split.allowed);
+        EXPECT_EQ(straight.denied, split.denied);
+        EXPECT_EQ(straight.events, split.events)
+            << script.name << " cut at op " << cut;
+    }
+}
+
+} // namespace
+
+TEST(SnapScenarioTest, ForkTreeMidBuildRoundTripsOnEveryModel)
+{
+    const scn::Script script = scn::buildForkScript(scn::ForkConfig{});
+    for (core::ModelKind kind :
+         {core::ModelKind::Plb, core::ModelKind::PageGroup,
+          core::ModelKind::Conventional})
+        expectScenarioResumeEquivalent(core::SystemConfig::forModel(kind),
+                                       script);
+}
+
+TEST(SnapScenarioTest, PortalChainsInFlightRoundTrip)
+{
+    expectScenarioResumeEquivalent(
+        core::SystemConfig::plbSystem(),
+        scn::buildPortalScript(scn::PortalConfig{}));
+}
+
+TEST(SnapScenarioTest, ServerMixMidWaveRoundTrip)
+{
+    expectScenarioResumeEquivalent(
+        core::SystemConfig::plbSystem(),
+        scn::buildServerMixScript(scn::ServerMixConfig{}));
+}
+
+// ---------------------------------------------------------------------
 // Untrusted images: every malformation is a clean fatal
 
 namespace
@@ -696,15 +827,17 @@ TEST(SnapOptionsTest, FromOptions)
 }
 
 // ---------------------------------------------------------------------
-// Format compatibility: the checked-in v1 image must keep loading
+// Format compatibility: the checked-in image at the current format
+// version must keep loading. (v1 images are rejected by the version
+// check since the v2 bump for frame refcounts and the CoW page set.)
 
-TEST(SnapGoldenTest, V1ImageStillRestores)
+TEST(SnapGoldenTest, V2ImageStillRestores)
 {
     // The golden recipe: a PLB machine shrunk along its bulky axes
     // (free-frame list, cache line maps) so the image stays a few
     // tens of KB; 64-page heap, 2000 zipf references at seed 42,
     // then System + Rng snapshotted.
-    const std::string path = dataPath("golden_v1.snap");
+    const std::string path = dataPath("golden_v2.snap");
     core::SystemConfig config = core::SystemConfig::plbSystem();
     config.frames = 1024;
     config.cache.sizeBytes = 8 * 1024;

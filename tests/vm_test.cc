@@ -201,6 +201,55 @@ TEST(FrameAllocatorDeathTest, DoubleFreePanics)
     EXPECT_DEATH(frames.free(f), "double free");
 }
 
+TEST(FrameAllocatorTest, RefcountsTrackSharers)
+{
+    FrameAllocator frames(4);
+    const Pfn f = *frames.allocate();
+    EXPECT_EQ(frames.refCount(f), 1u);
+    frames.ref(f);
+    frames.ref(f);
+    EXPECT_EQ(frames.refCount(f), 3u);
+    // Dropping sharers keeps the frame allocated until the last one.
+    frames.unref(f);
+    frames.unref(f);
+    EXPECT_EQ(frames.refCount(f), 1u);
+    EXPECT_TRUE(frames.isAllocated(f));
+    EXPECT_EQ(frames.inUse(), 1u);
+    frames.unref(f);
+    EXPECT_FALSE(frames.isAllocated(f));
+    EXPECT_EQ(frames.refCount(f), 0u);
+    EXPECT_EQ(frames.inUse(), 0u);
+}
+
+TEST(FrameAllocatorTest, UnrefOfLastReferenceRecyclesTheFrame)
+{
+    FrameAllocator frames(1);
+    const Pfn f = *frames.allocate();
+    frames.ref(f);
+    EXPECT_FALSE(frames.allocate().has_value());
+    frames.unref(f);
+    frames.unref(f);
+    EXPECT_EQ(frames.allocate(), f);
+}
+
+TEST(FrameAllocatorDeathTest, ExclusiveFreeOfSharedFramePanics)
+{
+    FrameAllocator frames(2);
+    const Pfn f = *frames.allocate();
+    frames.ref(f);
+    // free() is the exclusive-owner form; shared frames must go
+    // through unref().
+    EXPECT_DEATH(frames.free(f), "freeing shared frame");
+}
+
+TEST(FrameAllocatorDeathTest, RefOfUnallocatedFramePanics)
+{
+    FrameAllocator frames(2);
+    const Pfn f = *frames.allocate();
+    frames.free(f);
+    EXPECT_DEATH(frames.ref(f), "ref of unallocated frame");
+}
+
 TEST(PageTableTest, MapLookupUnmap)
 {
     GlobalPageTable table;
@@ -238,6 +287,43 @@ TEST(PageTableDeathTest, SynonymForbidden)
     table.map(Vpn(10), Pfn(3));
     // Nor can one frame back two virtual pages.
     EXPECT_DEATH(table.map(Vpn(11), Pfn(3)), "synonym");
+}
+
+TEST(PageTableTest, MapSharedRelaxesTheSynonymRule)
+{
+    GlobalPageTable table;
+    table.map(Vpn(10), Pfn(3));
+    // CoW sharing: the same frame may back further pages...
+    table.mapShared(Vpn(11), Pfn(3));
+    table.mapShared(Vpn(12), Pfn(3));
+    EXPECT_EQ(table.frameMappers(Pfn(3)), 3u);
+    EXPECT_EQ(table.lookup(Vpn(11))->pfn, Pfn(3));
+    // The reverse map reports the lowest mapping page, and unmapping
+    // sharers peels them off one at a time.
+    EXPECT_EQ(table.pageOfFrame(Pfn(3)), Vpn(10));
+    EXPECT_EQ(table.unmap(Vpn(10)), Pfn(3));
+    EXPECT_EQ(table.pageOfFrame(Pfn(3)), Vpn(11));
+    EXPECT_EQ(table.frameMappers(Pfn(3)), 2u);
+    table.unmap(Vpn(11));
+    table.unmap(Vpn(12));
+    EXPECT_EQ(table.frameMappers(Pfn(3)), 0u);
+    EXPECT_EQ(table.pageOfFrame(Pfn(3)), std::nullopt);
+}
+
+TEST(PageTableDeathTest, MapSharedRequiresAMappedFrame)
+{
+    GlobalPageTable table;
+    // Sharing only relaxes an existing mapping; a fresh frame must be
+    // installed with map().
+    EXPECT_DEATH(table.mapShared(Vpn(10), Pfn(3)), "sharing unmapped frame");
+}
+
+TEST(PageTableDeathTest, MapSharedStillForbidsHomonyms)
+{
+    GlobalPageTable table;
+    table.map(Vpn(10), Pfn(3));
+    table.mapShared(Vpn(11), Pfn(3));
+    EXPECT_DEATH(table.mapShared(Vpn(11), Pfn(3)), "homonym");
 }
 
 TEST(PageTableTest, UsageBits)
