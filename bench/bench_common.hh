@@ -81,7 +81,8 @@ struct ModelUnderTest
     core::SystemConfig config;
 };
 
-/** The paper's primary comparison set. */
+/** The paper's primary comparison set, plus the MPK-style
+ * protection-key model fed through the same differential apparatus. */
 inline std::vector<ModelUnderTest>
 standardModels(const Options &options)
 {
@@ -93,6 +94,8 @@ standardModels(const Options &options)
         {"conventional", core::SystemConfig::fromOptions(
                              options,
                              core::SystemConfig::conventionalSystem())},
+        {"pkey", core::SystemConfig::fromOptions(
+                     options, core::SystemConfig::pkeySystem())},
     };
 }
 

@@ -4,7 +4,7 @@
  *
  * Runs seeded fault campaigns (src/fault/oracle.hh) at several
  * injection rates. Each campaign replays one synthesized reference
- * trace against all three architectures, clean and under injection,
+ * trace against all four architectures, clean and under injection,
  * and checks that allow/deny decisions and final canonical rights are
  * bit-identical everywhere -- faults may only cost cycles, never
  * change an outcome. The bench refuses to write BENCH_faults.json
@@ -130,11 +130,11 @@ runCampaigns(const Options &options)
 
     bench::printHeader(
         "Fault-injection differential oracle",
-        "Same trace, three architectures, clean vs injected. Faults "
+        "Same trace, four architectures, clean vs injected. Faults "
         "(spurious evictions, flushes, delayed fills, transient "
         "protection faults) may change cycle costs only: every "
         "allow/deny decision and the final canonical rights must be "
-        "bit-identical across all six runs of a campaign.");
+        "bit-identical across all eight runs of a campaign.");
 
     std::vector<CampaignRow> rows;
     bool all_passed = true;
@@ -234,6 +234,8 @@ BENCHMARK_CAPTURE(BM_InjectionOverhead, pagegroup_faults,
                   core::ModelKind::PageGroup, true);
 BENCHMARK_CAPTURE(BM_InjectionOverhead, conventional_faults,
                   core::ModelKind::Conventional, true);
+BENCHMARK_CAPTURE(BM_InjectionOverhead, pkey_faults,
+                  core::ModelKind::Pkey, true);
 
 int
 main(int argc, char **argv)

@@ -98,10 +98,10 @@ runScenarios(const Options &options)
     bench::printHeader(
         "Application scenarios under the differential oracle",
         "CoW fork tree, portal RPC chains and a web-server mix, each "
-        "replayed on all three architectures clean and fault-injected. "
+        "replayed on all four architectures clean and fault-injected. "
         "Architectures may differ in cycles only: allow/deny decisions "
         "and final canonical rights must be bit-identical across all "
-        "six runs of a scenario.");
+        "eight runs of a scenario.");
 
     std::vector<scn::ScenarioVerdict> verdicts =
         scn::runStandardOracle(seed, faults);
@@ -193,6 +193,7 @@ BENCHMARK_CAPTURE(BM_Scenario, fork_pagegroup, "fork",
                   core::ModelKind::PageGroup);
 BENCHMARK_CAPTURE(BM_Scenario, fork_conventional, "fork",
                   core::ModelKind::Conventional);
+BENCHMARK_CAPTURE(BM_Scenario, fork_pkey, "fork", core::ModelKind::Pkey);
 BENCHMARK_CAPTURE(BM_Scenario, portal_plb, "portal", core::ModelKind::Plb);
 BENCHMARK_CAPTURE(BM_Scenario, servermix_plb, "mix", core::ModelKind::Plb);
 

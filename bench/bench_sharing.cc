@@ -16,6 +16,8 @@
 
 #include "bench_common.hh"
 
+#include <algorithm>
+
 #include "workload/sharing.hh"
 
 using namespace sasos;
@@ -33,7 +35,8 @@ printReplicationSweep(const Options &options)
 
     TextTable table({"domains", "plb entries", "plb miss rate",
                      "pg-tlb entries", "pg-tlb miss rate",
-                     "conv-tlb entries", "conv miss rate"});
+                     "conv-tlb entries", "conv miss rate",
+                     "pkey-tlb entries", "pkey miss rate"});
     for (u64 domains : {1, 2, 4, 8, 16}) {
         wl::SharingConfig sharing;
         sharing.domains = domains;
@@ -75,7 +78,8 @@ printRegimeCrossover(const Options &options)
         "often one domain's rights on one shared page are toggled.");
 
     TextTable table({"prot changes", "plb cycles/ref",
-                     "page-group cycles/ref", "winner"});
+                     "page-group cycles/ref", "pkey cycles/ref",
+                     "winner"});
     struct Regime
     {
         const char *label;
@@ -94,7 +98,7 @@ printRegimeCrossover(const Options &options)
         sharing.sharedFraction = 0.9;
         sharing.protChangePeriod = regime.period;
 
-        double cycles[2] = {0, 0};
+        double cycles[3] = {0, 0, 0};
         int index = 0;
         for (const auto &model : bench::standardModels(options)) {
             if (model.label == "conventional")
@@ -112,9 +116,12 @@ printRegimeCrossover(const Options &options)
                 wl::SharingWorkload(sharing).run(sys);
             cycles[index++] = result.cyclesPerRef();
         }
+        const char *labels[3] = {"plb", "page-group", "pkey"};
+        const int best = static_cast<int>(
+            std::min_element(cycles, cycles + 3) - cycles);
         table.addRow({regime.label, TextTable::num(cycles[0], 2),
                       TextTable::num(cycles[1], 2),
-                      cycles[0] < cycles[1] ? "plb" : "page-group"});
+                      TextTable::num(cycles[2], 2), labels[best]});
     }
     table.print(std::cout);
 }

@@ -55,7 +55,7 @@ printShootdownTable(const Options &options)
         "CPU 0 with every CPU warm. IPI cost per remote CPU plus each "
         "CPU's own structure maintenance.");
 
-    TextTable table({"cpus", "plb", "page-group", "conventional"});
+    TextTable table({"cpus", "plb", "page-group", "conventional", "pkey"});
     for (unsigned cpus : {1u, 2u, 4u, 8u}) {
         std::vector<std::string> row{TextTable::num(u64{cpus})};
         for (const auto &model : bench::standardModels(options)) {
@@ -79,7 +79,7 @@ printUnmapShootdownTable(const Options &options)
         "Unmapping a dirty page every CPU has cached: TLB purge and a "
         "full page flush on each processor.");
 
-    TextTable table({"cpus", "plb", "page-group", "conventional"});
+    TextTable table({"cpus", "plb", "page-group", "conventional", "pkey"});
     for (unsigned cpus : {1u, 2u, 4u, 8u}) {
         std::vector<std::string> row{TextTable::num(u64{cpus})};
         for (const auto &model : bench::standardModels(options)) {

@@ -71,7 +71,7 @@ printRestrictScaling(const Options &options)
         "grows.");
 
     TextTable table({"data pages", "plb restrict", "page-group restrict",
-                     "conventional restrict"});
+                     "conventional restrict", "pkey restrict"});
     for (u64 pages : {32, 64, 128}) {
         wl::CheckpointConfig ckpt;
         ckpt.checkpoints = 2;

@@ -65,16 +65,18 @@ CrossModelResult
 exploreCrossModel(const ExplorerConfig &config)
 {
     constexpr ModelKind kModels[] = {ModelKind::Plb, ModelKind::PageGroup,
-                                     ModelKind::Conventional};
+                                     ModelKind::Conventional,
+                                     ModelKind::Pkey};
+    constexpr unsigned kModelCount = 4;
     CrossModelResult result;
     result.runs.resize(config.seeds);
     ThreadPool pool(config.threads);
     parallelFor(pool, config.seeds, [&](u64 i) {
         CrossModelRun &run = result.runs[i];
         run.scheduleSeed = config.firstSeed + i;
-        // The three models of one seed run serially in this cell so
+        // The four models of one seed run serially in this cell so
         // their interleavings (and tids) stay directly comparable.
-        for (unsigned m = 0; m < 3; ++m) {
+        for (unsigned m = 0; m < kModelCount; ++m) {
             McConfig cell = config.base;
             const SystemConfig preset = SystemConfig::forModel(kModels[m]);
             cell.system = preset;
@@ -85,11 +87,13 @@ exploreCrossModel(const ExplorerConfig &config)
             run.byModel.push_back(runOne(cell));
         }
         obs::setThreadId(0);
-        run.outcomesAgree =
-            run.byModel[0].quiescentOutcomes ==
-                run.byModel[1].quiescentOutcomes &&
-            run.byModel[1].quiescentOutcomes ==
-                run.byModel[2].quiescentOutcomes;
+        run.outcomesAgree = true;
+        for (unsigned m = 1; m < kModelCount; ++m) {
+            run.outcomesAgree =
+                run.outcomesAgree &&
+                run.byModel[m - 1].quiescentOutcomes ==
+                    run.byModel[m].quiescentOutcomes;
+        }
     });
     for (const CrossModelRun &run : result.runs) {
         if (!run.outcomesAgree)

@@ -6,6 +6,7 @@
 
 #include "core/conventional_system.hh"
 #include "core/pagegroup_system.hh"
+#include "core/pkey_system.hh"
 #include "core/plb_system.hh"
 #include "core/system.hh" // saveConfigSignature/checkConfigSignature
 #include "obs/export.hh"
@@ -287,6 +288,13 @@ McSystem::McSystem(const McConfig &config)
             core.model = std::move(model);
             break;
           }
+          case ModelKind::Pkey: {
+            auto model = std::make_unique<PkeySystem>(
+                config_.system, state_, account_, core.group.get());
+            core.pkey = model.get();
+            core.model = std::move(model);
+            break;
+          }
         }
         core.completedStat = std::make_unique<stats::Scalar>(
             core.group.get(), "completed",
@@ -434,6 +442,17 @@ McSystem::purgeStale(Core &c, const RemoteOp &op)
         if (asid && config_.system.purgeTlbOnSwitch)
             asid = 0;
         return c.conv->tlb().purgeRange(asid, op.first, op.pages)
+            .invalidated;
+    }
+    if (c.pkey != nullptr) {
+        // Key-permission updates ride the same deferred acks, and the
+        // same A->B->A collapse applies: a register refilled under a
+        // transient intermediate grant is invisible to the final ack's
+        // hook diff. The handler scrubs the whole register file (it is
+        // small and refills from canonical state) and drops the
+        // range's TLB entries so stale key tags rederive too.
+        c.pkey->keyCache().purgeAll();
+        return c.pkey->tlb().purgeRange(std::nullopt, op.first, op.pages)
             .invalidated;
     }
     // Page-group entries are shared by all domains; the op's domain
@@ -713,6 +732,15 @@ McSystem::hwRights(Core &c, os::DomainId domain, vm::Vpn vpn)
             config_.system.purgeTlbOnSwitch ? 0 : domain;
         const hw::TlbEntry *entry = c.conv->tlb().peek(vpn, asid);
         return entry ? entry->rights : vm::Access::None;
+    }
+    if (c.pkey != nullptr) {
+        // The hardware grants only what a TLB-resident key tag plus a
+        // live (domain, key) register jointly allow.
+        const hw::TlbEntry *entry = c.pkey->tlb().peek(vpn);
+        if (entry == nullptr)
+            return vm::Access::None;
+        const auto perm = c.pkey->keyCache().peek(domain, entry->aid);
+        return perm ? *perm : vm::Access::None;
     }
     // Page-group hardware semantics live in the per-core manager (the
     // TLB entry is synced from it): group rights, D bit, membership.

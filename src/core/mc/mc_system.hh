@@ -48,6 +48,7 @@ namespace sasos::core
 class PlbSystem;
 class PageGroupSystem;
 class ConventionalSystem;
+class PkeySystem;
 } // namespace sasos::core
 
 namespace sasos::core::mc
@@ -195,6 +196,7 @@ class McSystem
         PlbSystem *plb = nullptr;
         PageGroupSystem *pg = nullptr;
         ConventionalSystem *conv = nullptr;
+        PkeySystem *pkey = nullptr;
         os::DomainId domain = 0;
         McLayout layout;
         std::unique_ptr<CoreScript> script;

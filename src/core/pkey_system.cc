@@ -1,0 +1,698 @@
+#include "core/pkey_system.hh"
+
+#include "core/system.hh" // driveBatch
+#include "obs/tracer.hh"
+#include "sim/logging.hh"
+#include "snap/snapio.hh"
+
+namespace sasos::core
+{
+
+PkeySystem::PkeySystem(const SystemConfig &config, os::VmState &state,
+                       CycleAccount &account, stats::Group *parent)
+    : statsGroup(parent, "pkeySystem"),
+      protectionDenies(&statsGroup, "protectionDenies",
+                       "references denied by key-register rights"),
+      translationFaultsSeen(&statsGroup, "translationFaults",
+                            "references that found no translation"),
+      keyAssignments(&statsGroup, "keyAssignments",
+                     "protection-key ids bound by the kernel"),
+      keyRecycles(&statsGroup, "keyRecycles",
+                  "key ids recycled under key-space pressure"),
+      pageKeyPromotions(&statsGroup, "pageKeyPromotions",
+                        "pages promoted from a segment key to their own"),
+      keyCorruptions(&statsGroup, "keyCorruptions",
+                     "injected key-register corruption scrubs"),
+      config_(config), state_(state), account_(account),
+      tlb_(config.tlb, &statsGroup, "tlb"),
+      keyCache_(config.keyCache, &statsGroup),
+      mem_(config_, &statsGroup, account)
+{
+    SASOS_ASSERT(config.tlb.kind == hw::TlbKind::Pkey,
+                 "the pkey system uses an untagged key-carrying TLB");
+    SASOS_ASSERT(config.pkeys >= 2, "a usable key space needs >= 2 ids");
+    SASOS_ASSERT(config.pkeys <= u64{1} << 16,
+                 "key ids must fit the TLB's 16-bit key field");
+    bindings_.resize(config.pkeys + 1);
+}
+
+void
+PkeySystem::charge(CostCategory category, Cycles cycles)
+{
+    account_.charge(category, cycles);
+}
+
+bool
+PkeySystem::applyPerturbation(const fault::Perturbation &p)
+{
+    Rng &rng = injector_->rng();
+    // Protection state lives in the key-permission register file, so
+    // the protection eviction flavor lands there; rights are rederived
+    // from canonical state on the next miss.
+    if (p.evictProtection) {
+        keyCache_.evictOne(rng);
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheEvict,
+                        account_.total().count(), 0, 1);
+    }
+    if (p.evictTranslation) {
+        tlb_.evictOne(rng);
+        SASOS_OBS_EVENT(obs::EventKind::TlbEvict, account_.total().count(),
+                        0, 1);
+    }
+    if (p.evictData) {
+        if (auto victim = mem_.l1().evictRandomLine(rng); victim &&
+            victim->dirty) {
+            charge(CostCategory::Reference, config_.costs.writeback);
+        }
+        SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                        account_.total().count(), 0, 1);
+    }
+    if (p.flushProtection) {
+        // Key-register corruption: the whole file is scrubbed and
+        // refilled from the kernel's tables, the pkey analogue of the
+        // other models' protection-structure flush.
+        keyCache_.purgeAll();
+        ++keyCorruptions;
+        SASOS_OBS_EVENT(obs::EventKind::ProtectionFlush,
+                        account_.total().count(), 0, 0);
+    }
+    if (p.delayFill)
+        charge(CostCategory::Refill, config_.costs.faultDelay);
+    return p.transientFault;
+}
+
+hw::KeyId
+PkeySystem::allocKey(BindKind kind, u64 id)
+{
+    for (hw::KeyId key = 1; key <= config_.pkeys; ++key) {
+        if (bindings_[key].kind == BindKind::Free) {
+            bindings_[key] = {kind, id};
+            ++keyAssignments;
+            charge(CostCategory::KernelWork, config_.costs.keyAssign);
+            return key;
+        }
+    }
+    // Key space exhausted: retire the round-robin victim, then rebind
+    // it. Recycling is the expensive path -- every register and TLB
+    // entry carrying the retired id must go before the id is reused.
+    recycleCursor_ =
+        static_cast<hw::KeyId>(recycleCursor_ % config_.pkeys + 1);
+    const hw::KeyId victim = recycleCursor_;
+    retireKey(victim);
+    ++keyRecycles;
+    bindings_[victim] = {kind, id};
+    ++keyAssignments;
+    charge(CostCategory::KernelWork, config_.costs.keyAssign);
+    return victim;
+}
+
+void
+PkeySystem::retireKey(hw::KeyId key)
+{
+    KeyBinding &binding = bindings_[key];
+    switch (binding.kind) {
+      case BindKind::Segment:
+        segKey_.erase(static_cast<vm::SegmentId>(binding.id));
+        break;
+      case BindKind::Page:
+        pageKey_.erase(binding.id);
+        break;
+      case BindKind::Free:
+        return;
+    }
+    binding = {};
+    const auto regs = keyCache_.invalidateKey(key);
+    std::vector<vm::Vpn> stale;
+    tlb_.forEach([&](vm::Vpn vpn, hw::DomainId, hw::TlbEntry &entry) {
+        if (entry.aid == key)
+            stale.push_back(vpn);
+    });
+    for (vm::Vpn vpn : stale)
+        tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork,
+           regs.scanned * config_.costs.purgeScanEntry +
+               regs.invalidated * config_.costs.invalidateEntry +
+               tlb_.capacity() * config_.costs.purgeScanEntry +
+               stale.size() * config_.costs.invalidateEntry);
+}
+
+hw::KeyId
+PkeySystem::promotePage(vm::Vpn vpn)
+{
+    const auto it = pageKey_.find(vpn.number());
+    if (it != pageKey_.end())
+        return it->second;
+    const hw::KeyId key = allocKey(BindKind::Page, vpn.number());
+    pageKey_.emplace(vpn.number(), key);
+    ++pageKeyPromotions;
+    // The page's TLB entry (if any) still carries the segment key;
+    // drop it so the next refill tags it with its own key.
+    const u64 dropped = tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork,
+           dropped * config_.costs.invalidateEntry);
+    return key;
+}
+
+void
+PkeySystem::maybeReleasePageKey(vm::Vpn vpn)
+{
+    const auto it = pageKey_.find(vpn.number());
+    if (it == pageKey_.end())
+        return;
+    if (!state_.pagesWithStateIn(vpn, 1).empty())
+        return; // overrides remain; the page keeps its key
+    retireKey(it->second);
+}
+
+hw::KeyId
+PkeySystem::keyFor(vm::Vpn vpn)
+{
+    const auto page_it = pageKey_.find(vpn.number());
+    if (page_it != pageKey_.end())
+        return page_it->second;
+    if (!state_.pagesWithStateIn(vpn, 1).empty()) {
+        // Per-page state appeared while the page was untagged (e.g.
+        // restored state or a pre-reference override): promote at
+        // refill so one register always describes one rights value.
+        return promotePage(vpn);
+    }
+    const vm::Segment *seg = state_.segments.findByPage(vpn);
+    if (seg == nullptr) {
+        // A mapped page outside any live segment (mid-destruction)
+        // gets its own key rather than polluting a segment binding.
+        return promotePage(vpn);
+    }
+    const auto seg_it = segKey_.find(seg->id);
+    if (seg_it != segKey_.end())
+        return seg_it->second;
+    const hw::KeyId key = allocKey(BindKind::Segment, seg->id);
+    segKey_.emplace(seg->id, key);
+    return key;
+}
+
+hw::KeyId
+PkeySystem::keyOf(vm::Vpn vpn) const
+{
+    const auto page_it = pageKey_.find(vpn.number());
+    if (page_it != pageKey_.end())
+        return page_it->second;
+    const vm::Segment *seg = state_.segments.findByPage(vpn);
+    if (seg == nullptr)
+        return 0;
+    const auto seg_it = segKey_.find(seg->id);
+    return seg_it != segKey_.end() ? seg_it->second : 0;
+}
+
+u64
+PkeySystem::boundKeys() const
+{
+    return segKey_.size() + pageKey_.size();
+}
+
+os::AccessResult
+PkeySystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
+{
+    // A per-call access (kernel fault-retry excursions included) may
+    // insert or evict behind the coalescing memo; drop it.
+    memo_.valid = false;
+
+    if (injector_ != nullptr) {
+        const fault::Perturbation p = injector_->tick();
+        if (p.any() && applyPerturbation(p))
+            return {false, os::FaultKind::Protection};
+    }
+
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+
+    charge(CostCategory::Reference, config_.costs.l1Hit);
+    charge(CostCategory::Reference, config_.costs.tlbLookup);
+
+    hw::TlbEntry *entry = tlb_.lookup(vpn);
+    if (entry == nullptr) {
+        SASOS_OBS_EVENT(obs::EventKind::TlbMiss, account_.total().count(),
+                        va.raw(), 0);
+        charge(CostCategory::Refill, config_.costs.tlbRefill);
+        const vm::Translation *translation = state_.pageTable.lookup(vpn);
+        if (translation == nullptr) {
+            ++translationFaultsSeen;
+            return {false, os::FaultKind::Translation};
+        }
+        hw::TlbEntry fresh;
+        fresh.pfn = translation->pfn;
+        fresh.aid = keyFor(vpn);
+        tlb_.insert(vpn, fresh);
+        entry = tlb_.find(vpn);
+        SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+        SASOS_OBS_EVENT(obs::EventKind::TlbFill, account_.total().count(),
+                        va.raw(), entry->aid);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::TlbHit, account_.total().count(),
+                        va.raw(), entry->aid);
+    }
+
+    const hw::KeyId key = entry->aid;
+    vm::Access rights;
+    if (auto cached = keyCache_.lookup(domain, key)) {
+        rights = *cached;
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheHit,
+                        account_.total().count(), va.raw(), key);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheMiss,
+                        account_.total().count(), va.raw(), key);
+        charge(CostCategory::Refill, config_.costs.kprRefill);
+        // By the promotion invariant every page under this key shares
+        // this page's effective rights, so the register refill may
+        // derive from the faulting page alone.
+        rights = state_.effectiveRights(domain, vpn);
+        keyCache_.insert(domain, key, rights);
+        SASOS_OBS_EVENT(obs::EventKind::PgCacheFill,
+                        account_.total().count(), va.raw(), key);
+    }
+
+    if (!vm::includes(rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    const vm::PAddr pa = vm::translate(va, entry->pfn);
+    if (mem_.l1Access(va, pa, store)) {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheHit,
+                        account_.total().count(), va.raw(), store);
+    } else {
+        SASOS_OBS_EVENT(obs::EventKind::DCacheMiss,
+                        account_.total().count(), va.raw(), store);
+        if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            SASOS_OBS_EVENT(obs::EventKind::DCacheEvict,
+                            account_.total().count(), va.raw(),
+                            victim->dirty);
+            if (victim->dirty)
+                charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    entry->referenced = true;
+    if (store)
+        entry->dirty = true;
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+os::BatchOutcome
+PkeySystem::accessBatch(os::DomainId domain, const vm::VAddr *vas, u64 n,
+                        vm::AccessType type)
+{
+    return driveBatch(*this, domain, vas, n, type);
+}
+
+os::AccessResult
+PkeySystem::accessFast(os::DomainId domain, vm::VAddr va,
+                       vm::AccessType type, BatchAccum &acc)
+{
+    const vm::Vpn vpn = vm::pageOf(va);
+    const bool store = type == vm::AccessType::Store;
+
+    acc.refCycles += config_.costs.l1Hit;
+    acc.refCycles += config_.costs.tlbLookup;
+
+    hw::TlbEntry *entry;
+    vm::Access rights;
+    if (memo_.valid && memo_.domain == domain &&
+        memo_.vpn == vpn.number()) {
+        // The previous reference resolved this page: replay exactly
+        // what its TLB and register hits would do again -- the stats
+        // deltas and the replacement touches -- without re-probing.
+        entry = memo_.entry;
+        rights = memo_.rights;
+        ++acc.tlbLookups;
+        ++acc.tlbHits;
+        tlb_.touchHit(memo_.tlbLoc);
+        ++acc.kprLookups;
+        ++acc.kprHits;
+        keyCache_.touchHit(memo_.kprLoc);
+    } else {
+        // From here on the memo describes a stale reference, and the
+        // refills below may evict the entries it points at.
+        memo_.valid = false;
+        hw::AssocLoc tlb_loc;
+        bool tlb_hit = true;
+        entry = tlb_.lookup(vpn, 0, &tlb_loc);
+        if (entry == nullptr) {
+            tlb_hit = false;
+            charge(CostCategory::Refill, config_.costs.tlbRefill);
+            const vm::Translation *translation =
+                state_.pageTable.lookup(vpn);
+            if (translation == nullptr) {
+                ++translationFaultsSeen;
+                return {false, os::FaultKind::Translation};
+            }
+            hw::TlbEntry fresh;
+            fresh.pfn = translation->pfn;
+            fresh.aid = keyFor(vpn);
+            tlb_.insert(vpn, fresh);
+            entry = tlb_.find(vpn);
+            SASOS_ASSERT(entry != nullptr, "TLB lost a fresh entry");
+            // A fill's way is unknown without re-probing, so this
+            // reference does not memoize; the next same-page one does.
+        }
+        const hw::KeyId key = entry->aid;
+        hw::AssocLoc kpr_loc;
+        if (auto cached = keyCache_.lookup(domain, key, &kpr_loc)) {
+            rights = *cached;
+            if (tlb_hit) {
+                memo_.valid = true;
+                memo_.domain = domain;
+                memo_.vpn = vpn.number();
+                memo_.entry = entry;
+                memo_.tlbLoc = tlb_loc;
+                memo_.kprLoc = kpr_loc;
+                memo_.rights = rights;
+            }
+        } else {
+            charge(CostCategory::Refill, config_.costs.kprRefill);
+            rights = state_.effectiveRights(domain, vpn);
+            keyCache_.insert(domain, key, rights);
+            // The insert's way is unknown too; do not memoize.
+        }
+    }
+
+    if (!vm::includes(rights, vm::requiredRight(type))) {
+        ++protectionDenies;
+        return {false, os::FaultKind::Protection};
+    }
+
+    const vm::PAddr pa = vm::translate(va, entry->pfn);
+    if (!mem_.l1Access(va, pa, store)) {
+        if (auto victim = mem_.fillFromBeyond(va, pa, store)) {
+            if (victim->dirty)
+                charge(CostCategory::Reference, config_.costs.writeback);
+        }
+    }
+
+    entry->referenced = true;
+    if (store)
+        entry->dirty = true;
+    state_.pageTable.markReferenced(vpn);
+    if (store)
+        state_.pageTable.markDirty(vpn);
+    return {true, os::FaultKind::None};
+}
+
+void
+PkeySystem::flushBatch(BatchAccum &acc)
+{
+    account_.charge(CostCategory::Reference, acc.refCycles);
+    tlb_.lookups += acc.tlbLookups;
+    tlb_.hits += acc.tlbHits;
+    keyCache_.lookups += acc.kprLookups;
+    keyCache_.hits += acc.kprHits;
+    acc = {};
+}
+
+void
+PkeySystem::dropPageKeyRegisters(os::DomainId domain, vm::Vpn first,
+                                 u64 pages)
+{
+    const u64 lo = first.number();
+    const u64 hi = lo + pages;
+    for (auto it = pageKey_.lower_bound(lo);
+         it != pageKey_.end() && it->first < hi; ++it) {
+        if (keyCache_.remove(domain, it->second))
+            charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    }
+}
+
+void
+PkeySystem::onAttach(os::DomainId domain, const vm::Segment &seg,
+                     vm::Access rights)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    // The key binds lazily at the first refill; if the segment already
+    // has one, the grant is a single register write for this domain.
+    const auto it = segKey_.find(seg.id);
+    if (it != segKey_.end())
+        keyCache_.updateRights(domain, it->second, rights);
+    charge(CostCategory::KernelWork, config_.costs.registerWrite);
+    // Promoted pages derive their rights per page; drop this domain's
+    // registers for them so refills reread canonical state.
+    dropPageKeyRegisters(domain, seg.firstPage, seg.pages);
+}
+
+void
+PkeySystem::onDetach(os::DomainId domain, const vm::Segment &seg)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    const auto it = segKey_.find(seg.id);
+    if (it != segKey_.end() && keyCache_.remove(domain, it->second))
+        charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    charge(CostCategory::KernelWork, config_.costs.registerWrite);
+    dropPageKeyRegisters(domain, seg.firstPage, seg.pages);
+    // The TLB keeps its untagged entries: translations (and key ids)
+    // are domain-independent, the revoked domain simply has no
+    // register for the key any more.
+}
+
+void
+PkeySystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
+                            vm::Access rights)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    (void)rights;
+    // The page now has per-page state: give it its own key, then flip
+    // this domain's register for it. The hardware carries *effective*
+    // rights (a global mask may narrow the new grant).
+    const hw::KeyId key = promotePage(vpn);
+    keyCache_.updateRights(domain, key, state_.effectiveRights(domain, vpn));
+    charge(CostCategory::KernelWork, config_.costs.registerWrite);
+}
+
+void
+PkeySystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    (void)rights;
+    // A global mask narrows every domain's rights on this page: the
+    // page gets its own key and every domain's register for it goes;
+    // refills rederive through the mask.
+    const hw::KeyId key = promotePage(vpn);
+    const auto regs = keyCache_.invalidateKey(key);
+    charge(CostCategory::KernelWork,
+           regs.scanned * config_.costs.purgeScanEntry +
+               regs.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+PkeySystem::onClearPageRightsAllDomains(vm::Vpn vpn)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    const auto it = pageKey_.find(vpn.number());
+    if (it == pageKey_.end())
+        return;
+    const auto regs = keyCache_.invalidateKey(it->second);
+    charge(CostCategory::KernelWork,
+           regs.scanned * config_.costs.purgeScanEntry +
+               regs.invalidated * config_.costs.invalidateEntry);
+    // When no overrides remain either, the page folds back into its
+    // segment's key (retireKey also drops the stale TLB tagging).
+    maybeReleasePageKey(vpn);
+}
+
+void
+PkeySystem::onSetSegmentRights(os::DomainId domain, const vm::Segment &seg,
+                               vm::Access rights)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    // The headline path: segment-wide revocation (or grant) is one
+    // register flip -- no per-page scan, no TLB purge. Pages promoted
+    // to their own keys are governed by overrides or masks, except
+    // that a domain without an override still derives from the grant,
+    // so its page-key registers are dropped for refill.
+    const auto it = segKey_.find(seg.id);
+    if (it != segKey_.end())
+        keyCache_.updateRights(domain, it->second, rights);
+    charge(CostCategory::KernelWork, config_.costs.registerWrite);
+    dropPageKeyRegisters(domain, seg.firstPage, seg.pages);
+}
+
+void
+PkeySystem::onDomainSwitch(os::DomainId from, os::DomainId to)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    (void)from;
+    (void)to;
+    // Registers are domain-tagged and survive the switch; the TLB is
+    // untagged and shared. One register write selects the domain.
+    charge(CostCategory::DomainSwitch, config_.costs.registerWrite);
+}
+
+void
+PkeySystem::onPageMapped(vm::Vpn vpn, vm::Pfn pfn)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    (void)vpn;
+    (void)pfn;
+}
+
+void
+PkeySystem::onPageUnmapped(vm::Vpn vpn, vm::Pfn pfn)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    const u64 dropped = tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork,
+           dropped * config_.costs.invalidateEntry);
+    mem_.flushPage(vpn, pfn);
+}
+
+void
+PkeySystem::onDomainDestroyed(os::DomainId domain)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    const auto regs = keyCache_.purgeDomain(domain);
+    charge(CostCategory::KernelWork,
+           regs.scanned * config_.costs.purgeScanEntry +
+               regs.invalidated * config_.costs.invalidateEntry);
+}
+
+void
+PkeySystem::onSegmentDestroyed(const vm::Segment &seg)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    const auto it = segKey_.find(seg.id);
+    if (it != segKey_.end())
+        retireKey(it->second);
+    const u64 lo = seg.firstPage.number();
+    const u64 hi = lo + seg.pages;
+    std::vector<hw::KeyId> victims;
+    for (auto page_it = pageKey_.lower_bound(lo);
+         page_it != pageKey_.end() && page_it->first < hi; ++page_it) {
+        victims.push_back(page_it->second);
+    }
+    for (hw::KeyId key : victims)
+        retireKey(key);
+}
+
+bool
+PkeySystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    // The denial may have come from a stale register or a stale key
+    // tag; drop both so the retry rederives from the tables.
+    const auto it = pageKey_.find(vpn.number());
+    hw::KeyId key = it != pageKey_.end() ? it->second : 0;
+    if (key == 0) {
+        if (const vm::Segment *seg = state_.segments.findByPage(vpn)) {
+            const auto seg_it = segKey_.find(seg->id);
+            if (seg_it != segKey_.end())
+                key = seg_it->second;
+        }
+    }
+    if (key != 0)
+        keyCache_.remove(domain, key);
+    tlb_.purgePage(vpn);
+    charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
+    return true;
+}
+
+vm::Access
+PkeySystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
+{
+    // Like the domain-page model, the key model expresses the
+    // canonical state exactly (one register per rights value).
+    return state_.effectiveRights(domain, vpn);
+}
+
+void
+PkeySystem::save(snap::SnapWriter &w) const
+{
+    w.putTag("pkeymodel");
+    tlb_.save(w);
+    keyCache_.save(w);
+    w.putTag("keytables");
+    w.put16(recycleCursor_);
+    w.put64(segKey_.size());
+    for (const auto &[seg, key] : segKey_) {
+        w.put32(seg);
+        w.put16(key);
+    }
+    w.put64(pageKey_.size());
+    for (const auto &[vpn, key] : pageKey_) {
+        w.put64(vpn);
+        w.put16(key);
+    }
+    mem_.save(w);
+}
+
+void
+PkeySystem::load(snap::SnapReader &r)
+{
+    // Maintenance may touch entries behind the coalescing memo;
+    // drop it (uniform rule for every hook).
+    memo_.valid = false;
+    r.expectTag("pkeymodel");
+    tlb_.load(r);
+    keyCache_.load(r);
+    r.expectTag("keytables");
+    const u16 cursor = r.get16();
+    if (cursor > config_.pkeys)
+        SASOS_FATAL("corrupt snapshot: recycle cursor ", cursor,
+                    " beyond the key space of ", config_.pkeys);
+    recycleCursor_ = cursor;
+    segKey_.clear();
+    pageKey_.clear();
+    bindings_.assign(config_.pkeys + 1, {});
+    const u32 seg_count = r.getCount(6);
+    for (u32 i = 0; i < seg_count; ++i) {
+        const vm::SegmentId seg = r.get32();
+        const u16 key = r.get16();
+        if (key == 0 || key > config_.pkeys)
+            SASOS_FATAL("corrupt snapshot: segment key id ", key,
+                        " outside [1, ", config_.pkeys, "]");
+        if (bindings_[key].kind != BindKind::Free)
+            SASOS_FATAL("corrupt snapshot: key ", key, " bound twice");
+        if (!segKey_.emplace(seg, key).second)
+            SASOS_FATAL("corrupt snapshot: duplicate segment key entry");
+        bindings_[key] = {BindKind::Segment, seg};
+    }
+    const u32 page_count = r.getCount(10);
+    for (u32 i = 0; i < page_count; ++i) {
+        const u64 vpn = r.get64();
+        const u16 key = r.get16();
+        if (key == 0 || key > config_.pkeys)
+            SASOS_FATAL("corrupt snapshot: page key id ", key,
+                        " outside [1, ", config_.pkeys, "]");
+        if (bindings_[key].kind != BindKind::Free)
+            SASOS_FATAL("corrupt snapshot: key ", key, " bound twice");
+        if (!pageKey_.emplace(vpn, key).second)
+            SASOS_FATAL("corrupt snapshot: duplicate page key entry");
+        bindings_[key] = {BindKind::Page, vpn};
+    }
+    mem_.load(r);
+}
+
+} // namespace sasos::core

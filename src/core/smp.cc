@@ -22,6 +22,8 @@ makeCpuModel(const SystemConfig &config, os::VmState &state,
       case ModelKind::Conventional:
         return std::make_unique<ConventionalSystem>(config, state, account,
                                                     parent);
+      case ModelKind::Pkey:
+        return std::make_unique<PkeySystem>(config, state, account, parent);
     }
     SASOS_PANIC("unreachable");
 }

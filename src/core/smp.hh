@@ -26,6 +26,7 @@
 
 #include "core/conventional_system.hh"
 #include "core/pagegroup_system.hh"
+#include "core/pkey_system.hh"
 #include "core/plb_system.hh"
 #include "core/system_config.hh"
 #include "os/kernel.hh"

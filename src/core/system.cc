@@ -45,6 +45,13 @@ System::System(const SystemConfig &config)
         model_ = std::move(model);
         break;
       }
+      case ModelKind::Pkey: {
+        auto model = std::make_unique<PkeySystem>(config_, state_, account_,
+                                                  &statsRoot_);
+        pkey_ = model.get();
+        model_ = std::move(model);
+        break;
+      }
     }
     if (config_.faults.enabled) {
         injector_ = std::make_unique<fault::FaultInjector>(config_.faults,
@@ -261,6 +268,10 @@ walkConfigSignature(Sig &&sig, const SystemConfig &config)
     sig.field("pgCache.entries", config.pgCache.entries);
     sig.field("pgCache.policy", static_cast<u64>(config.pgCache.policy));
     sig.field("pgCache.seed", config.pgCache.seed);
+    sig.field("keyCache.entries", config.keyCache.entries);
+    sig.field("keyCache.policy", static_cast<u64>(config.keyCache.policy));
+    sig.field("keyCache.seed", config.keyCache.seed);
+    sig.field("pkeys", config.pkeys);
     sig.field("eagerPgReload", config.eagerPgReload ? 1 : 0);
     sig.field("purgeTlbOnSwitch", config.purgeTlbOnSwitch ? 1 : 0);
     sig.field("flushCacheOnSwitch", config.flushCacheOnSwitch ? 1 : 0);

@@ -16,6 +16,7 @@
 
 #include "core/conventional_system.hh"
 #include "core/pagegroup_system.hh"
+#include "core/pkey_system.hh"
 #include "core/plb_system.hh"
 #include "core/system_config.hh"
 #include "fault/fault.hh"
@@ -146,6 +147,7 @@ class System
     PlbSystem *plbSystem() { return plb_; }
     PageGroupSystem *pageGroupSystem() { return pageGroup_; }
     ConventionalSystem *conventionalSystem() { return conventional_; }
+    PkeySystem *pkeySystem() { return pkey_; }
 
     /** The fault injector, or null when `faults=` is off. */
     fault::FaultInjector *injector() { return injector_.get(); }
@@ -203,6 +205,7 @@ class System
     PlbSystem *plb_ = nullptr;
     PageGroupSystem *pageGroup_ = nullptr;
     ConventionalSystem *conventional_ = nullptr;
+    PkeySystem *pkey_ = nullptr;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<os::Pager> pager_;
 };

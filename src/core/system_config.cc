@@ -15,6 +15,8 @@ toString(ModelKind kind)
         return "page-group";
       case ModelKind::Conventional:
         return "conventional";
+      case ModelKind::Pkey:
+        return "pkey";
     }
     return "?";
 }
@@ -28,6 +30,8 @@ parseModelKind(const std::string &name)
         return ModelKind::PageGroup;
     if (name == "conv" || name == "conventional")
         return ModelKind::Conventional;
+    if (name == "pkey" || name == "protection-key" || name == "mpk")
+        return ModelKind::Pkey;
     SASOS_FATAL("unknown protection model '", name, "'");
 }
 
@@ -129,6 +133,25 @@ SystemConfig::flushingVcacheSystem()
 }
 
 SystemConfig
+SystemConfig::pkeySystem()
+{
+    SystemConfig config;
+    config.model = ModelKind::Pkey;
+    config.l2 = defaultL2();
+    // MPK style: untagged on-chip TLB whose entries carry a key id,
+    // virtually indexed physically tagged cache, and a register file
+    // of (domain, key) permissions consulted in parallel.
+    config.cache.org = hw::CacheOrg::Vipt;
+    config.tlb.kind = hw::TlbKind::Pkey;
+    config.tlb.sets = 1;
+    config.tlb.ways = 128; // same entry count as the PLB (Section 4)
+    config.keyCache.entries = 64;
+    config.keyCache.policy = hw::PolicyKind::Lru;
+    config.pkeys = 16;
+    return config;
+}
+
+SystemConfig
 SystemConfig::forModel(ModelKind kind)
 {
     switch (kind) {
@@ -138,6 +161,8 @@ SystemConfig::forModel(ModelKind kind)
         return pageGroupSystem();
       case ModelKind::Conventional:
         return conventionalSystem();
+      case ModelKind::Pkey:
+        return pkeySystem();
     }
     SASOS_PANIC("unreachable");
 }
@@ -173,6 +198,11 @@ SystemConfig::fromOptions(const Options &options, const SystemConfig &base)
                       config.plb.sets;
     config.pgCache.entries =
         options.getU64("pgEntries", config.pgCache.entries);
+    config.keyCache.entries =
+        options.getU64("kprEntries", config.keyCache.entries);
+    config.pkeys = options.getU64("pkeys", config.pkeys);
+    if (config.pkeys < 2)
+        SASOS_FATAL("pkeys must be at least 2, got ", config.pkeys);
 
     config.l2Enabled = options.getBool("l2", config.l2Enabled);
     config.l2.sizeBytes =
@@ -198,6 +228,7 @@ SystemConfig::fromOptions(const Options &options, const SystemConfig &base)
     config.tlb.seed = config.seed + 1;
     config.plb.seed = config.seed + 2;
     config.pgCache.seed = config.seed + 3;
+    config.keyCache.seed = config.seed + 4;
 
     config.faults.enabled = options.getBool("faults", config.faults.enabled);
     config.faults.seed = options.getU64("fault_seed", config.faults.seed);

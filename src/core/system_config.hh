@@ -14,6 +14,7 @@
 
 #include "fault/fault.hh"
 #include "hw/data_cache.hh"
+#include "hw/key_cache.hh"
 #include "hw/pagegroup_cache.hh"
 #include "hw/plb.hh"
 #include "hw/tlb.hh"
@@ -32,6 +33,9 @@ enum class ModelKind
     PageGroup,
     /** Multiple-address-space baseline: ASID-tagged TLB. */
     Conventional,
+    /** Protection-key model: untagged TLB carrying key ids + a
+     * per-domain key-permission register file (MPK style). */
+    Pkey,
 };
 
 const char *toString(ModelKind kind);
@@ -51,6 +55,11 @@ struct SystemConfig
     hw::TlbConfig tlb;
     hw::PlbConfig plb;
     hw::PageGroupCacheConfig pgCache;
+    hw::KeyCacheConfig keyCache;
+
+    /** Pkey model: size of the protection-key id space the kernel
+     * assigns from; exhausting it forces key recycling. */
+    u64 pkeys = 16;
 
     /** Page-group model: eagerly reload the page-group cache on a
      * domain switch instead of faulting entries in (Section 4.1.4). */
@@ -90,6 +99,8 @@ struct SystemConfig
      * purge the untagged TLB on every process switch to avoid
      * homonyms (Section 2.2; the i860's requirement). */
     static SystemConfig flushingVcacheSystem();
+    /** Preset for the protection-key (MPK-style) system. */
+    static SystemConfig pkeySystem();
 
     /** Preset chosen by ModelKind. */
     static SystemConfig forModel(ModelKind kind);
@@ -97,9 +108,10 @@ struct SystemConfig
     /**
      * Apply option overrides (model=, cacheKB=, lineBytes=,
      * cacheWays=, cacheOrg=, tlbEntries=, tlbWays=, plbEntries=,
-     * pgEntries=, eagerPg=, purgeOnSwitch=, superPage=, frames=,
-     * seed=, faults=, fault_seed=, fault_rate=, cost.* ...). Starts
-     * from the preset for `model=` if given, else from *this.
+     * pgEntries=, kprEntries=, pkeys=, eagerPg=, purgeOnSwitch=,
+     * superPage=, frames=, seed=, faults=, fault_seed=, fault_rate=,
+     * cost.* ...). Starts from the preset for `model=` if given, else
+     * from *this.
      */
     static SystemConfig fromOptions(const Options &options,
                                     const SystemConfig &base);

@@ -35,7 +35,7 @@ struct ChurnOp
 
 /** The seed-derived scenario, fixed before any system runs. Every
  * decision the campaign makes is recorded here (never taken from a
- * running system), so all six runs see identical operation streams. */
+ * running system), so all eight runs see identical operation streams. */
 struct Scenario
 {
     /** grants[domainIdx][segIdx]; None means not attached. */
@@ -302,7 +302,8 @@ runCampaign(const CampaignConfig &config, const std::string &trace_path)
     result.references = config.references;
     const core::ModelKind kinds[] = {core::ModelKind::Plb,
                                      core::ModelKind::PageGroup,
-                                     core::ModelKind::Conventional};
+                                     core::ModelKind::Conventional,
+                                     core::ModelKind::Pkey};
     for (core::ModelKind kind : kinds) {
         for (bool injected : {false, true}) {
             result.runs.push_back(runOne(config, scenario, kind, injected,

@@ -2,21 +2,21 @@
  * @file
  * The cross-model differential oracle.
  *
- * The paper's central claim is that the PLB, page-group and
- * conventional systems may differ in *cost* but never in *outcome*:
- * every reference is allowed or denied identically, because all three
- * derive their decisions from the same canonical protection state
- * (PAPER.md Sections 3-4). The oracle turns that claim, plus the
+ * The paper's central claim is that the PLB, page-group, conventional
+ * and protection-key systems may differ in *cost* but never in
+ * *outcome*: every reference is allowed or denied identically, because
+ * all four derive their decisions from the same canonical protection
+ * state (PAPER.md Sections 3-4). The oracle turns that claim, plus the
  * fault engine's contract (injection perturbs cached state only),
  * into an executable check:
  *
  *   1. synthesize a deterministic scenario -- domains, segments, a
  *      rights matrix, a reference trace with embedded domain switches
  *      and mid-stream rights churn -- from one seed;
- *   2. replay the identical trace against all three models, clean and
+ *   2. replay the identical trace against all four models, clean and
  *      with fault injection enabled;
  *   3. assert that per-reference allow/deny decision vectors and the
- *      final canonical rights state are bit-identical across all six
+ *      final canonical rights state are bit-identical across all eight
  *      runs, and that no model's hardware view ever exceeds the
  *      canonical rights.
  *
@@ -88,7 +88,8 @@ struct CampaignResult
     bool passed = false;
     /** Human-readable invariant violations (empty when passed). */
     std::vector<std::string> violations;
-    /** Six runs: {plb, page-group, conventional} x {clean, injected}. */
+    /** Eight runs: {plb, page-group, conventional, pkey} x
+     * {clean, injected}. */
     std::vector<RunOutcome> runs;
     /** References per run (identical for all runs). */
     u64 references = 0;

@@ -15,6 +15,8 @@ toString(TlbKind kind)
         return "page-group";
       case TlbKind::TranslationOnly:
         return "translation-only";
+      case TlbKind::Pkey:
+        return "pkey";
     }
     return "?";
 }

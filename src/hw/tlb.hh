@@ -12,6 +12,10 @@
  *  - TranslationOnly: one entry per page with no protection content
  *    at all -- the second-level, off-critical-path TLB of the PLB
  *    system (Section 3.2.1).
+ *  - Pkey: one entry per page for all domains, carrying the
+ *    translation and a small protection-key id (MPK style); the
+ *    rights themselves live in a per-domain key-permission register
+ *    file (hw::KeyCache), not in the TLB.
  */
 
 #ifndef SASOS_HW_TLB_HH
@@ -43,6 +47,7 @@ enum class TlbKind
     Conventional,
     PageGroup,
     TranslationOnly,
+    Pkey,
 };
 
 const char *toString(TlbKind kind);
@@ -55,7 +60,7 @@ struct TlbEntry
     vm::Access rights = vm::Access::None;
     /** Matching ASID (Conventional only). */
     DomainId asid = 0;
-    /** Page-group number (PageGroup only). */
+    /** Page-group number (PageGroup) or protection-key id (Pkey). */
     GroupId aid = kGlobalGroup;
     bool dirty = false;
     bool referenced = false;

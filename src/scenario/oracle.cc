@@ -94,7 +94,8 @@ runScenarioOracle(const Script &script, const fault::FaultConfig &faults)
 
     const core::ModelKind kinds[] = {core::ModelKind::Plb,
                                      core::ModelKind::PageGroup,
-                                     core::ModelKind::Conventional};
+                                     core::ModelKind::Conventional,
+                                     core::ModelKind::Pkey};
     for (core::ModelKind kind : kinds) {
         for (bool injected : {false, true})
             verdict.runs.push_back(runOne(script, kind, injected, faults));

@@ -22,6 +22,8 @@ CostModel::bindings()
         {"purgeScanEntry", &CostModel::purgeScanEntry},
         {"invalidateEntry", &CostModel::invalidateEntry},
         {"pgCacheLoadEntry", &CostModel::pgCacheLoadEntry},
+        {"kprRefill", &CostModel::kprRefill},
+        {"keyAssign", &CostModel::keyAssign},
         {"registerWrite", &CostModel::registerWrite},
         {"kernelTrap", &CostModel::kernelTrap},
         {"serverUpcall", &CostModel::serverUpcall},

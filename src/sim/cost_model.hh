@@ -63,6 +63,10 @@ class CostModel
     Cycles invalidateEntry{1};
     /** Load one page-group entry during an explicit reload. */
     Cycles pgCacheLoadEntry{2};
+    /** Key-permission register refill from canonical rights (kernel). */
+    Cycles kprRefill{20};
+    /** Assign or recycle a protection-key id in kernel software. */
+    Cycles keyAssign{15};
     /** Write a processor control register (e.g. the PD-ID register). */
     Cycles registerWrite{1};
     /// @}

@@ -41,8 +41,10 @@ constexpr char kMagic[8] = {'S', 'A', 'S', 'O', 'S', 'N', 'A', 'P'};
 
 /** Current format version; bumped on any incompatible change.
  * v2: frame refcounts in the allocator image, CoW page set in the
- * kernel image, shared frames allowed in the page table. */
-constexpr u32 kFormatVersion = 2;
+ * kernel image, shared frames allowed in the page table.
+ * v3: protection-key model (key tables, key-permission register file)
+ * and the kprRefill/keyAssign cost constants in config signatures. */
+constexpr u32 kFormatVersion = 3;
 
 /** Envelope size: magic[8] version[4] reserved[4] length[8] fnv[8]. */
 constexpr std::size_t kHeaderBytes = 32;

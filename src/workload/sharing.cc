@@ -106,6 +106,9 @@ SharingWorkload::run(core::System &sys)
     } else if (auto *conv = sys.conventionalSystem()) {
         result.tlbMisses = conv->tlb().misses.value();
         result.occupancyEntries = conv->tlb().occupancy();
+    } else if (auto *pkey = sys.pkeySystem()) {
+        result.tlbMisses = pkey->tlb().misses.value();
+        result.occupancyEntries = pkey->tlb().occupancy();
     }
     result.protOpCycles =
         sys.account().byCategory(CostCategory::KernelWork).count();

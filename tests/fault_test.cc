@@ -158,7 +158,7 @@ TEST(FaultSystemTest, FaultyRunsAreBitIdenticalAcrossRuns)
 {
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         bench::SweepCell cell;
         cell.model = "m";
         cell.workload = "zipf";
@@ -189,7 +189,7 @@ TEST(FaultSystemTest, FaultySweepIsThreadCountIndependent)
     std::vector<bench::SweepCell> cells;
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         for (u64 seed = 1; seed <= 3; ++seed) {
             bench::SweepCell cell;
             cell.model = core::toString(kind);
@@ -221,7 +221,7 @@ TEST(FaultSystemTest, FaultySweepIsThreadCountIndependent)
 }
 
 /** The differential oracle: same decisions and final rights across
- * all three models, clean and injected. */
+ * all four models, clean and injected. */
 TEST(FaultOracleTest, CampaignPassesAtModerateRate)
 {
     const std::string path = tempTracePath("fault_oracle_mid.trc");
@@ -230,7 +230,7 @@ TEST(FaultOracleTest, CampaignPassesAtModerateRate)
     for (const std::string &violation : result.violations)
         ADD_FAILURE() << violation;
     EXPECT_TRUE(result.passed);
-    ASSERT_EQ(result.runs.size(), 6u);
+    ASSERT_EQ(result.runs.size(), 8u);
     for (const fault::RunOutcome &run : result.runs) {
         EXPECT_EQ(run.decisions.size(), result.references);
         EXPECT_TRUE(run.hwWithinCanonical) << run.model;

@@ -93,7 +93,7 @@ TEST(GoldenReplayTest, MatchesCheckedInSnapshot)
     std::ostringstream actual;
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         core::System sys(core::SystemConfig::forModel(kind));
         const GoldenScenario scenario = setupGolden(sys);
         trace::TraceReader reader(trace_path);
@@ -139,7 +139,7 @@ TEST(GoldenReplayTest, StatsJsonMatchesCheckedInSnapshot)
     bool first = true;
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         core::System sys(core::SystemConfig::forModel(kind));
         const GoldenScenario scenario = setupGolden(sys);
         trace::TraceReader reader(trace_path);
@@ -187,7 +187,7 @@ TEST(GoldenReplayTest, ScenarioStatsJsonMatchesCheckedInSnapshot)
     for (const scn::Script &script : scripts) {
         for (core::ModelKind kind :
              {core::ModelKind::Plb, core::ModelKind::PageGroup,
-              core::ModelKind::Conventional}) {
+              core::ModelKind::Conventional, core::ModelKind::Pkey}) {
             core::System sys(core::SystemConfig::forModel(kind));
             const scn::RunStats tally = scn::runScript(sys, script);
             EXPECT_EQ(tally.refs, script.refs) << script.name;
@@ -234,7 +234,7 @@ TEST(GoldenReplayTest, McStatsJsonMatchesCheckedInSnapshot)
     bool first = true;
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         core::mc::McConfig config;
         config.system = core::SystemConfig::forModel(kind);
         config.cores = 4;

@@ -40,7 +40,7 @@ TEST(McInterleaveTest, InvariantsHoldOverSixtyFourSchedules)
 {
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         mc::ExplorerConfig explorer;
         explorer.base = churnConfig(kind);
         explorer.seeds = 64;
@@ -59,10 +59,11 @@ TEST(McInterleaveTest, InvariantsHoldOverSixtyFourSchedules)
     }
 }
 
-/** The same 64 schedules run against all three protection models:
+/** The same 64 schedules run against all four protection models:
  * references issued at local quiescence see only canonical rights, so
  * their allow/deny outcomes must agree across models even though the
- * hardware (PLB / page-group cache / ASID TLB) differs completely. */
+ * hardware (PLB / page-group cache / ASID TLB / key-permission
+ * register file) differs completely. */
 TEST(McInterleaveTest, ModelsAgreeAtQuiescencePoints)
 {
     mc::ExplorerConfig explorer;
@@ -75,7 +76,7 @@ TEST(McInterleaveTest, ModelsAgreeAtQuiescencePoints)
     EXPECT_TRUE(result.passed());
     ASSERT_EQ(result.runs.size(), 64u);
     for (const mc::CrossModelRun &run : result.runs) {
-        ASSERT_EQ(run.byModel.size(), 3u);
+        ASSERT_EQ(run.byModel.size(), 4u);
         EXPECT_FALSE(run.byModel[0].quiescentOutcomes.empty())
             << "seed " << run.scheduleSeed
             << " issued no quiescent references; nothing was compared";
@@ -90,7 +91,7 @@ TEST(McInterleaveTest, PrivateChurnOutcomesProjectOntoSequentialRun)
 {
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         mc::McConfig config = churnConfig(kind);
         config.workload.privateChurn = true;
         config.workload.churnProb = 0.2;

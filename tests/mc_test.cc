@@ -71,7 +71,7 @@ TEST(McTest, SingleCoreMatchesSystemBitExactly)
 {
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         mc::McConfig config = smallConfig(kind, 1);
         config.tidBase = 0; // both traces run as logical thread 0
 
@@ -157,7 +157,7 @@ TEST(McTest, SameSeedReproducesStatsExactly)
 {
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         mc::McSystem first(smallConfig(kind, 4));
         first.run();
         mc::McSystem second(smallConfig(kind, 4));
@@ -189,7 +189,7 @@ TEST(McTest, ShootdownsCompleteAndInvariantsHold)
 {
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional}) {
+          core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         mc::McSystem engine(smallConfig(kind, 4));
         const mc::McResult result = engine.run();
         EXPECT_GT(result.shootdowns, 0u) << core::toString(kind);
@@ -239,6 +239,33 @@ TEST(McTest, SingleCoreQuantumInvariance)
     EXPECT_EQ(ra.failed, rb.failed);
     EXPECT_EQ(ra.cycles, rb.cycles);
     EXPECT_EQ(ra.quiescentOutcomes, rb.quiescentOutcomes);
+}
+
+/** The protection-key shootdown path: a key-permission update rides
+ * the same deferred-ack IPI protocol, and the ack-time register-file
+ * scrub guarantees a revoked key never grants a reference outside the
+ * stale window (hwViolations counts exactly such grants). */
+TEST(McTest, PkeyRevokedKeyNeverGrantsOutsideWindow)
+{
+    mc::McSystem engine(smallConfig(core::ModelKind::Pkey, 4));
+    const mc::McResult result = engine.run();
+    EXPECT_GT(result.shootdowns, 0u);
+    EXPECT_EQ(result.acks, result.shootdowns * 3);
+    EXPECT_EQ(result.invariantViolations, 0u) << result.firstViolation;
+    EXPECT_EQ(result.hwViolations, 0u) << result.firstViolation;
+    EXPECT_GT(result.quiescentChecks, 0u);
+
+    // With instant acks the window is empty by construction: no
+    // reference can ever be served off a not-yet-scrubbed register.
+    mc::McConfig instant = smallConfig(core::ModelKind::Pkey, 4);
+    instant.ipiDelaySteps = 0;
+    mc::McSystem closed(instant);
+    const mc::McResult closed_result = closed.run();
+    EXPECT_GT(closed_result.shootdowns, 0u);
+    EXPECT_EQ(closed_result.staleWindowRefs, 0u);
+    EXPECT_EQ(closed_result.staleGrants, 0u);
+    EXPECT_EQ(closed_result.invariantViolations, 0u)
+        << closed_result.firstViolation;
 }
 
 /** An IPI delay of zero means a remote acks before it can issue

@@ -34,6 +34,9 @@ struct SoupParam
     bool purgeOnSwitch;
     bool superPage;
     u64 seed;
+    /** Pkey model: override the key-space size (0 keeps the preset).
+     * Small values force the key-recycling path under the soup. */
+    u64 pkeys = 0;
 };
 
 std::string
@@ -50,11 +53,16 @@ soupName(const ::testing::TestParamInfo<SoupParam> &info)
       case ModelKind::Conventional:
         name = "conv";
         break;
+      case ModelKind::Pkey:
+        name = "pkey";
+        break;
     }
     if (info.param.purgeOnSwitch)
         name += "Purge";
     if (!info.param.superPage)
         name += "NoSuper";
+    if (info.param.pkeys != 0)
+        name += "Keys" + std::to_string(info.param.pkeys);
     name += "Seed" + std::to_string(info.param.seed);
     return name;
 }
@@ -82,7 +90,10 @@ TEST_P(OpSoupTest, SafetyInvariantHoldsUnderRandomOperations)
     config.plb.ways = 16;
     config.tlb.ways = 16;
     config.pgCache.entries = 4;
+    config.keyCache.entries = 8;
     config.cache.sizeBytes = 4096;
+    if (param.pkeys != 0)
+        config.pkeys = param.pkeys;
     core::System sys(config);
     auto &kernel = sys.kernel();
     Rng rng(param.seed);
@@ -256,7 +267,7 @@ TEST_P(OpSoupTest, DeterministicCycleTotals)
 namespace
 {
 
-/** Drive the same randomized operation soup against all three
+/** Drive the same randomized operation soup against all four
  * architectures in lockstep and assert they agree on every single
  * reference. The canonical tables evolve identically (same kernel
  * calls), so any divergence is a hardware model leaking or dropping
@@ -272,11 +283,17 @@ crossModelSoup(u64 seed, bool faults)
 
     std::vector<std::unique_ptr<core::System>> systems;
     for (ModelKind kind : {ModelKind::Plb, ModelKind::PageGroup,
-                           ModelKind::Conventional}) {
+                           ModelKind::Conventional, ModelKind::Pkey}) {
         SystemConfig config = SystemConfig::forModel(kind);
         config.faults.enabled = faults;
         config.faults.rate = 0.05;
         config.faults.seed = seed;
+        if (kind == ModelKind::Pkey) {
+            // A tight key space keeps the recycling path inside the
+            // lockstep comparison, not just the steady state.
+            config.pkeys = 4;
+            config.keyCache.entries = 8;
+        }
         systems.push_back(std::make_unique<core::System>(config));
     }
 
@@ -421,7 +438,7 @@ TEST(CrossModelEquivalenceTest, AgreementSurvivesFaultInjection)
 namespace
 {
 
-/** Replay one application scenario on all three architectures in
+/** Replay one application scenario on all four architectures in
  * lockstep: every reference must produce the same allow/deny decision
  * on every model, and that decision must be predictable from the
  * canonical tables alone (for copy-on-write pages a store succeeds
@@ -433,7 +450,7 @@ lockstepScenario(const scn::Script &script, bool faults, u64 seed)
 {
     std::vector<std::unique_ptr<core::System>> systems;
     for (ModelKind kind : {ModelKind::Plb, ModelKind::PageGroup,
-                           ModelKind::Conventional}) {
+                           ModelKind::Conventional, ModelKind::Pkey}) {
         SystemConfig config = SystemConfig::forModel(kind);
         config.faults.enabled = faults;
         config.faults.rate = 0.03;
@@ -532,5 +549,10 @@ INSTANTIATE_TEST_SUITE_P(
         SoupParam{ModelKind::Conventional, false, true, 1},
         SoupParam{ModelKind::Conventional, false, true, 2},
         SoupParam{ModelKind::Conventional, true, true, 1},
-        SoupParam{ModelKind::Conventional, true, true, 5}),
+        SoupParam{ModelKind::Conventional, true, true, 5},
+        SoupParam{ModelKind::Pkey, false, true, 1},
+        SoupParam{ModelKind::Pkey, false, true, 2},
+        // Key spaces smaller than the working set force recycling.
+        SoupParam{ModelKind::Pkey, false, true, 3, 4},
+        SoupParam{ModelKind::Pkey, false, true, 6, 2}),
     soupName);

@@ -175,14 +175,15 @@ TEST(ScenarioOracleTest, AllScenariosPassCleanAndInjected)
         EXPECT_TRUE(verdict.passed) << verdict.scenario;
         for (const std::string &violation : verdict.violations)
             ADD_FAILURE() << violation;
-        ASSERT_EQ(verdict.runs.size(), 6u);
+        ASSERT_EQ(verdict.runs.size(), 8u);
         for (const scn::ScenarioRun &run : verdict.runs) {
             EXPECT_EQ(run.decisions.size(), verdict.references)
                 << verdict.scenario << "/" << run.model;
             EXPECT_TRUE(run.hwWithinCanonical);
-            if (run.injected)
+            if (run.injected) {
                 EXPECT_GT(run.injectedEvents, 0u)
                     << verdict.scenario << "/" << run.model;
+            }
         }
     }
 }

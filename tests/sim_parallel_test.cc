@@ -527,6 +527,9 @@ TEST_P(BatchedRunTest, DirectPurgePlusMemoInvalidateStaysIdentical)
         } else if (auto *pg = sys->pageGroupSystem()) {
             pg->pageGroupCache().purgeAll();
             pg->tlb().purgeRange(std::nullopt, first, 64);
+        } else if (auto *pkey = sys->pkeySystem()) {
+            pkey->keyCache().purgeAll();
+            pkey->tlb().purgeRange(std::nullopt, first, 64);
         } else {
             sys->conventionalSystem()->tlb().purgeRange(std::nullopt,
                                                         first, 64);
@@ -578,7 +581,8 @@ TEST_P(BatchedRunTest, FaultInjectedRunMatchesPerCall)
 INSTANTIATE_TEST_SUITE_P(
     AllModels, BatchedRunTest,
     ::testing::Values(core::ModelKind::Plb, core::ModelKind::PageGroup,
-                      core::ModelKind::Conventional),
+                      core::ModelKind::Conventional,
+                      core::ModelKind::Pkey),
     [](const ::testing::TestParamInfo<core::ModelKind> &info) {
         switch (info.param) {
           case core::ModelKind::Plb:
@@ -587,6 +591,8 @@ INSTANTIATE_TEST_SUITE_P(
             return "pagegroup";
           case core::ModelKind::Conventional:
             return "conventional";
+          case core::ModelKind::Pkey:
+            return "pkey";
         }
         return "unknown";
     });

@@ -6,16 +6,17 @@
  * snapshot, overlay the image onto freshly constructed objects,
  * continue -- and every statistic, simulated cycle and traced event
  * must be bit-identical to the uninterrupted run. That is checked for
- * all three protection models, for a fault-injected machine, and for
+ * all four protection models, for a fault-injected machine, and for
  * the four-core multi-core engine (through a file round trip).
  *
  * Around it: snapio primitive round trips, corrupt-image rejection
  * (truncation, bit flips, bad magic/version, hostile lengths, config
  * mismatches -- all clean fatals, rerouted into exceptions here),
- * stateful stream resume, warm-start sweep identity, the restored
- * counters vs. obs event-stream reconciliation, and a checked-in v1
- * image guarding format compatibility (SASOS_GOLDEN_REGEN=1
- * regenerates it).
+ * the protection-key model's kernel key tables (round trip and
+ * rejection), stateful stream resume, warm-start sweep identity, the
+ * restored counters vs. obs event-stream reconciliation, and a
+ * checked-in image at the current format version guarding
+ * compatibility (SASOS_GOLDEN_REGEN=1 regenerates it).
  */
 
 #include <gtest/gtest.h>
@@ -283,6 +284,21 @@ TEST(SnapResumeTest, ConventionalModel)
     expectResumeEquivalent(core::SystemConfig::conventionalSystem(), 6000);
 }
 
+TEST(SnapResumeTest, PkeyModel)
+{
+    expectResumeEquivalent(core::SystemConfig::pkeySystem(), 6000);
+}
+
+TEST(SnapResumeTest, PkeyModelUnderKeyRecycling)
+{
+    // A key space smaller than the 8 working-set segments the stream
+    // touches keeps the recycling machinery hot across the snapshot
+    // point; the restored key tables must carry the bindings exactly.
+    core::SystemConfig config = core::SystemConfig::pkeySystem();
+    config.pkeys = 2;
+    expectResumeEquivalent(config, 6000);
+}
+
 TEST(SnapResumeTest, FaultInjectedMachine)
 {
     core::SystemConfig config = core::SystemConfig::plbSystem();
@@ -534,7 +550,7 @@ TEST(SnapScenarioTest, ForkTreeMidBuildRoundTripsOnEveryModel)
     const scn::Script script = scn::buildForkScript(scn::ForkConfig{});
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
-          core::ModelKind::Conventional})
+          core::ModelKind::Conventional, core::ModelKind::Pkey})
         expectScenarioResumeEquivalent(core::SystemConfig::forModel(kind),
                                        script);
 }
@@ -676,6 +692,108 @@ TEST(SnapCorruptionTest, MissingFileIsFatal)
     ScopedFatalThrow bridge;
     EXPECT_THROW(snap::Snapshot::fromFile("/nonexistent/no.snap"),
                  FatalRejection);
+}
+
+// ---------------------------------------------------------------------
+// Protection-key kernel tables (the v3 format addition)
+
+namespace
+{
+
+/** A pkey machine whose image carries nontrivial key tables: a tight
+ * key space keeps recycling hot and a restricted page adds a page-key
+ * binding next to the segment keys. */
+snap::Snapshot
+pkeyImage(core::System &sys, vm::VAddr *base_out = nullptr)
+{
+    const vm::VAddr base = setupHeap(sys);
+    if (base_out != nullptr)
+        *base_out = base;
+    Rng rng(kSeed);
+    auto stream = makeWorkingSet(base, kPages);
+    sys.run(*stream, 2000, rng);
+    sys.kernel().restrictPage(vm::pageOf(base), vm::Access::Read);
+    snap::Snapshotter snapper;
+    snapper.add(sys);
+    return snapper.finish();
+}
+
+} // namespace
+
+TEST(SnapPkeyTest, KeyTablesRoundTrip)
+{
+    core::SystemConfig config = core::SystemConfig::pkeySystem();
+    config.pkeys = 4;
+    core::System sys(config);
+    vm::VAddr base{0};
+    const snap::Snapshot image = pkeyImage(sys, &base);
+
+    core::System restored(config);
+    setupHeap(restored);
+    snap::Restorer restorer(image);
+    restorer.restore(restored);
+    restorer.finish();
+
+    // The kernel key tables came back exactly: same bindings for
+    // every page (segment keys and the promoted page key alike).
+    EXPECT_EQ(restored.pkeySystem()->boundKeys(),
+              sys.pkeySystem()->boundKeys());
+    for (u64 p = 0; p < kPages; ++p) {
+        const vm::Vpn vpn = vm::pageOf(base + p * vm::kPageBytes);
+        EXPECT_EQ(restored.pkeySystem()->keyOf(vpn),
+                  sys.pkeySystem()->keyOf(vpn))
+            << "page " << p;
+    }
+    EXPECT_EQ(dumpOf(sys), dumpOf(restored));
+}
+
+TEST(SnapPkeyTest, CorruptKeyTablesAreRejected)
+{
+    ScopedFatalThrow bridge;
+    core::SystemConfig config = core::SystemConfig::pkeySystem();
+    config.pkeys = 4;
+    core::System donor(config);
+    const snap::Snapshot valid = pkeyImage(donor);
+
+    for (std::size_t at = 32; at < valid.bytes.size();
+         at += valid.bytes.size() / 13 + 1) {
+        snap::Snapshot flipped = valid;
+        flipped.bytes[at] ^= 0x10;
+        EXPECT_THROW(
+            {
+                core::System sys(config);
+                setupHeap(sys);
+                snap::Restorer restorer(flipped);
+                restorer.restore(sys);
+                restorer.finish();
+            },
+            FatalRejection)
+            << "flip at byte " << at;
+    }
+}
+
+TEST(SnapPkeyTest, KeySpaceMismatchNamesTheField)
+{
+    ScopedFatalThrow bridge;
+    core::SystemConfig config = core::SystemConfig::pkeySystem();
+    config.pkeys = 4;
+    core::System donor(config);
+    const snap::Snapshot image = pkeyImage(donor);
+
+    core::SystemConfig wider = core::SystemConfig::pkeySystem();
+    wider.pkeys = 8;
+    core::System other(wider);
+    setupHeap(other);
+    snap::Restorer restorer(image);
+    try {
+        restorer.restore(other);
+        FAIL() << "mismatched key space was accepted";
+    } catch (const FatalRejection &rejection) {
+        EXPECT_NE(std::string(rejection.what()).find("pkeys"),
+                  std::string::npos)
+            << "fatal should name the mismatched field: "
+            << rejection.what();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -828,17 +946,19 @@ TEST(SnapOptionsTest, FromOptions)
 
 // ---------------------------------------------------------------------
 // Format compatibility: the checked-in image at the current format
-// version must keep loading. (v1 images are rejected by the version
-// check since the v2 bump for frame refcounts and the CoW page set.)
+// version must keep loading. (Older images are rejected by the
+// version check: v2 added frame refcounts and the CoW page set, v3
+// the protection-key model's kernel key tables.)
 
-TEST(SnapGoldenTest, V2ImageStillRestores)
+TEST(SnapGoldenTest, V3ImageStillRestores)
 {
-    // The golden recipe: a PLB machine shrunk along its bulky axes
+    // The golden recipe: a protection-key machine (so the checked-in
+    // image exercises the v3 key tables) shrunk along its bulky axes
     // (free-frame list, cache line maps) so the image stays a few
     // tens of KB; 64-page heap, 2000 zipf references at seed 42,
     // then System + Rng snapshotted.
-    const std::string path = dataPath("golden_v2.snap");
-    core::SystemConfig config = core::SystemConfig::plbSystem();
+    const std::string path = dataPath("golden_v3.snap");
+    core::SystemConfig config = core::SystemConfig::pkeySystem();
     config.frames = 1024;
     config.cache.sizeBytes = 8 * 1024;
     config.l2Enabled = false;
