@@ -28,7 +28,7 @@
  */
 
 #include "bench_common.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 
 #include <chrono>
 
@@ -71,7 +71,7 @@ statsOf(core::System &sys)
  * wall clock each, one bit-identity comparison. */
 HotpathRow
 measure(const bench::ModelUnderTest &model, const std::string &workload,
-        const bench::StreamFactory &factory, u64 refs, u64 pages, u64 seed,
+        const farm::StreamFactory &factory, u64 refs, u64 pages, u64 seed,
         u64 reps)
 {
     HotpathRow row;
@@ -140,7 +140,7 @@ runHotpath(const Options &options)
     std::vector<HotpathRow> rows;
     bool identical = true;
     for (const auto &model : bench::standardModels(options)) {
-        for (const auto &[name, factory] : bench::standardStreams()) {
+        for (const auto &[name, factory] : farm::standardStreams()) {
             rows.push_back(measure(model, name, factory, refs, pages,
                                    seed, reps));
             if (!rows.back().identical) {

@@ -26,7 +26,7 @@
  */
 
 #include "bench_common.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 
 #include <algorithm>
 #include <chrono>
@@ -310,23 +310,23 @@ mcOracle(const Options &options)
 /** Phase 2: the Table-1 sweep shape, cold vs. warm-started. */
 struct WarmOutcome
 {
-    bench::WarmReport report;
+    farm::WarmReport report;
     bool identical = true;
     u64 refs = 0;
     u64 seeds = 0;
 };
 
-std::vector<bench::SweepCell>
+std::vector<farm::SweepCell>
 warmSweepCells(const Options &options)
 {
     const u64 seeds = options.getU64("seeds", 6);
     const u64 refs = options.getU64("refs", 50'000);
     const u64 warm_refs = options.getU64("warm_refs", 200'000);
     const u64 pages = options.getU64("pages", 256);
-    std::vector<bench::SweepCell> cells;
+    std::vector<farm::SweepCell> cells;
     for (const auto &model : bench::standardModels(options)) {
         for (u64 seed = 1; seed <= seeds; ++seed) {
-            bench::SweepCell cell;
+            farm::SweepCell cell;
             cell.model = model.label;
             cell.workload = "table1-zipf";
             cell.seed = seed;
@@ -353,22 +353,22 @@ runWarmSweep(const Options &options)
     outcome.seeds = options.getU64("seeds", 6);
     outcome.report.warmRefs = options.getU64("warm_refs", 200'000);
     const unsigned threads = options.threads();
-    const std::vector<bench::SweepCell> cells = warmSweepCells(options);
-    bench::SweepRunner runner(threads);
+    const std::vector<farm::SweepCell> cells = warmSweepCells(options);
+    farm::SweepRunner runner(threads);
 
     auto mark = Clock::now();
-    std::vector<bench::CellResult> cold = runner.run(cells);
+    std::vector<farm::CellResult> cold = runner.run(cells);
     outcome.report.coldWallSeconds =
         std::chrono::duration<double>(Clock::now() - mark).count();
 
     // One warmed prefix image per model; every seed forks from it.
-    std::vector<bench::SweepCell> warm_cells = cells;
+    std::vector<farm::SweepCell> warm_cells = cells;
     mark = Clock::now();
     std::map<std::string, std::shared_ptr<const snap::Snapshot>> images;
     for (auto &cell : warm_cells) {
         auto &image = images[cell.model];
         if (!image)
-            image = bench::SweepRunner::buildWarmImage(cell);
+            image = farm::SweepRunner::buildWarmImage(cell);
         cell.warmImage = image;
     }
     outcome.report.images = images.size();
@@ -389,7 +389,7 @@ runWarmSweep(const Options &options)
     }
 
     mark = Clock::now();
-    std::vector<bench::CellResult> warm = runner.run(warm_cells);
+    std::vector<farm::CellResult> warm = runner.run(warm_cells);
     outcome.report.warmWallSeconds =
         std::chrono::duration<double>(Clock::now() - mark).count();
 

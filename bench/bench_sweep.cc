@@ -6,7 +6,7 @@
  * results and reporting the wall-clock speedup and per-cell
  * throughput (refs/sec, simulated cycles/ref).
  *
- * Emits BENCH_sweep.json (schema in sweep_runner.hh) so the perf
+ * Emits BENCH_sweep.json (schema in farm/campaign.hh) so the perf
  * trajectory of the driver layer is tracked across changes.
  *
  * With warm_refs=N each cell runs an N-reference warm-up prefix
@@ -22,7 +22,7 @@
  */
 
 #include "bench_common.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 
 #include <chrono>
 #include <map>
@@ -32,7 +32,7 @@ using namespace sasos;
 namespace
 {
 
-std::vector<bench::SweepCell>
+std::vector<farm::SweepCell>
 buildCells(const Options &options)
 {
     const u64 seeds = options.getU64("seeds", 4);
@@ -40,11 +40,11 @@ buildCells(const Options &options)
     const u64 pages = options.getU64("pages", 256);
     const u64 warm_refs = options.getU64("warm_refs", 0);
     const u64 warm_seed = options.getU64("warm_seed", 12345);
-    std::vector<bench::SweepCell> cells;
+    std::vector<farm::SweepCell> cells;
     for (const auto &model : bench::standardModels(options)) {
-        for (const auto &[name, factory] : bench::standardStreams()) {
+        for (const auto &[name, factory] : farm::standardStreams()) {
             for (u64 seed = 1; seed <= seeds; ++seed) {
-                bench::SweepCell cell;
+                farm::SweepCell cell;
                 cell.model = model.label;
                 cell.workload = name;
                 cell.seed = seed;
@@ -62,11 +62,11 @@ buildCells(const Options &options)
 }
 
 double
-timedSweep(unsigned threads, const std::vector<bench::SweepCell> &cells,
-           std::vector<bench::CellResult> &results)
+timedSweep(unsigned threads, const std::vector<farm::SweepCell> &cells,
+           std::vector<farm::CellResult> &results)
 {
     const auto start = std::chrono::steady_clock::now();
-    bench::SweepRunner runner(threads);
+    farm::SweepRunner runner(threads);
     results = runner.run(cells);
     const auto stop = std::chrono::steady_clock::now();
     return std::chrono::duration<double>(stop - start).count();
@@ -88,12 +88,12 @@ runSweep(const Options &options)
         "within a cell. Simulated results are bit-identical to the "
         "serial run.");
 
-    std::vector<bench::CellResult> serial;
+    std::vector<farm::CellResult> serial;
     double serial_wall = 0.0;
     if (compare || threads <= 1)
         serial_wall = timedSweep(1, cells, serial);
 
-    std::vector<bench::CellResult> parallel;
+    std::vector<farm::CellResult> parallel;
     double parallel_wall = 0.0;
     if (threads > 1) {
         parallel_wall = timedSweep(threads, cells, parallel);
@@ -121,12 +121,12 @@ runSweep(const Options &options)
     // instead of replaying the prefix, and verify the shortcut is
     // invisible in the simulated results.
     const u64 warm_refs = options.getU64("warm_refs", 0);
-    bench::WarmReport warm_report;
+    farm::WarmReport warm_report;
     if (warm_refs > 0) {
         warm_report.warmRefs = warm_refs;
         warm_report.coldWallSeconds = parallel_wall;
 
-        std::vector<bench::SweepCell> warm_cells = cells;
+        std::vector<farm::SweepCell> warm_cells = cells;
         const auto build_start = std::chrono::steady_clock::now();
         std::map<std::pair<std::string, std::string>,
                  std::shared_ptr<const snap::Snapshot>>
@@ -134,7 +134,7 @@ runSweep(const Options &options)
         for (auto &cell : warm_cells) {
             auto &image = images[{cell.model, cell.workload}];
             if (!image)
-                image = bench::SweepRunner::buildWarmImage(cell);
+                image = farm::SweepRunner::buildWarmImage(cell);
             cell.warmImage = image;
         }
         const auto build_stop = std::chrono::steady_clock::now();
@@ -143,7 +143,7 @@ runSweep(const Options &options)
             std::chrono::duration<double>(build_stop - build_start)
                 .count();
 
-        std::vector<bench::CellResult> warm;
+        std::vector<farm::CellResult> warm;
         warm_report.warmWallSeconds = timedSweep(threads, warm_cells, warm);
         for (std::size_t i = 0; i < cells.size(); ++i) {
             if (warm[i].statsDump != parallel[i].statsDump ||
@@ -163,7 +163,7 @@ runSweep(const Options &options)
                      "Mrefs/s", "cell wall (ms)"});
     std::string last_model;
     for (const auto &model : bench::standardModels(options)) {
-        for (const auto &[name, factory] : bench::standardStreams()) {
+        for (const auto &[name, factory] : farm::standardStreams()) {
             u64 refs = 0, cycles = 0, count = 0;
             double wall = 0.0;
             for (const auto &cell : parallel) {

@@ -1,22 +1,28 @@
 /**
  * @file
- * The parallel sweep driver: (model x workload x seed) cells over the
- * work-stealing pool.
+ * The sweep campaign abstraction: (model x workload x seed) cells with
+ * stable identities, sliced execution, and the thread-pool runner.
  *
- * Each cell owns a complete core::System -- its VmState, kernel and
- * cycle account live inside the System object -- so cells share no
- * mutable state and run on any thread. Results are written into a
- * slot indexed by cell position, and every cell draws from its own
- * Rng seeded by the cell's seed, so a sweep's output (including the
- * full stats dump) is bit-identical whatever the thread count.
+ * Promoted from bench/sweep_runner.hh so the multi-process farm
+ * (src/farm/coordinator.hh), bench_sweep and bench_snap all share one
+ * campaign/cell layer. Each cell owns a complete core::System -- its
+ * VmState, kernel and cycle account live inside the System object --
+ * so cells share no mutable state and run on any thread *or process*.
+ * Every cell draws from its own Rng seeded by the cell's seed, so a
+ * campaign's output (including the full stats dump) is bit-identical
+ * whatever the thread count, worker-process count or kill schedule.
+ *
+ * Cells carry stable ids: results are merged by id, never by
+ * position, so a farm retry or migrated resume cannot double-count a
+ * reassigned cell. Campaign construction asserts id uniqueness.
  *
  * Wall-clock time is the only nondeterministic field; it feeds the
- * refs/sec throughput report and the BENCH_sweep.json perf artifact,
+ * refs/sec throughput report and the BENCH_*.json perf artifacts,
  * never the simulated results.
  */
 
-#ifndef SASOS_BENCH_SWEEP_RUNNER_HH
-#define SASOS_BENCH_SWEEP_RUNNER_HH
+#ifndef SASOS_FARM_CAMPAIGN_HH
+#define SASOS_FARM_CAMPAIGN_HH
 
 #include <chrono>
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -37,16 +44,23 @@
 #include "snap/snapshot.hh"
 #include "workload/address_stream.hh"
 
-namespace sasos::bench
+namespace sasos::farm
 {
 
 /** Factory for a cell's reference stream over its heap segment. */
 using StreamFactory = std::function<std::unique_ptr<wl::AddressStream>(
     vm::VAddr base, u64 pages, u64 seed)>;
 
-/** One independent simulation cell of a sweep. */
+/** Sentinel: the campaign assigns this cell its position as its id. */
+constexpr u64 kAutoCellId = ~u64{0};
+
+/** One independent simulation cell of a sweep campaign. */
 struct SweepCell
 {
+    /** Stable identity within a campaign; results, retries and
+     * checkpoint hand-offs are keyed by it. kAutoCellId takes the
+     * cell's campaign position. */
+    u64 id = kAutoCellId;
     std::string model;
     std::string workload;
     u64 seed = 0;
@@ -75,10 +89,65 @@ struct SweepCell
     /// @}
 };
 
+/**
+ * A validated set of cells. Construction resolves kAutoCellId cells
+ * to their position and asserts that every id is unique -- the
+ * build-time guard that makes id-keyed retry/dedup sound. Duplicate
+ * ids are a SASOS_FATAL (user error in the campaign builder).
+ */
+class Campaign
+{
+  public:
+    Campaign() = default;
+
+    explicit Campaign(std::vector<SweepCell> cells)
+        : cells_(std::move(cells))
+    {
+        for (std::size_t i = 0; i < cells_.size(); ++i) {
+            if (cells_[i].id == kAutoCellId)
+                cells_[i].id = i;
+        }
+        for (std::size_t i = 0; i < cells_.size(); ++i) {
+            const auto [it, inserted] = index_.emplace(cells_[i].id, i);
+            if (!inserted)
+                SASOS_FATAL("campaign cells ", it->second, " and ", i,
+                            " share id ", cells_[i].id,
+                            "; cell ids must be unique");
+        }
+    }
+
+    const std::vector<SweepCell> &cells() const { return cells_; }
+    std::size_t size() const { return cells_.size(); }
+    bool empty() const { return cells_.empty(); }
+
+    /** The cell with this id; null when the id is unknown. */
+    const SweepCell *
+    byId(u64 id) const
+    {
+        const auto it = index_.find(id);
+        return it == index_.end() ? nullptr : &cells_[it->second];
+    }
+
+    /** Campaign position of this id; fatal when unknown. */
+    std::size_t
+    indexOf(u64 id) const
+    {
+        const auto it = index_.find(id);
+        if (it == index_.end())
+            SASOS_FATAL("campaign has no cell with id ", id);
+        return it->second;
+    }
+
+  private:
+    std::vector<SweepCell> cells_;
+    std::map<u64, std::size_t> index_;
+};
+
 /** What one cell produced. Everything except the wall-clock fields is
  * deterministic for a given cell definition. */
 struct CellResult
 {
+    u64 id = 0;
     std::string model;
     std::string workload;
     u64 seed = 0;
@@ -92,7 +161,171 @@ struct CellResult
     double refsPerSec = 0.0;
 };
 
-/** Runs sweep cells across a thread pool, deterministically. */
+/** The cells' standard single-domain setup: one app domain with one
+ * read-write heap segment, switched in.
+ * @return the heap base the cell's streams range over. */
+inline vm::VAddr
+setupCell(core::System &sys, const SweepCell &cell)
+{
+    const os::DomainId app = sys.kernel().createDomain("app");
+    const vm::SegmentId seg = sys.kernel().createSegment("heap", cell.pages);
+    sys.kernel().attach(app, seg, vm::Access::ReadWrite);
+    sys.kernel().switchTo(app);
+    return sys.state().segments.find(seg)->base();
+}
+
+/**
+ * One cell's in-progress execution: the System, Rng and stream plus
+ * the progress tally, steppable in slices. Running a cell in any
+ * slicing is bit-identical to one straight run (the property the
+ * snapshot resume oracle pins), which is what lets a farm worker
+ * checkpoint mid-cell and any other worker resume the image.
+ *
+ * Cold construction replays the warm prefix (or restores the shared
+ * warm image) exactly as the serial runner does; kForRestore skips
+ * all of that and only builds objects of the right shape for a
+ * checkpoint overlay.
+ */
+class CellExecution
+{
+  public:
+    struct ForRestore
+    {
+    };
+    static constexpr ForRestore kForRestore{};
+
+    /** Cold start. @param tid logical trace thread-id stamped on the
+     * cell's events; keeps merged traces deterministic whatever
+     * worker ran the cell. */
+    CellExecution(const SweepCell &cell, u32 tid)
+        : CellExecution(cell, tid, false)
+    {
+    }
+
+    /** Shape-only construction for checkpoint overlay via resume(). */
+    CellExecution(const SweepCell &cell, u32 tid, ForRestore)
+        : CellExecution(cell, tid, true)
+    {
+    }
+
+    const SweepCell &cell() const { return *cell_; }
+    u64 refsDone() const { return refsDone_; }
+    u64 completed() const { return completed_; }
+    u64 failed() const { return failed_; }
+    bool done() const { return refsDone_ >= cell_->references; }
+    u64 remaining() const { return cell_->references - refsDone_; }
+
+    /** Issue up to n further references (clamped to the target). */
+    void
+    step(u64 n)
+    {
+        if (n > remaining())
+            n = remaining();
+        if (n == 0)
+            return;
+        const core::RunResult run =
+            sys_.run(*stream_, n, *rng_, cell_->type);
+        completed_ += run.completed;
+        failed_ += run.failed;
+        refsDone_ += n;
+    }
+
+    /** Seal the execution state (System + Rng + stream) into an
+     * image any same-cell CellExecution can resume. The progress
+     * tally travels beside the image, not inside it. */
+    snap::Snapshot
+    checkpoint() const
+    {
+        snap::Snapshotter snapper;
+        snapper.add(sys_);
+        snapper.add(*rng_);
+        snapper.add(*stream_);
+        return snapper.finish();
+    }
+
+    /** Overlay a checkpoint of the same cell onto this execution. */
+    void
+    resume(const snap::Snapshot &image, u64 refs_done, u64 completed,
+           u64 failed)
+    {
+        snap::Restorer restorer(image);
+        restorer.restore(sys_);
+        restorer.restore(*rng_);
+        restorer.restore(*stream_);
+        restorer.finish();
+        refsDone_ = refs_done;
+        completed_ = completed;
+        failed_ = failed;
+    }
+
+    /** The cell's deterministic result plus this execution's
+     * wall-clock share. Call once the cell is done. */
+    CellResult
+    finish()
+    {
+        SASOS_ASSERT(done(), "cell ", cell_->id, " finished early: ",
+                     refsDone_, " of ", cell_->references, " references");
+        CellResult result;
+        result.id = cell_->id;
+        result.model = cell_->model;
+        result.workload = cell_->workload;
+        result.seed = cell_->seed;
+        result.references = cell_->references;
+        result.completed = completed_;
+        result.failed = failed_;
+        result.simCycles = sys_.cycles().count();
+        std::ostringstream dump;
+        sys_.dumpStats(dump);
+        result.statsDump = dump.str();
+        result.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        result.refsPerSec =
+            result.wallSeconds > 0.0
+                ? static_cast<double>(cell_->references) /
+                      result.wallSeconds
+                : 0.0;
+        return result;
+    }
+
+  private:
+    CellExecution(const SweepCell &cell, u32 tid, bool for_restore)
+        : cell_(&cell), sys_(cell.config)
+    {
+        obs::setThreadId(tid);
+        start_ = std::chrono::steady_clock::now();
+        const vm::VAddr base = setupCell(sys_, cell);
+        if (!for_restore && cell.warmRefs) {
+            if (cell.warmImage) {
+                snap::Restorer restorer(*cell.warmImage);
+                restorer.restore(sys_);
+                restorer.finish();
+            } else {
+                Rng warm_rng(cell.warmSeed);
+                std::unique_ptr<wl::AddressStream> warm_stream =
+                    cell.makeStream(base, cell.pages, cell.warmSeed);
+                sys_.run(*warm_stream, cell.warmRefs, warm_rng, cell.type);
+            }
+        }
+        // The continuation re-seeds from the cell's own seed in both
+        // the cold and warm paths, so the restored prefix is
+        // indistinguishable from the replayed one.
+        rng_ = std::make_unique<Rng>(cell.seed);
+        stream_ = cell.makeStream(base, cell.pages, cell.seed);
+    }
+
+    const SweepCell *cell_;
+    core::System sys_;
+    std::unique_ptr<Rng> rng_;
+    std::unique_ptr<wl::AddressStream> stream_;
+    u64 refsDone_ = 0;
+    u64 completed_ = 0;
+    u64 failed_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Runs campaign cells across a thread pool, deterministically. */
 class SweepRunner
 {
   public:
@@ -100,20 +333,6 @@ class SweepRunner
     explicit SweepRunner(unsigned threads) : pool_(threads) {}
 
     unsigned threadCount() const { return pool_.threadCount(); }
-
-    /** The sweep cells' standard single-domain setup: one app domain
-     * with one read-write heap segment, switched in.
-     * @return the heap base the cell's streams range over. */
-    static vm::VAddr
-    setupCell(core::System &sys, const SweepCell &cell)
-    {
-        const os::DomainId app = sys.kernel().createDomain("app");
-        const vm::SegmentId seg =
-            sys.kernel().createSegment("heap", cell.pages);
-        sys.kernel().attach(app, seg, vm::Access::ReadWrite);
-        sys.kernel().switchTo(app);
-        return sys.state().segments.find(seg)->base();
-    }
 
     /** Replay a cell's warm-up prefix live and seal the result into
      * the prefix image its whole sweep family shares. */
@@ -131,71 +350,34 @@ class SweepRunner
         return std::make_shared<snap::Snapshot>(snapper.finish());
     }
 
-    /** Run one cell start to finish on the calling thread.
-     * @param tid logical trace thread-id stamped on the cell's
-     * events (cell index + 1); keeps merged traces deterministic
-     * whatever worker ran the cell. */
+    /** Run one cell start to finish on the calling thread. */
     static CellResult
     runCell(const SweepCell &cell, u32 tid = 0)
     {
-        obs::setThreadId(tid);
-        const auto start = std::chrono::steady_clock::now();
-        core::System sys(cell.config);
-        const vm::VAddr base = setupCell(sys, cell);
-
-        if (cell.warmRefs) {
-            if (cell.warmImage) {
-                snap::Restorer restorer(*cell.warmImage);
-                restorer.restore(sys);
-                restorer.finish();
-            } else {
-                Rng warm_rng(cell.warmSeed);
-                std::unique_ptr<wl::AddressStream> warm_stream =
-                    cell.makeStream(base, cell.pages, cell.warmSeed);
-                sys.run(*warm_stream, cell.warmRefs, warm_rng, cell.type);
-            }
-        }
-
-        // The continuation re-seeds from the cell's own seed in both
-        // the cold and warm paths, so the restored prefix is
-        // indistinguishable from the replayed one.
-        Rng rng(cell.seed);
-        std::unique_ptr<wl::AddressStream> stream =
-            cell.makeStream(base, cell.pages, cell.seed);
-        const core::RunResult run =
-            sys.run(*stream, cell.references, rng, cell.type);
-        const auto stop = std::chrono::steady_clock::now();
-
-        CellResult result;
-        result.model = cell.model;
-        result.workload = cell.workload;
-        result.seed = cell.seed;
-        result.references = cell.references;
-        result.completed = run.completed;
-        result.failed = run.failed;
-        result.simCycles = sys.cycles().count();
-        std::ostringstream dump;
-        sys.dumpStats(dump);
-        result.statsDump = dump.str();
-        result.wallSeconds =
-            std::chrono::duration<double>(stop - start).count();
-        result.refsPerSec = result.wallSeconds > 0.0
-                                ? static_cast<double>(cell.references) /
-                                      result.wallSeconds
-                                : 0.0;
-        return result;
+        CellExecution exec(cell, tid);
+        exec.step(cell.references);
+        return exec.finish();
     }
 
     /** Run every cell; results come back in cell order regardless of
-     * which thread ran what. */
+     * which thread ran what. The trace tid is the cell's id + 1. */
+    std::vector<CellResult>
+    run(const Campaign &campaign)
+    {
+        const std::vector<SweepCell> &cells = campaign.cells();
+        std::vector<CellResult> results(cells.size());
+        parallelFor(pool_, cells.size(), [&](u64 i) {
+            results[i] =
+                runCell(cells[i], static_cast<u32>(cells[i].id) + 1);
+        });
+        return results;
+    }
+
+    /** Convenience: validate loose cells (positional ids) and run. */
     std::vector<CellResult>
     run(const std::vector<SweepCell> &cells)
     {
-        std::vector<CellResult> results(cells.size());
-        parallelFor(pool_, cells.size(), [&](u64 i) {
-            results[i] = runCell(cells[i], static_cast<u32>(i) + 1);
-        });
-        return results;
+        return run(Campaign(cells));
     }
 
   private:
@@ -383,7 +565,7 @@ utcDate()
  *     "trajectory": [ { "date", "commit", "threads", "refsPerSec" } ],
  *     "warm": { "warmRefs", "images", "coldWallSeconds",
  *               "buildWallSeconds", "warmWallSeconds", "speedup" },
- *     "cells": [ { "model", "workload", "seed", "references",
+ *     "cells": [ { "id", "model", "workload", "seed", "references",
  *                  "completed", "failed", "simCycles",
  *                  "simCyclesPerRef", "wallSeconds", "refsPerSec" } ] }
  *
@@ -464,6 +646,7 @@ writeSweepJson(const std::string &path,
     json.beginArray();
     for (const CellResult &cell : results) {
         json.beginObject();
+        json.member("id", cell.id);
         json.member("model", cell.model);
         json.member("workload", cell.workload);
         json.member("seed", cell.seed);
@@ -513,6 +696,6 @@ standardStreams()
     };
 }
 
-} // namespace sasos::bench
+} // namespace sasos::farm
 
-#endif // SASOS_BENCH_SWEEP_RUNNER_HH
+#endif // SASOS_FARM_CAMPAIGN_HH

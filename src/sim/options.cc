@@ -148,6 +148,13 @@ Options::helpText()
            "                         (default: sasos_trace.json)\n"
            "  trace_buf=N            per-thread ring capacity, events\n"
            "  stats_out=FILE         stats export (.json or .csv)\n"
+           "  farm_workers=N         sweep-farm worker processes\n"
+           "  farm_checkpoint_every=N  refs between worker checkpoints\n"
+           "                         (0 = no mid-cell checkpoints)\n"
+           "  farm_kill_rate=P       chaos: P(one SIGKILL) per cell\n"
+           "  farm_migrate_rate=P    chaos: P(preempt+migrate) per cell\n"
+           "  farm_kill_seed=N       chaos schedule seed\n"
+           "  farm_timeout=S farm_max_attempts=N   farm watchdog/retry\n"
            "  cost.<name>=<cycles>   cost-model override\n";
 }
 

@@ -67,6 +67,50 @@ fnv1a(const u8 *data, std::size_t size)
     return hash;
 }
 
+/**
+ * Non-fatal envelope validation, for images that arrive over an
+ * untrusted transport (the sweep farm's worker pipes) and must be
+ * rejected *without* ending the receiving process: a coordinator
+ * preflights every checkpoint image before accepting it as a resume
+ * point and again before handing it to another worker. Returns an
+ * empty string when the envelope is well-formed, else a description
+ * of the first violation. Mirrors the SnapReader constructor's
+ * checks exactly; payload sections are still validated by the
+ * restore-side cross-checks.
+ */
+inline std::string
+preflightEnvelope(const std::vector<u8> &image)
+{
+    const auto readLe32 = [](const u8 *in) {
+        u32 v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<u32>(in[i]) << (8 * i);
+        return v;
+    };
+    const auto readLe64 = [](const u8 *in) {
+        u64 v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<u64>(in[i]) << (8 * i);
+        return v;
+    };
+    if (image.size() > kMaxImageBytes)
+        return "image larger than the maximum";
+    if (image.size() < kHeaderBytes)
+        return "image smaller than the header";
+    if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
+        return "bad magic";
+    if (readLe32(image.data() + 8) != kFormatVersion)
+        return "unsupported format version";
+    if (readLe32(image.data() + 12) != 0)
+        return "nonzero reserved header field";
+    if (readLe64(image.data() + 16) != image.size() - kHeaderBytes)
+        return "length field does not match the payload";
+    if (readLe64(image.data() + 24) !=
+        fnv1a(image.data() + kHeaderBytes, image.size() - kHeaderBytes))
+        return "checksum mismatch";
+    return {};
+}
+
 /** Appends explicitly-encoded fields to a payload buffer; seal()
  * wraps it in the checksummed envelope. */
 class SnapWriter

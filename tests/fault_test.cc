@@ -17,7 +17,7 @@
 
 #include "fault/fault.hh"
 #include "fault/oracle.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 #include "workload/address_stream.hh"
 
 using namespace sasos;
@@ -159,7 +159,7 @@ TEST(FaultSystemTest, FaultyRunsAreBitIdenticalAcrossRuns)
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
           core::ModelKind::Conventional, core::ModelKind::Pkey}) {
-        bench::SweepCell cell;
+        farm::SweepCell cell;
         cell.model = "m";
         cell.workload = "zipf";
         cell.seed = 3;
@@ -172,8 +172,8 @@ TEST(FaultSystemTest, FaultyRunsAreBitIdenticalAcrossRuns)
             return std::make_unique<wl::ZipfPageStream>(base, pages, 0.8,
                                                         seed);
         };
-        const bench::CellResult first = bench::SweepRunner::runCell(cell);
-        const bench::CellResult second = bench::SweepRunner::runCell(cell);
+        const farm::CellResult first = farm::SweepRunner::runCell(cell);
+        const farm::CellResult second = farm::SweepRunner::runCell(cell);
         EXPECT_EQ(first.statsDump, second.statsDump);
         EXPECT_EQ(first.simCycles, second.simCycles);
         // The campaign actually injected something.
@@ -186,12 +186,12 @@ TEST(FaultSystemTest, FaultyRunsAreBitIdenticalAcrossRuns)
  * the pool size. */
 TEST(FaultSystemTest, FaultySweepIsThreadCountIndependent)
 {
-    std::vector<bench::SweepCell> cells;
+    std::vector<farm::SweepCell> cells;
     for (core::ModelKind kind :
          {core::ModelKind::Plb, core::ModelKind::PageGroup,
           core::ModelKind::Conventional, core::ModelKind::Pkey}) {
         for (u64 seed = 1; seed <= 3; ++seed) {
-            bench::SweepCell cell;
+            farm::SweepCell cell;
             cell.model = core::toString(kind);
             cell.workload = "uniform";
             cell.seed = seed;
@@ -208,10 +208,10 @@ TEST(FaultSystemTest, FaultySweepIsThreadCountIndependent)
             cells.push_back(std::move(cell));
         }
     }
-    bench::SweepRunner serial(1);
-    bench::SweepRunner pooled(4);
-    const std::vector<bench::CellResult> one = serial.run(cells);
-    const std::vector<bench::CellResult> four = pooled.run(cells);
+    farm::SweepRunner serial(1);
+    farm::SweepRunner pooled(4);
+    const std::vector<farm::CellResult> one = serial.run(cells);
+    const std::vector<farm::CellResult> four = pooled.run(cells);
     ASSERT_EQ(one.size(), four.size());
     for (std::size_t i = 0; i < one.size(); ++i) {
         EXPECT_EQ(one[i].statsDump, four[i].statsDump)

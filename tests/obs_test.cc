@@ -30,7 +30,7 @@
 #include "obs/perfetto.hh"
 #include "obs/tracer.hh"
 #include "sasos.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 #include "workload/address_stream.hh"
 
 using namespace sasos;
@@ -317,13 +317,13 @@ countKind(const std::vector<obs::Event> &events, obs::EventKind kind)
     return n;
 }
 
-std::vector<bench::SweepCell>
+std::vector<farm::SweepCell>
 smallSweep()
 {
-    std::vector<bench::SweepCell> cells;
+    std::vector<farm::SweepCell> cells;
     for (const char *model : {"plb", "pg", "conv"}) {
         for (u64 seed = 1; seed <= 2; ++seed) {
-            bench::SweepCell cell;
+            farm::SweepCell cell;
             cell.model = model;
             cell.workload = "zipf";
             cell.seed = seed;
@@ -417,11 +417,11 @@ TEST(ObsRingTest, DisabledEmitMacroIsInert)
 TEST(ObsMergeTest, SweepTraceIsIdenticalAcrossThreadCounts)
 {
     TracingGuard guard;
-    const std::vector<bench::SweepCell> cells = smallSweep();
+    const std::vector<farm::SweepCell> cells = smallSweep();
 
     auto traceSweep = [&](unsigned threads) {
         obs::startTracing({.bufferEvents = u64{1} << 18});
-        bench::SweepRunner runner(threads);
+        farm::SweepRunner runner(threads);
         runner.run(cells);
         return obs::stopTracing();
     };

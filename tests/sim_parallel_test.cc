@@ -17,7 +17,7 @@
 
 #include "bench_common.hh"
 #include "sim/parallel.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 #include "workload/address_stream.hh"
 
 using namespace sasos;
@@ -97,14 +97,14 @@ namespace
 {
 
 /** The acceptance sweep: 3 models x 4 seeds, one zipf stream each. */
-std::vector<bench::SweepCell>
+std::vector<farm::SweepCell>
 testCells()
 {
     Options options;
-    std::vector<bench::SweepCell> cells;
+    std::vector<farm::SweepCell> cells;
     for (const auto &model : bench::standardModels(options)) {
         for (u64 seed = 1; seed <= 4; ++seed) {
-            bench::SweepCell cell;
+            farm::SweepCell cell;
             cell.model = model.label;
             cell.workload = "zipf";
             cell.seed = seed;
@@ -126,8 +126,8 @@ testCells()
 TEST(SweepRunnerTest, ParallelSweepIsBitIdenticalToSerial)
 {
     const auto cells = testCells();
-    const auto serial = bench::SweepRunner(1).run(cells);
-    const auto parallel = bench::SweepRunner(4).run(cells);
+    const auto serial = farm::SweepRunner(1).run(cells);
+    const auto parallel = farm::SweepRunner(4).run(cells);
     ASSERT_EQ(serial.size(), cells.size());
     ASSERT_EQ(parallel.size(), cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -147,7 +147,7 @@ TEST(SweepRunnerTest, ParallelSweepIsBitIdenticalToSerial)
 TEST(SweepRunnerTest, DistinctSeedsProduceDistinctStreams)
 {
     const auto cells = testCells();
-    const auto results = bench::SweepRunner(1).run(cells);
+    const auto results = farm::SweepRunner(1).run(cells);
     // Same model, different seed: the zipf page shuffle differs, so
     // the simulated cycle totals should too (equality would suggest
     // the seed is ignored).

@@ -35,7 +35,7 @@
 #include "scenario/runner.hh"
 #include "scenario/scenario.hh"
 #include "snap/snapshot.hh"
-#include "sweep_runner.hh"
+#include "farm/campaign.hh"
 #include "workload/address_stream.hh"
 
 using namespace sasos;
@@ -895,7 +895,7 @@ TEST(SnapStatsTest, RestoredCountersMatchEventStream)
 
 TEST(SnapSweepTest, WarmStartIsBitIdenticalAcrossSeeds)
 {
-    bench::SweepCell cell;
+    farm::SweepCell cell;
     cell.model = "plb";
     cell.workload = "zipf";
     cell.config = core::SystemConfig::plbSystem();
@@ -908,13 +908,13 @@ TEST(SnapSweepTest, WarmStartIsBitIdenticalAcrossSeeds)
                                                     seed);
     };
 
-    const auto image = bench::SweepRunner::buildWarmImage(cell);
+    const auto image = farm::SweepRunner::buildWarmImage(cell);
     for (u64 seed = 1; seed <= 3; ++seed) {
         cell.seed = seed;
         cell.warmImage = nullptr;
-        const bench::CellResult cold = bench::SweepRunner::runCell(cell);
+        const farm::CellResult cold = farm::SweepRunner::runCell(cell);
         cell.warmImage = image;
-        const bench::CellResult warm = bench::SweepRunner::runCell(cell);
+        const farm::CellResult warm = farm::SweepRunner::runCell(cell);
         EXPECT_EQ(cold.statsDump, warm.statsDump) << "seed " << seed;
         EXPECT_EQ(cold.simCycles, warm.simCycles) << "seed " << seed;
         EXPECT_EQ(cold.completed, warm.completed) << "seed " << seed;
