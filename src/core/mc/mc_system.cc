@@ -202,13 +202,29 @@ McConfig::fromOptions(const Options &options)
     McConfig config;
     config.system =
         SystemConfig::fromOptions(options, SystemConfig::plbSystem());
-    config.cores =
-        static_cast<unsigned>(options.getU64("cores", config.cores));
+    // Bounds are fatal, not clamped: an absurd knob value is a typo,
+    // and silently running something else poisons sweep results.
+    constexpr u64 kMaxSteps = u64{1} << 20;
+    const u64 cores = options.getU64("cores", config.cores);
+    if (cores < 1 || cores > 1024)
+        SASOS_FATAL("cores must be in [1, 1024], got ", cores);
+    config.cores = static_cast<unsigned>(cores);
     config.scheduleSeed =
         options.getU64("schedule_seed", config.scheduleSeed);
     config.quantum = options.getU64("mc_quantum", config.quantum);
+    if (config.quantum < 1 || config.quantum > kMaxSteps)
+        SASOS_FATAL("mc_quantum must be in [1, ", kMaxSteps, "], got ",
+                    config.quantum);
     config.ipiDelaySteps =
         options.getU64("mc_ipi_delay", config.ipiDelaySteps);
+    if (config.ipiDelaySteps > kMaxSteps)
+        SASOS_FATAL("mc_ipi_delay must be at most ", kMaxSteps, ", got ",
+                    config.ipiDelaySteps);
+    config.coalesceWindow =
+        options.getU64("mc_coalesce", config.coalesceWindow);
+    if (config.coalesceWindow > kMaxSteps)
+        SASOS_FATAL("mc_coalesce must be at most ", kMaxSteps, ", got ",
+                    config.coalesceWindow);
     config.workload.seed = config.system.seed;
     config.workload.stepsPerCore =
         options.getU64("refs", config.workload.stepsPerCore);
@@ -232,6 +248,8 @@ McSystem::McSystem(const McConfig &config)
                  "broadcast maintenance operations"),
       ipisSent(&mcGroup, "ipisSent", "inter-processor interrupts sent"),
       acks(&mcGroup, "acks", "inter-processor interrupts taken"),
+      coalescedAcks(&mcGroup, "coalescedAcks",
+                    "IPIs delivered piggy-backed in another dispatch"),
       staleWindowRefs(&mcGroup, "staleWindowRefs",
                       "references issued with an unacked IPI pending"),
       staleGrants(&mcGroup, "staleGrants",
@@ -309,6 +327,20 @@ McSystem::McSystem(const McConfig &config)
     }
     setupWorkload();
     synchronous_ = false;
+    for (unsigned i = 0; i < cores_.size(); ++i)
+        refreshRunnable(i);
+}
+
+void
+McSystem::refreshRunnable(unsigned ci)
+{
+    const Core &c = cores_[ci];
+    const bool runnable =
+        !c.inbox.empty() || (c.barriers == 0 && !c.script->done());
+    if (runnable)
+        runnable_.insert(ci);
+    else
+        runnable_.erase(ci);
 }
 
 McSystem::~McSystem() = default;
@@ -427,15 +459,17 @@ McSystem::broadcastOp(std::function<void(os::ProtectionModel &)> apply,
             continue;
         cores_[i].inbox.emplace_back(
             op, cores_[i].stepsExecuted + config_.ipiDelaySteps);
+        refreshRunnable(i);
     }
     ++cores_[current_].barriers;
+    refreshRunnable(current_);
 }
 
 u64
 McSystem::purgeStale(Core &c, const RemoteOp &op)
 {
     if (c.plb != nullptr)
-        return c.plb->plb().purgeRange(op.domain, op.first, op.pages)
+        return c.plb->protPurgeRange(op.domain, op.first, op.pages)
             .invalidated;
     if (c.conv != nullptr) {
         std::optional<os::DomainId> asid = op.domain;
@@ -471,7 +505,7 @@ McSystem::purgeStale(Core &c, const RemoteOp &op)
 }
 
 void
-McSystem::processAck(Core &c, const RemoteOp &op)
+McSystem::processAck(Core &c, const RemoteOp &op, bool charge_dispatch)
 {
     const u64 stale = purgeStale(c, op);
     // The purge went straight at the core's structures; its batch memo
@@ -479,7 +513,12 @@ McSystem::processAck(Core &c, const RemoteOp &op)
     c.model->invalidateBatchMemo();
     staleEntriesPurged += stale;
     ackStaleEntries.sample(stale);
-    account_.charge(CostCategory::Trap, config_.system.costs.ipiDispatch);
+    if (charge_dispatch) {
+        account_.charge(CostCategory::Trap,
+                        config_.system.costs.ipiDispatch);
+    } else {
+        ++coalescedAcks;
+    }
     op.apply(*c.model);
     ++acks;
     SASOS_OBS_EVENT(obs::EventKind::ShootdownAck, account_.total().count(),
@@ -491,9 +530,11 @@ McSystem::processAck(Core &c, const RemoteOp &op)
                  op.shootdownId);
     SASOS_ASSERT(it->pendingAcks > 0, "shootdown over-acked");
     if (--it->pendingAcks == 0) {
-        Core &issuer = cores_[it->issuer];
+        const unsigned issuer_index = it->issuer;
+        Core &issuer = cores_[issuer_index];
         SASOS_ASSERT(issuer.barriers > 0, "issuer not at a barrier");
         --issuer.barriers;
+        refreshRunnable(issuer_index);
         const u64 latency = account_.total().count() - it->issueCycle;
         shootdownLatency.sample(latency);
         shootdownStaleRefs.sample(it->staleRefs);
@@ -514,7 +555,21 @@ McSystem::deliverDue(Core &c)
     while (!c.inbox.empty() && c.inbox.front().second <= c.stepsExecuted) {
         const std::shared_ptr<const RemoteOp> op = c.inbox.front().first;
         c.inbox.pop_front();
-        processAck(c, *op);
+        processAck(c, *op, /*charge_dispatch=*/true);
+        if (config_.coalesceWindow == 0)
+            continue;
+        // One interrupt was just taken; ops due within the coalescing
+        // window ride the same dispatch. Each still purges, applies
+        // and acks individually -- the delivered-purge set is exactly
+        // the uncoalesced one -- but skips the dispatch trap charge.
+        // Taking them *now* shortens their remaining stale window.
+        const u64 horizon = c.stepsExecuted + config_.coalesceWindow;
+        while (!c.inbox.empty() && c.inbox.front().second <= horizon) {
+            const std::shared_ptr<const RemoteOp> merged =
+                c.inbox.front().first;
+            c.inbox.pop_front();
+            processAck(c, *merged, /*charge_dispatch=*/false);
+        }
     }
 }
 
@@ -646,14 +701,16 @@ McSystem::runTurn(unsigned ci)
         }
     }
     c.cycles += account_.total().count() - before;
+    // The turn consumed script steps and drained due IPIs; re-derive
+    // this core's eligibility once (remote transitions were refreshed
+    // at their own mutation sites).
+    refreshRunnable(ci);
 }
 
 McResult
 McSystem::run(u64 max_slots)
 {
     SASOS_ASSERT(!done_, "the machine already ran to completion");
-    std::vector<unsigned> runnable;
-    runnable.reserve(cores_.size());
     u64 executed = 0;
     while (true) {
         // Partial runs stop only at quiescent points: once the slot
@@ -663,21 +720,21 @@ McSystem::run(u64 max_slots)
         // an uninterrupted one would be.
         if (executed >= max_slots && inflight_.empty())
             break;
-        runnable.clear();
-        for (unsigned i = 0; i < cores_.size(); ++i) {
-            const Core &c = cores_[i];
-            if (!c.inbox.empty() ||
-                (c.barriers == 0 && !c.script->done())) {
-                runnable.push_back(i);
-            }
-        }
-        if (runnable.empty()) {
+        // The runnable set is maintained incrementally at each
+        // inbox/barrier/script transition, so a slot costs O(active)
+        // rather than an O(cores) rescan -- the difference between a
+        // 4-core and a 1024-core machine late in a run, when most
+        // scripts are exhausted. The scratch copy preserves the exact
+        // ascending-index vector the rescan used to hand the schedule,
+        // so interleavings are bit-identical to the old bookkeeping.
+        if (runnable_.empty()) {
             done_ = true;
             break;
         }
+        runnableScratch_.assign(runnable_.begin(), runnable_.end());
         ++slots;
         ++executed;
-        runTurn(schedule_.pick(runnable));
+        runTurn(schedule_.pick(runnableScratch_));
     }
     obs::setThreadId(0);
     SASOS_ASSERT(inflight_.empty(), "run ended with shootdowns in flight");
@@ -694,6 +751,7 @@ McSystem::buildResult()
     result.kernelOps = kernelOps.value();
     result.shootdowns = shootdowns.value();
     result.acks = acks.value();
+    result.coalescedAcks = coalescedAcks.value();
     result.staleWindowRefs = staleWindowRefs.value();
     result.staleGrants = staleGrants.value();
     result.invariantViolations = invariantViolations.value();
@@ -724,7 +782,7 @@ vm::Access
 McSystem::hwRights(Core &c, os::DomainId domain, vm::Vpn vpn)
 {
     if (c.plb != nullptr) {
-        const auto match = c.plb->plb().peek(domain, vm::baseOf(vpn));
+        const auto match = c.plb->protPeek(domain, vm::baseOf(vpn));
         return match ? match->rights : vm::Access::None;
     }
     if (c.conv != nullptr) {
@@ -831,6 +889,11 @@ walkMcSignature(Sig &&sig, const McConfig &config)
     sig.field("wl.privateChurn", wl.privateChurn ? 1 : 0);
     sig.field("wl.zipfThetaBits", std::bit_cast<u64>(wl.zipfTheta));
     sig.field("wl.seed", wl.seed);
+    // Appended conditionally so pre-coalescing golden images (which
+    // end at wl.seed) still load for uncoalesced runs, while any
+    // coalesced/uncoalesced cross-load trips the field-name check.
+    if (config.coalesceWindow != 0)
+        sig.field("coalesceWindow", config.coalesceWindow);
 }
 
 struct McSignatureWriter
@@ -933,6 +996,9 @@ McSystem::load(snap::SnapReader &r)
     firstViolation_ = r.getString();
     statsRoot_.load(r);
     inflight_.clear();
+    runnable_.clear();
+    for (unsigned i = 0; i < cores_.size(); ++i)
+        refreshRunnable(i);
 }
 
 void

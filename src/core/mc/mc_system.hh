@@ -32,6 +32,7 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,16 @@ struct McConfig
     /** Steps a remote core executes before taking a pending IPI --
      * the stale-rights window (mc_ipi_delay=; 0 acks immediately). */
     u64 ipiDelaySteps = 6;
+    /**
+     * IPI coalescing window in steps (mc_coalesce=; 0 disables).
+     * When a core takes one due IPI, every further inbox entry due
+     * within the next `coalesceWindow` steps is delivered in the same
+     * interrupt: each op still purges/applies/acks individually (the
+     * delivered-purge set is exactly the uncoalesced one), but the
+     * piggy-backed ops skip the per-IPI dispatch trap charge. This is
+     * what keeps 64-1024-core shootdown storms tractable.
+     */
+    u64 coalesceWindow = 0;
     McWorkloadConfig workload;
     /** Map every segment page up front so no demand maps occur and
      * frame assignment is schedule-independent. */
@@ -83,7 +94,9 @@ struct McConfig
     u32 tidBase = 1;
 
     /** Build from cores=/schedule_seed=/mc_quantum=/mc_ipi_delay=/
-     * refs=/churn= plus the usual SystemConfig keys. */
+     * mc_coalesce=/refs=/churn= plus the usual SystemConfig keys.
+     * Bounds are validated fatally: cores in [1, 1024], mc_quantum in
+     * [1, 2^20], mc_ipi_delay and mc_coalesce at most 2^20. */
     static McConfig fromOptions(const Options &options);
 };
 
@@ -96,6 +109,8 @@ struct McResult
     u64 kernelOps = 0;
     u64 shootdowns = 0;
     u64 acks = 0;
+    /** Acks delivered piggy-backed inside another IPI's dispatch. */
+    u64 coalescedAcks = 0;
     /** References issued by a core with an unacked IPI pending. */
     u64 staleWindowRefs = 0;
     /** Stale-window references granted beyond canonical rights. */
@@ -235,9 +250,17 @@ class McSystem
                      vm::Vpn first, u64 pages,
                      std::optional<os::DomainId> domain);
     void runTurn(unsigned ci);
-    /** Ack every pending IPI whose delivery step has been reached. */
+    /** Ack every pending IPI whose delivery step has been reached,
+     * plus -- under a nonzero coalesce window -- those due within the
+     * window of a taken interrupt. */
     void deliverDue(Core &c);
-    void processAck(Core &c, const RemoteOp &op);
+    /** @param charge_dispatch false for a coalesced (piggy-backed)
+     * delivery, which skips the per-IPI dispatch trap charge. */
+    void processAck(Core &c, const RemoteOp &op, bool charge_dispatch);
+    /** Re-derive core `ci`'s membership in the runnable set. Called
+     * at every transition of the inputs (inbox, barriers, script), so
+     * run() never rescans all cores: bookkeeping is O(active). */
+    void refreshRunnable(unsigned ci);
     bool issueRef(Core &c, vm::VAddr va, vm::AccessType type);
     bool resolveAndRetry(Core &c, vm::VAddr va, vm::AccessType type,
                          os::AccessResult result);
@@ -266,6 +289,7 @@ class McSystem
     stats::Scalar shootdowns;
     stats::Scalar ipisSent;
     stats::Scalar acks;
+    stats::Scalar coalescedAcks;
     stats::Scalar staleWindowRefs;
     stats::Scalar staleGrants;
     stats::Scalar quiescentRefs;
@@ -294,6 +318,12 @@ class McSystem
     /** Setup mode: broadcasts apply to every core immediately. */
     bool synchronous_ = true;
     bool done_ = false;
+    /** Cores eligible for the next turn, maintained incrementally by
+     * refreshRunnable(). Ordered so the schedule draws over the same
+     * ascending core list the per-slot rescan used to build. */
+    std::set<unsigned> runnable_;
+    /** Per-slot scratch image of runnable_ handed to the schedule. */
+    std::vector<unsigned> runnableScratch_;
     std::vector<u8> quiescentOutcomes_;
     std::string firstViolation_;
 };

@@ -24,13 +24,19 @@ PlbSystem::PlbSystem(const SystemConfig &config, os::VmState &state,
       writebackTranslations(&statsGroup, "writebackTranslations",
                             "victim translations for VIVT writebacks"),
       config_(config), state_(state), account_(account),
-      plb_(config.plb, &statsGroup),
+      plb_(config.plb.clusters > 1
+               ? nullptr
+               : std::make_unique<hw::Plb>(config.plb, &statsGroup)),
+      clplb_(config.plb.clusters > 1
+                 ? std::make_unique<hw::ClusterPlb>(config.plb, &statsGroup)
+                 : nullptr),
       tlb_(config.tlb, &statsGroup, "tlb2"),
       mem_(config_, &statsGroup, account)
 {
     SASOS_ASSERT(config.tlb.kind == hw::TlbKind::TranslationOnly,
                  "the PLB system uses a translation-only TLB");
-    plbPageUniform_ = plb_.pageUniform();
+    plbPageUniform_ =
+        withEngine([](const auto &engine) { return engine.pageUniform(); });
 }
 
 void
@@ -44,6 +50,10 @@ PlbSystem::refillShift(os::DomainId domain, vm::Vpn vpn,
                        const vm::Segment *seg) const
 {
     (void)domain;
+    // The clustered engine shards by VPN range, so a super-page entry
+    // could straddle a bank boundary: refills stay page-grain.
+    if (clplb_ != nullptr)
+        return vm::kPageShift;
     if (!config_.superPagePlb || seg == nullptr ||
         !seg->isPowerOfTwoAligned()) {
         return vm::kPageShift;
@@ -69,7 +79,7 @@ PlbSystem::applyPerturbation(const fault::Perturbation &p)
 {
     Rng &rng = injector_->rng();
     if (p.evictProtection) {
-        plb_.evictOne(rng);
+        withEngine([&](auto &engine) { return engine.evictOne(rng); });
         SASOS_OBS_EVENT(obs::EventKind::PlbEvict, account_.total().count(),
                         0, 1);
     }
@@ -89,7 +99,7 @@ PlbSystem::applyPerturbation(const fault::Perturbation &p)
                         account_.total().count(), 0, 1);
     }
     if (p.flushProtection) {
-        plb_.purgeAll();
+        withEngine([](auto &engine) { return engine.purgeAll(); });
         SASOS_OBS_EVENT(obs::EventKind::ProtectionFlush,
                         account_.total().count(), 0, 0);
     }
@@ -123,7 +133,8 @@ PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
 
     // --- Protection side: PLB, refilled from the protection tables.
     vm::Access rights;
-    if (auto match = plb_.lookup(domain, va)) {
+    if (auto match = withEngine(
+            [&](auto &engine) { return engine.lookup(domain, va); })) {
         rights = match->rights;
         SASOS_OBS_EVENT(obs::EventKind::PlbHit, account_.total().count(),
                         va.raw(), domain);
@@ -138,7 +149,10 @@ PlbSystem::access(os::DomainId domain, vm::VAddr va, vm::AccessType type)
             ++superPageFills;
         else
             ++pageFills;
-        plb_.insert(domain, va, shift, rights);
+        withEngine([&](auto &engine) {
+            engine.insert(domain, va, shift, rights);
+            return 0;
+        });
         SASOS_OBS_EVENT(obs::EventKind::PlbFill, account_.total().count(),
                         va.raw(), static_cast<u64>(shift));
     }
@@ -215,14 +229,19 @@ PlbSystem::accessFast(os::DomainId domain, vm::VAddr va,
         // replacement touch -- without re-scanning the set.
         ++acc.plbLookups;
         ++acc.plbHits;
-        plb_.touchHit(memo_.loc);
+        if (clplb_ != nullptr)
+            clplb_->touchHit(memo_.vpn, memo_.loc);
+        else
+            plb_->touchHit(memo_.loc);
         rights = memo_.rights;
     } else {
         // From here on the memo describes a stale reference, and the
         // refill below may evict the entry it points at.
         memo_.valid = false;
         hw::AssocLoc loc;
-        if (auto match = plb_.lookup(domain, va, &loc)) {
+        if (auto match = withEngine([&](auto &engine) {
+                return engine.lookup(domain, va, &loc);
+            })) {
             rights = match->rights;
             if (plbPageUniform_) {
                 memo_.valid = true;
@@ -243,7 +262,10 @@ PlbSystem::accessFast(os::DomainId domain, vm::VAddr va,
             // The filled way is unknown without re-probing, so a fill
             // does not memoize; the next same-page reference's hit
             // establishes the memo.
-            plb_.insert(domain, va, shift, rights);
+            withEngine([&](auto &engine) {
+                engine.insert(domain, va, shift, rights);
+                return 0;
+            });
         }
     }
 
@@ -290,8 +312,15 @@ void
 PlbSystem::flushBatch(BatchAccum &acc)
 {
     account_.charge(CostCategory::Reference, acc.refCycles);
-    plb_.lookups += acc.plbLookups;
-    plb_.hits += acc.plbHits;
+    // Memo replays never reach a bank, so in clustered mode they fold
+    // into the cluster-level scalars (documented to exceed bank sums).
+    if (clplb_ != nullptr) {
+        clplb_->lookups += acc.plbLookups;
+        clplb_->hits += acc.plbHits;
+    } else {
+        plb_->lookups += acc.plbLookups;
+        plb_->hits += acc.plbHits;
+    }
     acc = {};
 }
 
@@ -336,7 +365,7 @@ PlbSystem::onDetach(os::DomainId domain, const vm::Segment &seg)
     // Worst case from the paper: inspect every PLB entry and drop
     // those for the (segment, domain) pair.
     memo_.valid = false;
-    const auto result = plb_.purgeRange(domain, seg.firstPage, seg.pages);
+    const auto result = protPurgeRange(domain, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
                result.invalidated * config_.costs.invalidateEntry);
@@ -355,13 +384,16 @@ PlbSystem::onSetPageRights(os::DomainId domain, vm::Vpn vpn,
     memo_.valid = false;
     const vm::VAddr va = vm::baseOf(vpn);
     const vm::Access effective = state_.effectiveRights(domain, vpn);
-    if (auto match = plb_.peek(domain, va)) {
-        if (match->sizeShift != vm::kPageShift) {
-            plb_.invalidateCovering(domain, va);
-            plb_.insert(domain, va, vm::kPageShift, effective);
-        } else {
-            plb_.updateRights(domain, va, effective);
-        }
+    if (auto match = protPeek(domain, va)) {
+        withEngine([&](auto &engine) {
+            if (match->sizeShift != vm::kPageShift) {
+                engine.invalidateCovering(domain, va);
+                engine.insert(domain, va, vm::kPageShift, effective);
+            } else {
+                engine.updateRights(domain, va, effective);
+            }
+            return 0;
+        });
         charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
     }
 }
@@ -373,7 +405,9 @@ PlbSystem::onSetPageRightsAllDomains(vm::Vpn vpn, vm::Access rights)
     // page, whatever domain it belongs to. The cost scales with the
     // PLB size (a scan), as the paper notes for such operations.
     memo_.valid = false;
-    const auto result = plb_.intersectRightsRange(vpn, 1, rights);
+    const auto result = withEngine([&](auto &engine) {
+        return engine.intersectRightsRange(vpn, 1, rights);
+    });
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry);
 }
@@ -384,7 +418,7 @@ PlbSystem::onClearPageRightsAllDomains(vm::Vpn vpn)
     // Per-domain rights apply again; entries were narrowed, so purge
     // and let refills read the canonical tables.
     memo_.valid = false;
-    const auto result = plb_.purgeRange(std::nullopt, vpn, 1);
+    const auto result = protPurgeRange(std::nullopt, vpn, 1);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
                result.invalidated * config_.costs.invalidateEntry);
@@ -399,7 +433,7 @@ PlbSystem::onSetSegmentRights(os::DomainId domain, const vm::Segment &seg,
     // overrides, which an in-place blanket update could not).
     (void)rights;
     memo_.valid = false;
-    const auto result = plb_.purgeRange(domain, seg.firstPage, seg.pages);
+    const auto result = protPurgeRange(domain, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
                result.invalidated * config_.costs.invalidateEntry);
@@ -442,7 +476,8 @@ void
 PlbSystem::onDomainDestroyed(os::DomainId domain)
 {
     memo_.valid = false;
-    const auto result = plb_.purgeDomain(domain);
+    const auto result = withEngine(
+        [&](auto &engine) { return engine.purgeDomain(domain); });
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
                result.invalidated * config_.costs.invalidateEntry);
@@ -453,7 +488,7 @@ PlbSystem::onSegmentDestroyed(const vm::Segment &seg)
 {
     memo_.valid = false;
     const auto result =
-        plb_.purgeRange(std::nullopt, seg.firstPage, seg.pages);
+        protPurgeRange(std::nullopt, seg.firstPage, seg.pages);
     charge(CostCategory::KernelWork,
            result.scanned * config_.costs.purgeScanEntry +
                result.invalidated * config_.costs.invalidateEntry);
@@ -466,9 +501,12 @@ PlbSystem::refreshAfterFault(os::DomainId domain, vm::Vpn vpn)
     // deny; replace it with a fresh page-grain entry.
     memo_.valid = false;
     const vm::VAddr va = vm::baseOf(vpn);
-    plb_.invalidateCovering(domain, va);
-    plb_.insert(domain, va, vm::kPageShift,
-                state_.effectiveRights(domain, vpn));
+    withEngine([&](auto &engine) {
+        engine.invalidateCovering(domain, va);
+        engine.insert(domain, va, vm::kPageShift,
+                      state_.effectiveRights(domain, vpn));
+        return 0;
+    });
     charge(CostCategory::KernelWork, config_.costs.invalidateEntry);
     return true;
 }
@@ -483,8 +521,16 @@ PlbSystem::effectiveRights(os::DomainId domain, vm::Vpn vpn)
 void
 PlbSystem::save(snap::SnapWriter &w) const
 {
-    w.putTag("plbmodel");
-    plb_.save(w);
+    // Distinct section tags per organization: a flat image refuses to
+    // load into a clustered run (and vice versa) at the tag check,
+    // and golden flat images keep their original byte layout.
+    if (clplb_ != nullptr) {
+        w.putTag("clplbmodel");
+        clplb_->save(w);
+    } else {
+        w.putTag("plbmodel");
+        plb_->save(w);
+    }
     tlb_.save(w);
     mem_.save(w);
 }
@@ -492,11 +538,58 @@ PlbSystem::save(snap::SnapWriter &w) const
 void
 PlbSystem::load(snap::SnapReader &r)
 {
-    r.expectTag("plbmodel");
     memo_.valid = false;
-    plb_.load(r);
+    if (clplb_ != nullptr) {
+        r.expectTag("clplbmodel");
+        clplb_->load(r);
+    } else {
+        r.expectTag("plbmodel");
+        plb_->load(r);
+    }
     tlb_.load(r);
     mem_.load(r);
+}
+
+hw::PurgeResult
+PlbSystem::protPurgeRange(std::optional<hw::DomainId> domain, vm::Vpn first,
+                          u64 pages)
+{
+    memo_.valid = false;
+    return withEngine([&](auto &engine) {
+        return engine.purgeRange(domain, first, pages);
+    });
+}
+
+std::optional<hw::PlbMatch>
+PlbSystem::protPeek(os::DomainId domain, vm::VAddr va) const
+{
+    return withEngine(
+        [&](const auto &engine) { return engine.peek(domain, va); });
+}
+
+std::size_t
+PlbSystem::protOccupancy() const
+{
+    return withEngine(
+        [](const auto &engine) { return engine.occupancy(); });
+}
+
+u64
+PlbSystem::protMisses() const
+{
+    return withEngine(
+        [](const auto &engine) { return engine.misses.value(); });
+}
+
+u64
+PlbSystem::protPurgeScans() const
+{
+    if (clplb_ == nullptr)
+        return plb_->purgeScans.value();
+    u64 scans = 0;
+    for (unsigned i = 0; i < clplb_->clusters(); ++i)
+        scans += clplb_->bank(i).purgeScans.value();
+    return scans;
 }
 
 

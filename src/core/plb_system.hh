@@ -24,8 +24,11 @@
 #ifndef SASOS_CORE_PLB_SYSTEM_HH
 #define SASOS_CORE_PLB_SYSTEM_HH
 
+#include <memory>
+
 #include "core/mem_path.hh"
 #include "core/system_config.hh"
+#include "hw/cluster_plb.hh"
 #include "hw/data_cache.hh"
 #include "hw/plb.hh"
 #include "hw/tlb.hh"
@@ -96,12 +99,37 @@ class PlbSystem : public os::ProtectionModel
     void save(snap::SnapWriter &w) const override;
     void load(snap::SnapReader &r) override;
 
-    /** @name Structure access for tests and benches */
+    /** @name Structure access for tests and benches
+     * plb() is the flat engine and asserts flat mode; clustered-mode
+     * callers go through clusterPlb() or the engine-agnostic
+     * prot*() dispatchers below. */
     /// @{
-    hw::Plb &plb() { return plb_; }
+    bool clustered() const { return clplb_ != nullptr; }
+    hw::Plb &
+    plb()
+    {
+        SASOS_ASSERT(plb_ != nullptr,
+                     "flat plb() accessor on a clustered PLB system");
+        return *plb_;
+    }
+    hw::ClusterPlb *clusterPlb() { return clplb_.get(); }
     hw::Tlb &translationTlb() { return tlb_; }
     hw::DataCache &cache() { return mem_.l1(); }
     MemoryPath &memory() { return mem_; }
+    /// @}
+
+    /** @name Engine-agnostic protection-structure dispatch
+     * (the mc shootdown path must work over either organization) */
+    /// @{
+    hw::PurgeResult protPurgeRange(std::optional<hw::DomainId> domain,
+                                   vm::Vpn first, u64 pages);
+    std::optional<hw::PlbMatch> protPeek(os::DomainId domain,
+                                         vm::VAddr va) const;
+    std::size_t protOccupancy() const;
+    /** Probe misses (cluster-level totals in clustered mode). */
+    u64 protMisses() const;
+    /** Maintenance-scan entry visits, summed over banks. */
+    u64 protPurgeScans() const;
     /// @}
 
     /** @name Statistics */
@@ -145,10 +173,31 @@ class PlbSystem : public os::ProtectionModel
         hw::AssocLoc loc{};
     };
 
+    /** Run `fn` against whichever protection engine is live. Both
+     * engines share the maintenance/probe surface, so call sites stay
+     * organization-blind. */
+    template <typename Fn>
+    auto
+    withEngine(Fn &&fn)
+    {
+        return clplb_ != nullptr ? fn(*clplb_) : fn(*plb_);
+    }
+    template <typename Fn>
+    auto
+    withEngine(Fn &&fn) const
+    {
+        return clplb_ != nullptr
+                   ? fn(static_cast<const hw::ClusterPlb &>(*clplb_))
+                   : fn(static_cast<const hw::Plb &>(*plb_));
+    }
+
     SystemConfig config_;
     os::VmState &state_;
     CycleAccount &account_;
-    hw::Plb plb_;
+    /** Exactly one of the two engines is live: the flat PLB
+     * (plb_clusters=1, the default) or the clustered one. */
+    std::unique_ptr<hw::Plb> plb_;
+    std::unique_ptr<hw::ClusterPlb> clplb_;
     hw::Tlb tlb_;
     MemoryPath mem_;
     BatchMemo memo_;

@@ -265,6 +265,14 @@ walkConfigSignature(Sig &&sig, const SystemConfig &config)
         sig.field("plb.sizeShifts[" + std::to_string(i) + "]",
                   static_cast<u64>(config.plb.sizeShifts[i]));
     }
+    // Clustered-geometry fields only when clustered: flat runs keep
+    // the original signature, so golden flat images still load, while
+    // any flat/clustered cross-load trips the field-name check.
+    if (config.plb.clusters > 1) {
+        sig.field("plb.clusters", config.plb.clusters);
+        sig.field("plb.rangeShift",
+                  static_cast<u64>(config.plb.rangeShift));
+    }
     sig.field("pgCache.entries", config.pgCache.entries);
     sig.field("pgCache.policy", static_cast<u64>(config.pgCache.policy));
     sig.field("pgCache.seed", config.pgCache.seed);

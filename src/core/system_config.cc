@@ -196,6 +196,21 @@ SystemConfig::fromOptions(const Options &options, const SystemConfig &base)
                       config.tlb.sets;
     config.plb.ways = options.getU64("plbEntries", config.plb.entries()) /
                       config.plb.sets;
+    config.plb.clusters = static_cast<unsigned>(
+        options.getU64("plb_clusters", config.plb.clusters));
+    if (config.plb.clusters < 1 || config.plb.clusters > 256)
+        SASOS_FATAL("plb_clusters must be in [1, 256], got ",
+                    config.plb.clusters);
+    config.plb.rangeShift = static_cast<int>(
+        options.getU64("plb_range_shift",
+                       static_cast<u64>(config.plb.rangeShift)));
+    if (config.plb.rangeShift < 0 || config.plb.rangeShift > 28)
+        SASOS_FATAL("plb_range_shift must be in [0, 28], got ",
+                    config.plb.rangeShift);
+    if (config.plb.clusters > 1 && config.plb.ways < config.plb.clusters)
+        SASOS_FATAL("plbEntries (", config.plb.entries(),
+                    ") must be at least plb_clusters (",
+                    config.plb.clusters, "): each bank needs an entry");
     config.pgCache.entries =
         options.getU64("pgEntries", config.pgCache.entries);
     config.keyCache.entries =

@@ -55,6 +55,12 @@ struct FarmOptions
     /** References between worker checkpoints; 0 disables mid-cell
      * checkpointing (farm_checkpoint_every=). */
     u64 checkpointEvery = 0;
+    /** Adapt the checkpoint cadence to the observed kill rate
+     * (farm_adaptive=): the more deaths per assignment the farm has
+     * seen, the denser the checkpoints, down to base/8. Purely a
+     * lost-work/IO trade -- results stay bit-identical to serial
+     * either way. */
+    bool adaptiveCheckpoint = false;
     /** Seeded probability of one chaos SIGKILL per cell
      * (farm_kill_rate=). */
     double killRate = 0.0;
@@ -97,6 +103,17 @@ struct FarmResult
     FarmStats stats;
     double wallSeconds = 0.0;
 };
+
+/**
+ * The adaptive cadence: scale `base` down by the observed death rate
+ * (`deaths` worker deaths over `assignments` orders issued so far).
+ * A farm that never loses workers keeps the sparse base cadence; a
+ * farm bleeding workers converges toward base/8, so at most ~1/8 of
+ * base's worth of references can be lost to any one death. Returns 0
+ * iff base is 0 (adaptivity never turns checkpointing on or off,
+ * which the chaos/migration plumbing relies on).
+ */
+u64 adaptiveCheckpointEvery(u64 base, u64 assignments, u64 deaths);
 
 /** Run the whole campaign across a forked worker pool. */
 FarmResult runFarm(const Campaign &campaign, const FarmOptions &options);

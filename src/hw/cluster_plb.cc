@@ -1,0 +1,337 @@
+#include "hw/cluster_plb.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace sasos::hw
+{
+
+ClusterPlb::ClusterPlb(const PlbConfig &config, stats::Group *parent)
+    : statsGroup(parent, "clplb"),
+      lookups(&statsGroup, "lookups", "protection lookups (all banks)"),
+      hits(&statsGroup, "hits", "lookups that matched a bank entry"),
+      misses(&statsGroup, "misses", "lookups with no matching entry"),
+      dirBankSkips(&statsGroup, "dirBankSkips",
+                   "bank sweeps the L2 directory proved unnecessary"),
+      dirBankScans(&statsGroup, "dirBankScans",
+                   "bank sweeps the L2 directory could not rule out"),
+      hitRate(&statsGroup, "hitRate", "fraction of lookups that hit",
+              [this] {
+                  return lookups.value()
+                             ? static_cast<double>(hits.value()) /
+                                   lookups.value()
+                             : 0.0;
+              }),
+      config_(config)
+{
+    SASOS_ASSERT(config.clusters >= 1, "cluster PLB needs >= 1 bank");
+    SASOS_ASSERT(config.ways >= config.clusters,
+                 "cluster PLB needs at least one way per bank");
+    SASOS_ASSERT(config.rangeShift >= 0 && config.rangeShift < 40,
+                 "bad cluster range shift ", config.rangeShift);
+    PlbConfig bank_config = config;
+    bank_config.clusters = 1;
+    bank_config.ways = config.ways / config.clusters;
+    // Page-grain only: a super-page entry could straddle a shard
+    // boundary, and then no single bank could own it.
+    bank_config.sizeShifts = {vm::kPageShift};
+    bankGroups_.reserve(config.clusters);
+    banks_.reserve(config.clusters);
+    for (unsigned i = 0; i < config.clusters; ++i) {
+        bank_config.seed = config.seed + i;
+        bankGroups_.push_back(std::make_unique<stats::Group>(
+            &statsGroup, "bank" + std::to_string(i)));
+        banks_.push_back(
+            std::make_unique<Plb>(bank_config, bankGroups_.back().get()));
+    }
+}
+
+void
+ClusterPlb::dirAdd(u64 vpn)
+{
+    ++directory_[vpn >> config_.rangeShift];
+}
+
+void
+ClusterPlb::dirRemove(u64 vpn)
+{
+    const auto it = directory_.find(vpn >> config_.rangeShift);
+    SASOS_ASSERT(it != directory_.end() && it->second > 0,
+                 "cluster PLB directory lost track of range ",
+                 vpn >> config_.rangeShift);
+    if (--it->second == 0)
+        directory_.erase(it);
+}
+
+std::vector<unsigned>
+ClusterPlb::affectedBanks(vm::Vpn first, u64 pages) const
+{
+    std::vector<unsigned> affected;
+    if (pages == 0)
+        return affected;
+    const u64 range_first = first.number() >> config_.rangeShift;
+    const u64 range_last =
+        (first.number() + pages - 1) >> config_.rangeShift;
+    std::vector<bool> marked(banks_.size(), false);
+    for (auto it = directory_.lower_bound(range_first);
+         it != directory_.end() && it->first <= range_last; ++it)
+        marked[static_cast<std::size_t>(it->first % banks_.size())] = true;
+    for (unsigned i = 0; i < banks_.size(); ++i)
+        if (marked[i])
+            affected.push_back(i);
+    return affected;
+}
+
+void
+ClusterPlb::noteDirectoryVerdict(std::size_t scanned)
+{
+    dirBankScans += scanned;
+    dirBankSkips += banks_.size() - scanned;
+}
+
+std::optional<PlbMatch>
+ClusterPlb::lookup(DomainId domain, vm::VAddr va, AssocLoc *loc)
+{
+    ++lookups;
+    const auto match =
+        banks_[bankOf(va.raw() >> vm::kPageShift)]->lookup(domain, va, loc);
+    if (match)
+        ++hits;
+    else
+        ++misses;
+    return match;
+}
+
+std::optional<PlbMatch>
+ClusterPlb::peek(DomainId domain, vm::VAddr va) const
+{
+    return banks_[bankOf(va.raw() >> vm::kPageShift)]->peek(domain, va);
+}
+
+void
+ClusterPlb::insert(DomainId domain, vm::VAddr va, int size_shift,
+                   vm::Access rights)
+{
+    SASOS_ASSERT(size_shift == vm::kPageShift,
+                 "cluster PLB is page-grain only, got shift ", size_shift);
+    const u64 vpn = va.raw() >> vm::kPageShift;
+    const auto outcome =
+        banks_[bankOf(vpn)]->insertTracked(domain, va, size_shift, rights);
+    if (outcome.victim)
+        dirRemove(outcome.victim->block);
+    if (outcome.inserted)
+        dirAdd(vpn);
+}
+
+bool
+ClusterPlb::updateRights(DomainId domain, vm::VAddr va, vm::Access rights)
+{
+    return banks_[bankOf(va.raw() >> vm::kPageShift)]->updateRights(
+        domain, va, rights);
+}
+
+std::optional<int>
+ClusterPlb::invalidateCovering(DomainId domain, vm::VAddr va)
+{
+    const u64 vpn = va.raw() >> vm::kPageShift;
+    const auto shift = banks_[bankOf(vpn)]->invalidateCovering(domain, va);
+    if (shift)
+        dirRemove(vpn);
+    return shift;
+}
+
+PurgeResult
+ClusterPlb::updateRightsRange(std::optional<DomainId> domain, vm::Vpn first,
+                              u64 pages, vm::Access rights)
+{
+    // Page-grain entries overlapping a page range are always fully
+    // contained, so banks update in place and never invalidate: the
+    // directory is untouched.
+    PurgeResult result;
+    const auto affected = affectedBanks(first, pages);
+    noteDirectoryVerdict(affected.size());
+    for (unsigned i : affected) {
+        const PurgeResult bank_result =
+            banks_[i]->updateRightsRange(domain, first, pages, rights);
+        result.scanned += bank_result.scanned;
+        SASOS_ASSERT(bank_result.invalidated == 0,
+                     "page-grain rights-range update invalidated entries");
+    }
+    return result;
+}
+
+PurgeResult
+ClusterPlb::intersectRightsRange(vm::Vpn first, u64 pages, vm::Access mask)
+{
+    PurgeResult result;
+    const auto affected = affectedBanks(first, pages);
+    noteDirectoryVerdict(affected.size());
+    for (unsigned i : affected) {
+        const PurgeResult bank_result =
+            banks_[i]->intersectRightsRange(first, pages, mask);
+        result.scanned += bank_result.scanned;
+        result.invalidated += bank_result.invalidated;
+    }
+    return result;
+}
+
+template <typename Match>
+u64
+ClusterPlb::sweepBank(Plb &bank, Match match)
+{
+    // Collect first, then drop via indexed invalidation so every
+    // death is routed through the directory.
+    std::vector<std::pair<DomainId, u64>> doomed;
+    bank.forEach([&](DomainId entry_domain, vm::VAddr va, int, vm::Access) {
+        const u64 vpn = va.raw() >> vm::kPageShift;
+        if (match(entry_domain, vpn))
+            doomed.emplace_back(entry_domain, vpn);
+    });
+    for (const auto &[entry_domain, vpn] : doomed) {
+        const auto shift = bank.invalidateCovering(
+            entry_domain, vm::VAddr(vpn << vm::kPageShift));
+        SASOS_ASSERT(shift.has_value(), "cluster PLB sweep lost an entry");
+        dirRemove(vpn);
+    }
+    // Charge the bank the full hardware scan it just performed.
+    bank.purgeScans += bank.capacity();
+    return doomed.size();
+}
+
+PurgeResult
+ClusterPlb::purgeDomain(DomainId domain)
+{
+    // No VPN span, so the directory cannot help: sweep every bank
+    // that holds anything at all.
+    PurgeResult result;
+    std::size_t swept = 0;
+    for (const auto &bank : banks_) {
+        if (bank->occupancy() == 0)
+            continue;
+        ++swept;
+        result.scanned += bank->capacity();
+        result.invalidated += sweepBank(
+            *bank, [&](DomainId entry_domain, u64) {
+                return entry_domain == domain;
+            });
+    }
+    noteDirectoryVerdict(swept);
+    return result;
+}
+
+PurgeResult
+ClusterPlb::purgeRange(std::optional<DomainId> domain, vm::Vpn first,
+                       u64 pages)
+{
+    PurgeResult result;
+    const auto affected = affectedBanks(first, pages);
+    noteDirectoryVerdict(affected.size());
+    const u64 vpn_first = first.number();
+    const u64 vpn_last = first.number() + pages - 1;
+    for (unsigned i : affected) {
+        result.scanned += banks_[i]->capacity();
+        result.invalidated += sweepBank(
+            *banks_[i], [&](DomainId entry_domain, u64 vpn) {
+                if (domain && entry_domain != *domain)
+                    return false;
+                return vpn >= vpn_first && vpn <= vpn_last;
+            });
+    }
+    return result;
+}
+
+u64
+ClusterPlb::purgeAll()
+{
+    u64 dropped = 0;
+    for (const auto &bank : banks_)
+        dropped += bank->purgeAll();
+    directory_.clear();
+    return dropped;
+}
+
+bool
+ClusterPlb::evictOne(Rng &rng)
+{
+    const std::size_t live = occupancy();
+    if (live == 0)
+        return false;
+    // Pick an entry uniformly across banks, then let the bank drop
+    // one of its own uniformly.
+    u64 draw = rng.nextBelow(live);
+    for (const auto &bank : banks_) {
+        const std::size_t bank_live = bank->occupancy();
+        if (draw >= bank_live) {
+            draw -= bank_live;
+            continue;
+        }
+        const auto dropped = bank->evictOneTracked(rng);
+        SASOS_ASSERT(dropped.has_value(), "nonempty bank refused eviction");
+        dirRemove(dropped->block);
+        return true;
+    }
+    SASOS_ASSERT(false, "cluster PLB occupancy out of sync with banks");
+    return false;
+}
+
+u64
+ClusterPlb::countRange(std::optional<DomainId> domain, vm::Vpn first,
+                       u64 pages) const
+{
+    u64 count = 0;
+    for (unsigned i : affectedBanks(first, pages))
+        count += banks_[i]->countRange(domain, first, pages);
+    return count;
+}
+
+std::size_t
+ClusterPlb::occupancy() const
+{
+    std::size_t total = 0;
+    for (const auto &bank : banks_)
+        total += bank->occupancy();
+    return total;
+}
+
+std::size_t
+ClusterPlb::capacity() const
+{
+    std::size_t total = 0;
+    for (const auto &bank : banks_)
+        total += bank->capacity();
+    return total;
+}
+
+void
+ClusterPlb::save(snap::SnapWriter &w) const
+{
+    w.putTag("clplb");
+    w.put32(static_cast<u32>(banks_.size()));
+    w.put32(static_cast<u32>(config_.rangeShift));
+    for (const auto &bank : banks_)
+        bank->save(w);
+}
+
+void
+ClusterPlb::load(snap::SnapReader &r)
+{
+    r.expectTag("clplb");
+    const u32 saved_clusters = r.get32();
+    const u32 saved_shift = r.get32();
+    if (saved_clusters != banks_.size() ||
+        saved_shift != static_cast<u32>(config_.rangeShift))
+        SASOS_FATAL("snapshot cluster PLB geometry mismatch: image has ",
+                    saved_clusters, " banks / range shift ", saved_shift,
+                    ", this run has ", banks_.size(), " / ",
+                    config_.rangeShift);
+    for (const auto &bank : banks_)
+        bank->load(r);
+    // The directory is derived state: rebuild it from the live banks.
+    directory_.clear();
+    for (const auto &bank : banks_)
+        bank->forEach([this](DomainId, vm::VAddr va, int, vm::Access) {
+            dirAdd(va.raw() >> vm::kPageShift);
+        });
+}
+
+} // namespace sasos::hw

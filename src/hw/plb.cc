@@ -101,22 +101,34 @@ Plb::peek(DomainId domain, vm::VAddr va) const
 void
 Plb::insert(DomainId domain, vm::VAddr va, int size_shift, vm::Access rights)
 {
+    (void)insertTracked(domain, va, size_shift, rights);
+}
+
+Plb::InsertOutcome
+Plb::insertTracked(DomainId domain, vm::VAddr va, int size_shift,
+                   vm::Access rights)
+{
     SASOS_ASSERT(std::find(probeOrder_.begin(), probeOrder_.end(),
                            size_shift) != probeOrder_.end(),
                  "PLB does not support size shift ", size_shift);
+    InsertOutcome outcome;
     const Key key = keyFor(domain, va, size_shift);
     vm::Access *existing = array_.probe(setOf(key.block), key);
     if (existing != nullptr) {
         *existing = rights;
         ++updates;
-        return;
+        return outcome;
     }
+    outcome.inserted = true;
     ++insertions;
     ++shiftOccupancy_[static_cast<std::size_t>(size_shift)];
     if (const auto victim = array_.insert(setOf(key.block), key, rights)) {
         ++evictions;
         --shiftOccupancy_[static_cast<std::size_t>(victim->tag.sizeShift)];
+        outcome.victim = Evicted{victim->tag.domain, victim->tag.block,
+                                 victim->tag.sizeShift};
     }
+    return outcome;
 }
 
 bool
@@ -276,14 +288,24 @@ Plb::countRange(std::optional<DomainId> domain, vm::Vpn first,
 bool
 Plb::evictOne(Rng &rng)
 {
+    return evictOneTracked(rng).has_value();
+}
+
+std::optional<Plb::Evicted>
+Plb::evictOneTracked(Rng &rng)
+{
     const std::size_t live = array_.occupancy();
     if (live == 0)
-        return false;
+        return std::nullopt;
+    std::optional<Evicted> dropped;
     if (const auto victim = array_.invalidateNth(
-            static_cast<std::size_t>(rng.nextBelow(live))))
+            static_cast<std::size_t>(rng.nextBelow(live)))) {
         --shiftOccupancy_[static_cast<std::size_t>(victim->tag.sizeShift)];
+        dropped = Evicted{victim->tag.domain, victim->tag.block,
+                          victim->tag.sizeShift};
+    }
     ++injectedEvictions;
-    return true;
+    return dropped;
 }
 
 void

@@ -48,6 +48,16 @@ struct PlbConfig
      */
     std::vector<int> sizeShifts = {vm::kPageShift};
 
+    /**
+     * Clustered organization (ClusterPlb): number of per-cluster
+     * banks the entries are sharded across by VPN range. 1 selects
+     * the flat single-bank Plb (plb_clusters=).
+     */
+    unsigned clusters = 1;
+    /** log2 pages per shard range: consecutive 2^rangeShift-page
+     * ranges rotate across the banks (plb_range_shift=). */
+    int rangeShift = 10;
+
     std::size_t entries() const { return sets * ways; }
 };
 
@@ -106,6 +116,28 @@ class Plb
      */
     void insert(DomainId domain, vm::VAddr va, int size_shift,
                 vm::Access rights);
+
+    /** What insertTracked() / evictOneTracked() displaced. */
+    struct Evicted
+    {
+        DomainId domain = 0;
+        /** Block number (va >> sizeShift); the VPN at page grain. */
+        u64 block = 0;
+        int sizeShift = 0;
+    };
+
+    /** insert() that reports what happened, for callers maintaining
+     * derived occupancy indexes (the clustered PLB's L2 directory). */
+    struct InsertOutcome
+    {
+        /** False when an existing entry was updated in place. */
+        bool inserted = false;
+        /** The valid entry the insert displaced, when any. */
+        std::optional<Evicted> victim;
+    };
+
+    InsertOutcome insertTracked(DomainId domain, vm::VAddr va,
+                                int size_shift, vm::Access rights);
 
     /**
      * Update the rights of the most specific entry covering
@@ -171,6 +203,10 @@ class Plb
      * @return true if an entry was dropped (false when empty).
      */
     bool evictOne(Rng &rng);
+
+    /** evictOne() that reports the dropped entry (nullopt when the
+     * PLB was empty), for derived-index maintenance. */
+    std::optional<Evicted> evictOneTracked(Rng &rng);
 
     /**
      * Count valid entries overlapping a page range (one domain, or

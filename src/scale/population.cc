@@ -1,0 +1,225 @@
+#include "scale/population.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace sasos::scale
+{
+
+namespace
+{
+
+/** Per-domain stream seed: SplitMix64-style mix so domain d's draws
+ * are independent of every other domain's and of the layout stream,
+ * and any single domain can be regenerated in isolation. */
+u64
+domainSeed(u64 seed, u64 domain)
+{
+    u64 z = seed + 0x9E3779B97F4A7C15ULL * (domain + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+Population::Population(const PopulationConfig &config) : config_(config)
+{
+    SASOS_ASSERT(config.domains > 0, "population needs domains");
+    SASOS_ASSERT(config.segments > 0, "population needs segments");
+    SASOS_ASSERT(config.minAttach >= 1 &&
+                     config.minAttach <= config.maxAttach,
+                 "bad attach range");
+    SASOS_ASSERT(config.maxAttach <= config.segments,
+                 "cannot attach more segments than exist");
+    SASOS_ASSERT(config.minSegPages >= 1 &&
+                     config.minSegPages <= config.maxSegPages,
+                 "bad segment size range");
+    SASOS_ASSERT(config.overridePerMille <= 1000,
+                 "overridePerMille is a per-mille probability");
+
+    // Segment layout: bump allocation with random dead gaps, the
+    // scattered sparsity a long-lived single address space accretes.
+    Rng layout(config.seed);
+    segFirstPage_.reserve(config.segments);
+    segPages_.reserve(config.segments);
+    u64 next = 0x100; // page 0 region reserved, as in the allocator
+    for (u64 s = 0; s < config.segments; ++s) {
+        const u64 pages =
+            config.minSegPages +
+            layout.nextBelow(config.maxSegPages - config.minSegPages + 1);
+        next += config.maxGapPages ? layout.nextBelow(config.maxGapPages)
+                                   : 0;
+        segFirstPage_.push_back(next);
+        segPages_.push_back(pages);
+        next += pages;
+    }
+
+    // Per-domain attachment sets: Zipf-skewed popularity, deduped and
+    // sorted (ascending index == ascending base). Duplicates from the
+    // skewed draw shrink a domain's set below its nominal count --
+    // hot segments are hot -- which is fine for a population model.
+    const ZipfDistribution zipf(static_cast<std::size_t>(config.segments),
+                                config.segZipfTheta);
+    offsets_.reserve(config.domains + 1);
+    offsets_.push_back(0);
+    std::vector<u32> picks;
+    for (u64 d = 0; d < config.domains; ++d) {
+        Rng rng(domainSeed(config.seed, d));
+        const u64 nominal =
+            config.minAttach +
+            rng.nextBelow(config.maxAttach - config.minAttach + 1);
+        picks.clear();
+        for (u64 j = 0; j < nominal; ++j)
+            picks.push_back(static_cast<u32>(zipf(rng)));
+        std::sort(picks.begin(), picks.end());
+        picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+        for (u32 seg : picks) {
+            segIdx_.push_back(seg);
+            overrideFlag_.push_back(
+                rng.nextBelow(1000) < config.overridePerMille ? 1 : 0);
+        }
+        offsets_.push_back(segIdx_.size());
+    }
+}
+
+void
+Population::materialize(u64 domain, vm::ProtectionTable &table) const
+{
+    SASOS_ASSERT(domain < config_.domains, "no domain ", domain);
+    const u64 n = attachmentCount(domain);
+    for (u64 j = 0; j < n; ++j) {
+        const u64 seg = attachmentSeg(domain, j);
+        // Segment ids are creation-order (1-based) when the caller
+        // builds the population's segments in index order.
+        table.attachSegment(static_cast<vm::SegmentId>(seg + 1),
+                            vm::Access::ReadWrite);
+        if (attachmentHasOverride(domain, j))
+            table.setPageRights(segmentFirstPage(seg), vm::Access::Read);
+    }
+}
+
+SpaceReport
+Population::spaceReport(u64 pte_bytes, u64 prot_entry_bytes) const
+{
+    SASOS_ASSERT(pte_bytes > 0, "zero PTE size");
+    SpaceReport report;
+    report.domains = config_.domains;
+    report.segments = segments();
+    for (u64 pages : segPages_)
+        report.totalMappedPages += pages;
+    report.totalAttachments = segIdx_.size();
+    for (u8 flag : overrideFlag_)
+        report.totalOverrides += flag;
+
+    // The single-address-space side: one global table holds every
+    // mapped page exactly once, however many domains share it; each
+    // domain adds only its sparse protection entries.
+    report.globalPageTableBytes = report.totalMappedPages * pte_bytes;
+    report.protectionTableBytes =
+        (report.totalAttachments + report.totalOverrides) *
+        prot_entry_bytes;
+    report.sasBytes =
+        report.globalPageTableBytes + report.protectionTableBytes;
+
+    // The per-domain linear side, computed analytically with exactly
+    // the vm::LinearPageTableModel formulas (the scale tests pin this
+    // equivalence at small N). Attachments are sorted by base, so the
+    // span ends and the leaf intervals come out in order.
+    const u64 page_bytes = u64{1} << vm::kPageShift;
+    const u64 ptes_per_leaf = page_bytes / pte_bytes;
+    for (u64 d = 0; d < config_.domains; ++d) {
+        const u64 n = attachmentCount(d);
+        if (n == 0)
+            continue;
+        const u64 first_seg = attachmentSeg(d, 0);
+        const u64 last_seg = attachmentSeg(d, n - 1);
+        const u64 min_page = segFirstPage_[first_seg];
+        const u64 max_page =
+            segFirstPage_[last_seg] + segPages_[last_seg] - 1;
+        report.linearFlatBytes += (max_page - min_page + 1) * pte_bytes;
+
+        // Touched leaves: merge the attachments' leaf intervals.
+        u64 leaves = 0;
+        u64 cur_first = 0;
+        u64 cur_last = 0;
+        bool open = false;
+        for (u64 j = 0; j < n; ++j) {
+            const u64 seg = attachmentSeg(d, j);
+            const u64 leaf_first = segFirstPage_[seg] / ptes_per_leaf;
+            const u64 leaf_last =
+                (segFirstPage_[seg] + segPages_[seg] - 1) / ptes_per_leaf;
+            if (open && leaf_first <= cur_last) {
+                cur_last = std::max(cur_last, leaf_last);
+                continue;
+            }
+            if (open)
+                leaves += cur_last - cur_first + 1;
+            cur_first = leaf_first;
+            cur_last = leaf_last;
+            open = true;
+        }
+        leaves += cur_last - cur_first + 1;
+        const u64 min_leaf = min_page / ptes_per_leaf;
+        const u64 max_leaf = max_page / ptes_per_leaf;
+        report.linearTwoLevelBytes +=
+            leaves * page_bytes + (max_leaf - min_leaf + 1) * pte_bytes;
+    }
+    return report;
+}
+
+SegmentStressReport
+stressSegmentAllocator(u64 seed, u64 ops, u64 max_pages)
+{
+    SASOS_ASSERT(max_pages >= 1, "stress needs nonzero segment sizes");
+    Rng rng(seed);
+    vm::SegmentTable table;
+    SegmentStressReport report;
+    std::vector<vm::SegmentId> live;
+    u64 high_water = 0; // highest page ever handed out + 1
+    for (u64 i = 0; i < ops; ++i) {
+        // 60/40 create/destroy keeps the table growing while churning
+        // enough that destroyed ranges would get reused if the
+        // allocator ever recycled.
+        const bool create = live.empty() || rng.nextBelow(10) < 6;
+        if (create) {
+            const u64 pages = 1 + rng.nextBelow(max_pages);
+            const bool aligned = rng.nextBelow(4) == 0;
+            const vm::SegmentId id = table.create(
+                "stress" + std::to_string(i), pages, aligned);
+            const vm::Segment *seg = table.find(id);
+            SASOS_ASSERT(seg != nullptr, "created segment not found");
+            ++report.creates;
+            report.pagesAllocated += pages;
+            if (seg->firstPage.number() < high_water)
+                ++report.reuseFailures;
+            high_water = seg->lastPage().number() + 1;
+            live.push_back(id);
+        } else {
+            const std::size_t victim =
+                static_cast<std::size_t>(rng.nextBelow(live.size()));
+            table.destroy(live[victim]);
+            live[victim] = live.back();
+            live.pop_back();
+            ++report.destroys;
+        }
+        report.maxLive = std::max<u64>(report.maxLive, live.size());
+        // Spot-check the range lookup invariant on a random live
+        // segment: its first and last pages resolve back to it.
+        if (!live.empty()) {
+            const vm::Segment *seg = table.find(
+                live[static_cast<std::size_t>(rng.nextBelow(live.size()))]);
+            const vm::Segment *by_first = table.findByPage(seg->firstPage);
+            const vm::Segment *by_last = table.findByPage(seg->lastPage());
+            if (by_first == nullptr || by_first->id != seg->id ||
+                by_last == nullptr || by_last->id != seg->id)
+                ++report.overlapFailures;
+        }
+    }
+    report.liveAtEnd = live.size();
+    return report;
+}
+
+} // namespace sasos::scale

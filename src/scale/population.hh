@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Sparse million-domain populations for the page-table space argument.
+ *
+ * The paper's Section 3.1 case against per-domain linear page tables
+ * is quantitative: a domain references small, widely scattered pieces
+ * of the 64-bit space, so a linear table must span from its lowest to
+ * its highest mapped page, and translations for shared segments are
+ * replicated in every sharing domain's table. The existing
+ * bench_page_tables makes that argument at workstation scale; this
+ * layer makes it at datacenter scale -- 10^6 protection domains over
+ * thousands of scattered segments -- where enumerating real
+ * per-domain page tables would be absurd, which is precisely the
+ * point.
+ *
+ * Population generates a seeded, Zipf-skewed synthetic population:
+ * segment sizes and gaps from one stream, each domain's attachment
+ * set from a per-domain stream (so any single domain can be
+ * re-materialized into the real vm::ProtectionTable /
+ * vm::LinearPageTableModel structures and cross-checked against the
+ * analytic accounting -- the scale tests do exactly that at small N).
+ * The space report then compares, over the whole population:
+ *
+ *  - the single-address-space organization: ONE global page table
+ *    (every mapped page once) plus a sparse per-domain protection
+ *    table (one entry per segment grant + per page override);
+ *  - per-domain linear tables, flat (span-sized) and two-level (only
+ *    touched leaves allocated, directory spans the leaf range).
+ */
+
+#ifndef SASOS_SCALE_POPULATION_HH
+#define SASOS_SCALE_POPULATION_HH
+
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+#include "vm/address.hh"
+#include "vm/prot_table.hh"
+#include "vm/segment.hh"
+
+namespace sasos::scale
+{
+
+/** Shape of a synthetic domain/segment population. */
+struct PopulationConfig
+{
+    /** Protection domains (the paper's axis; 10^6 at full scale). */
+    u64 domains = 1'000'000;
+    /** Distinct shared segments the domains attach. */
+    u64 segments = 4096;
+    /** Zipf skew of segment popularity: a few hot shared segments
+     * (code, libraries), a long cold tail. */
+    double segZipfTheta = 0.8;
+    /** Segments a domain attaches: uniform in [minAttach, maxAttach]. */
+    u64 minAttach = 1;
+    u64 maxAttach = 8;
+    /** Segment length in pages: uniform in [minSegPages, maxSegPages]. */
+    u64 minSegPages = 1;
+    u64 maxSegPages = 2048;
+    /** Max pages of dead gap between consecutive segments (sparsity). */
+    u64 maxGapPages = 1u << 14;
+    /** Per-mille probability an attachment carries one page override. */
+    u64 overridePerMille = 50;
+    u64 seed = 1;
+};
+
+/** Population-wide table-space accounting (bytes). */
+struct SpaceReport
+{
+    u64 domains = 0;
+    u64 segments = 0;
+    u64 totalMappedPages = 0;
+    u64 totalAttachments = 0;
+    u64 totalOverrides = 0;
+    /** Single global page table: every mapped page exactly once. */
+    u64 globalPageTableBytes = 0;
+    /** All per-domain sparse protection tables together. */
+    u64 protectionTableBytes = 0;
+    /** SAS total: global table + protection tables. */
+    u64 sasBytes = 0;
+    /** All per-domain flat linear tables (lowest..highest span). */
+    u64 linearFlatBytes = 0;
+    /** All per-domain two-level tables (touched leaves + directory). */
+    u64 linearTwoLevelBytes = 0;
+
+    double
+    flatDuplicationFactor() const
+    {
+        return sasBytes ? static_cast<double>(linearFlatBytes) / sasBytes
+                        : 0.0;
+    }
+    double
+    twoLevelDuplicationFactor() const
+    {
+        return sasBytes
+                   ? static_cast<double>(linearTwoLevelBytes) / sasBytes
+                   : 0.0;
+    }
+};
+
+/** A seeded sparse domain/segment population. */
+class Population
+{
+  public:
+    explicit Population(const PopulationConfig &config);
+
+    const PopulationConfig &config() const { return config_; }
+    u64 domains() const { return config_.domains; }
+    u64 segments() const { return segFirstPage_.size(); }
+
+    /** @name Segment layout (index order == ascending base) */
+    /// @{
+    vm::Vpn segmentFirstPage(u64 seg) const
+    {
+        return vm::Vpn(segFirstPage_[seg]);
+    }
+    u64 segmentPages(u64 seg) const { return segPages_[seg]; }
+    /// @}
+
+    /** @name One domain's attachment set (CSR; indices ascending) */
+    /// @{
+    u64 attachmentCount(u64 domain) const
+    {
+        return offsets_[domain + 1] - offsets_[domain];
+    }
+    u64 attachmentSeg(u64 domain, u64 j) const
+    {
+        return segIdx_[offsets_[domain] + j];
+    }
+    /** Whether attachment j carries a page override (placed on the
+     * segment's first page, so materialization is deterministic). */
+    bool attachmentHasOverride(u64 domain, u64 j) const
+    {
+        return overrideFlag_[offsets_[domain] + j] != 0;
+    }
+    /// @}
+
+    /**
+     * Rebuild one domain's real protection table, entry for entry, so
+     * tests can cross-check the analytic report against
+     * vm::ProtectionTable::spaceBytes(). `segments` must contain the
+     * population's segments created in index order (ids 1..N).
+     */
+    void materialize(u64 domain, vm::ProtectionTable &table) const;
+
+    /** Compute the population-wide space accounting. */
+    SpaceReport spaceReport(u64 pte_bytes = 8,
+                            u64 prot_entry_bytes = 16) const;
+
+  private:
+    PopulationConfig config_;
+    std::vector<u64> segFirstPage_;
+    std::vector<u64> segPages_;
+    /** CSR: domain d's attachments are segIdx_[offsets_[d]..d+1). */
+    std::vector<u64> offsets_;
+    std::vector<u32> segIdx_;
+    std::vector<u8> overrideFlag_;
+};
+
+/** What stressSegmentAllocator() observed. */
+struct SegmentStressReport
+{
+    u64 creates = 0;
+    u64 destroys = 0;
+    u64 liveAtEnd = 0;
+    u64 maxLive = 0;
+    u64 pagesAllocated = 0;
+    /** Live segments whose page-range lookup disagreed (must be 0). */
+    u64 overlapFailures = 0;
+    /** Segment bases that reused retired address space (must be 0). */
+    u64 reuseFailures = 0;
+
+    bool passed() const { return !overlapFailures && !reuseFailures; }
+};
+
+/**
+ * Hammer a real vm::SegmentTable with a seeded create/destroy mix and
+ * check the single-address-space allocation invariants hold under
+ * churn: every live page range resolves back to its own segment, and
+ * addresses are never reused (bases strictly increase for the
+ * lifetime of the table, destroyed or not).
+ */
+SegmentStressReport stressSegmentAllocator(u64 seed, u64 ops,
+                                           u64 max_pages = 512);
+
+} // namespace sasos::scale
+
+#endif // SASOS_SCALE_POPULATION_HH

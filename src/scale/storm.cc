@@ -1,0 +1,43 @@
+#include "scale/storm.hh"
+
+namespace sasos::scale
+{
+
+core::mc::McConfig
+stormConfig(unsigned cores, u64 refs_per_core, u64 seed)
+{
+    core::mc::McConfig config;
+    config.system = core::SystemConfig::plbSystem();
+    config.system.seed = seed;
+    config.system.plb.seed = seed + 2;
+    config.cores = cores;
+    config.scheduleSeed = seed;
+    // Short quanta and a long IPI flight window: many interleavings,
+    // wide stale-rights windows (Section 4.1.3's race, at scale).
+    config.quantum = 4;
+    config.ipiDelaySteps = 12;
+    config.checkInvariants = true;
+    config.workload.seed = seed;
+    config.workload.stepsPerCore = refs_per_core;
+    config.workload.sharedPages = 32;
+    config.workload.privatePages = 8;
+    config.workload.sharedProb = 0.8;
+    config.workload.storeProb = 0.4;
+    // Churn-heavy: one step in four is a kernel protection op, so the
+    // shootdown rate -- not the reference stream -- dominates.
+    config.workload.churnProb = 0.25;
+    config.workload.zipfTheta = 0.9;
+    return config;
+}
+
+core::mc::McConfig
+clusteredStormConfig(unsigned cores, u64 refs_per_core, u64 seed,
+                     unsigned clusters)
+{
+    core::mc::McConfig config = stormConfig(cores, refs_per_core, seed);
+    config.system.plb.clusters = clusters;
+    config.system.plb.rangeShift = 4;
+    return config;
+}
+
+} // namespace sasos::scale

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The shootdown-storm scenario: McConfig factories for the scale
+ * oracles.
+ *
+ * A "storm" is a many-core run tuned so kernel protection churn (and
+ * with it IPI broadcast traffic) dominates: high churn probability,
+ * hot Zipf-skewed shared references, a long IPI flight window and a
+ * short quantum, so at 64+ cores most references execute inside some
+ * core's stale-rights window. bench_scale and the scale tests run
+ * these configs under the explorer invariants (no grant outside a
+ * stale window, hardware subset of canonical at quiescence) -- the
+ * exit-code oracle for the clustered-PLB + coalesced-IPI machinery.
+ */
+
+#ifndef SASOS_SCALE_STORM_HH
+#define SASOS_SCALE_STORM_HH
+
+#include "core/mc/mc_system.hh"
+
+namespace sasos::scale
+{
+
+/**
+ * A churn-heavy multi-core configuration at `cores` cores.
+ * Deterministic in (cores, refs_per_core, seed); invariant checking
+ * is on. Callers layer the engine knobs under test on top
+ * (plb_clusters via .system.plb, mc_coalesce via .coalesceWindow).
+ */
+core::mc::McConfig stormConfig(unsigned cores, u64 refs_per_core,
+                               u64 seed);
+
+/**
+ * `stormConfig` with the clustered PLB enabled: `clusters` banks,
+ * range shift 4 (small ranges, so bank routing actually spreads).
+ */
+core::mc::McConfig clusteredStormConfig(unsigned cores, u64 refs_per_core,
+                                        u64 seed, unsigned clusters);
+
+} // namespace sasos::scale
+
+#endif // SASOS_SCALE_STORM_HH

@@ -42,7 +42,7 @@ AttachChurnWorkload::run(core::System &sys)
     result.episodes = config_.episodes;
     result.cycles = sys.account().since(before);
     if (auto *plb_system = sys.plbSystem())
-        result.plbPurgeScans = plb_system->plb().purgeScans.value();
+        result.plbPurgeScans = plb_system->protPurgeScans();
     return result;
 }
 

@@ -97,9 +97,9 @@ SharingWorkload::run(core::System &sys)
 
     result.cycles = sys.account().since(before);
     if (auto *plb_system = sys.plbSystem()) {
-        result.plbMisses = plb_system->plb().misses.value();
+        result.plbMisses = plb_system->protMisses();
         result.tlbMisses = plb_system->translationTlb().misses.value();
-        result.occupancyEntries = plb_system->plb().occupancy();
+        result.occupancyEntries = plb_system->protOccupancy();
     } else if (auto *pg = sys.pageGroupSystem()) {
         result.tlbMisses = pg->tlb().misses.value();
         result.occupancyEntries = pg->tlb().occupancy();
